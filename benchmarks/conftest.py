@@ -1,0 +1,28 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.experiments` and asserts the published *shape* (orderings,
+ratios, crossover locations) on the result.  Absolute timings are those
+of the simulator/implementation on the current host, not the paper's
+2006-era testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a callable exactly once and hand back its return value.
+
+    The experiments are deterministic end-to-end simulations; repeating
+    them only burns time, so a single round is both sufficient and honest.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,38 @@
+"""Figure 1: minimum bandwidth vs server period, single task (C=20, P=100).
+
+Shape claims verified:
+- exactly the task utilisation (20%) at T = P and at integer sub-multiples;
+- strictly more bandwidth between sub-multiples;
+- more than 60% as T approaches 2P;
+- T = P is robust: small errors around it cost little.
+"""
+
+import pytest
+
+from repro.experiments import fig01
+
+
+def test_fig01_minimum_bandwidth_curve(run_once):
+    result = run_once(fig01.run, t_step_ms=1.0)
+    curve = result.series_by_name("min_bandwidth")
+    by_t = dict(zip(curve.x, curve.y))
+
+    # utilisation floor met exactly at sub-multiples of P
+    for t in (100.0, 50.0, 25.0, 20.0, 10.0):
+        assert by_t[t] == pytest.approx(0.2, abs=2e-3), f"T={t}"
+
+    # wasteful between the sub-multiples
+    assert by_t[60.0] > 0.30
+    assert by_t[40.0] > 0.24
+
+    # blows past 60% at T = 2P
+    assert by_t[200.0] >= 0.60 - 1e-6
+
+    # the whole curve respects the utilisation lower bound
+    assert min(v for v in curve.y if v == v) >= 0.2 - 1e-6
+
+    # robustness of T = P vs T = P/3 (the §3.2 discussion): a 4 ms error
+    # around P costs far less than a 4 ms error around P/3
+    err_at_p = by_t[96.0] - 0.2
+    err_at_p3 = by_t[37.0] - 0.2
+    assert err_at_p3 > err_at_p

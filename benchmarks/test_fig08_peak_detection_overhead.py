@@ -1,0 +1,33 @@
+"""Figure 8: peak-detection heuristic cost vs ε and H, with/without α.
+
+Shape claims verified (Eq. 5):
+- without the α threshold, cost grows with ε (wider harmonic windows)
+  and with H;
+- the α threshold cuts the cost several-fold by pruning candidates
+  (the contrast between the paper's top and bottom plots).
+"""
+
+from repro.experiments import fig08
+
+
+def test_fig08_heuristic_cost(run_once):
+    result = run_once(fig08.run, reps=10)
+    rows = result.rows
+
+    def cell(alpha, eps, h):
+        return next(
+            r for r in rows if r["alpha"] == alpha and r["epsilon"] == eps and r["horizon_s"] == h
+        )
+
+    # epsilon scaling without the threshold (Eq. 5's ε/δω factor)
+    e_small = cell(0.0, 0.1, 2.0)["elements_examined"]
+    e_large = cell(0.0, 1.0, 2.0)["elements_examined"]
+    assert e_large > e_small * 1.5
+
+    # the α threshold prunes: several-fold fewer elements at large ε
+    cut = cell(0.2, 1.0, 2.0)["elements_examined"]
+    uncut = cell(0.0, 1.0, 2.0)["elements_examined"]
+    assert uncut / cut > 2.0
+
+    # wall time tracks the element count (same ordering)
+    assert cell(0.2, 1.0, 2.0)["detect_us"] < cell(0.0, 1.0, 2.0)["detect_us"]

@@ -1,0 +1,32 @@
+"""Figure 9: detected-frequency average and std dev vs ε and H.
+
+Shape claims verified:
+- the average stays near 32.5 Hz across the sweep;
+- longer horizons reduce the variance;
+- a moderate-to-large ε beats a tiny ε (harmonics slightly off their
+  nominal position still get credited to the right fundamental).
+"""
+
+import pytest
+
+from repro.experiments import fig09
+
+
+def test_fig09_precision_vs_epsilon(run_once):
+    result = run_once(fig09.run, reps=20)
+    rows = result.rows
+
+    def cell(eps, h):
+        return next(r for r in rows if r["epsilon"] == eps and r["horizon_s"] == h)
+
+    # long-horizon detections are accurate for the mid-range epsilon
+    assert cell(0.5, 2.0)["detected_hz"] == pytest.approx(32.5, abs=2.5)
+
+    # horizon helps: variance at H=2.0 never worse than at H=0.5
+    for eps in (0.3, 0.5, 0.8):
+        assert cell(eps, 2.0)["detected_hz_std"] <= cell(eps, 0.5)["detected_hz_std"] + 1e-9
+
+    # tiny epsilon is the worst configuration at short horizons
+    std_tiny = cell(0.1, 0.5)["detected_hz_std"]
+    std_mid = cell(0.8, 0.5)["detected_hz_std"]
+    assert std_mid <= std_tiny

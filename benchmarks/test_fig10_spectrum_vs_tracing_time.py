@@ -1,0 +1,29 @@
+"""Figure 10: normalised spectrum at 0.2-4 s of tracing.
+
+Shape claims verified:
+- the 32.5 / 65 / 97.5 Hz peak family is present already at 0.5 s;
+- the noise floor falls monotonically as the tracing time grows (the
+  periodicity becomes "indisputable" from ~1 s).
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_peak_family_emerges(run_once):
+    result = run_once(fig10.run)
+    rows = {r["tracing_s"]: r for r in result.rows}
+
+    # "quite evident" peaks at 0.5 s, "indisputable" from 1 s (paper's
+    # wording): the family clears the floor by 2x early and 3x later
+    for t, factor in ((0.5, 2.0), (1.0, 3.0), (2.0, 3.0), (4.0, 3.0)):
+        row = rows[t]
+        for key in ("peak_32_5", "peak_65", "peak_97_5"):
+            assert row[key] > factor * row["noise_floor"], (t, key)
+
+    # noise floor decays with tracing time
+    floors = [rows[t]["noise_floor"] for t in (0.2, 0.5, 1.0, 2.0, 4.0)]
+    assert all(a >= b for a, b in zip(floors, floors[1:]))
+
+    # normalised spectra have max 1 by construction
+    for series in result.series:
+        assert max(series.y) <= 1.0 + 1e-9

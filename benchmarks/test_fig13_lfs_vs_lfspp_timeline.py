@@ -1,0 +1,40 @@
+"""Figure 13: inter-frame times and reserved CPU, LFS vs LFS++.
+
+Shape claims verified (paper: LFS 39.99 +/- 11.29 ms converging only after
+~100 frames; LFS++ 40.93 +/- 4.63 ms adapting almost immediately):
+- both laws keep the *average* inter-frame time at ~40 ms;
+- LFS++ controls the inter-frame time within the first handful of
+  frames, LFS takes an order of magnitude longer;
+- the LFS std dev is clearly larger than LFS++'s.
+"""
+
+import pytest
+
+from repro.experiments import fig13
+
+
+def test_fig13_lfs_vs_lfspp(run_once):
+    result = run_once(fig13.run, n_frames=1400)
+    rows = {r["law"]: r for r in result.rows}
+    lfs, lfspp = rows["LFS"], rows["LFS++"]
+
+    # equal ~40 ms means (the system is not overloaded)
+    assert lfs["ift_mean_ms"] == pytest.approx(40.0, abs=1.0)
+    assert lfspp["ift_mean_ms"] == pytest.approx(40.0, abs=1.0)
+
+    # convergence: LFS++ almost immediately, LFS much later
+    assert lfspp["last_frame_over_80ms"] <= 40
+    assert lfs["last_frame_over_80ms"] >= 2 * max(lfspp["last_frame_over_80ms"], 10)
+
+    # dispersion: LFS clearly worse
+    assert lfs["ift_std_ms"] > lfspp["ift_std_ms"] * 1.3
+
+    # both converge to a similar reserved fraction (the demand)
+    assert lfs["mean_reserved_fraction"] == pytest.approx(
+        lfspp["mean_reserved_fraction"], abs=0.15
+    )
+
+    # the expected series exist for plotting (Fig. 13 panels)
+    names = {s.name for s in result.series}
+    for needed in ("ift_ms[lfs]", "ift_ms[lfs++]", "reserved_fraction[lfs]", "reserved_fraction[lfs++]"):
+        assert needed in names

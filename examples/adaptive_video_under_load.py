@@ -1,0 +1,81 @@
+"""LFS vs LFS++ for a video player sharing the CPU with real-time load.
+
+The §5.4/§5.5 scenario as a script: a 25 fps player runs alongside a 40%
+synthetic real-time workload (in static reservations) and the usual
+desktop background.  Playback quality (inter-frame times) and the
+reservation trajectory are compared between the original Legacy Feedback
+Scheduler and LFS++.
+
+Run with::
+
+    python examples/adaptive_video_under_load.py
+"""
+
+import numpy as np
+
+from repro.core import Lfs, LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sim.time import MS, SEC
+from repro.workloads import VideoPlayer, periodic_task
+from repro.workloads.desktop import desktop_load, desktop_suite
+from repro.workloads.periodic import load_set
+
+N_FRAMES = 1000
+RT_LOAD = 0.4
+
+
+def playback(law_name: str):
+    runtime = SelfTuningRuntime()
+    player = VideoPlayer()
+    proc = runtime.spawn("mplayer", player.program(N_FRAMES))
+    probe = InterFrameProbe(pid=proc.pid)
+    probe.install(runtime.kernel)
+
+    for i, cfg in enumerate(desktop_suite(99)):
+        runtime.spawn(f"desktop{i}", desktop_load(cfg))
+    for i, cfg in enumerate(load_set(RT_LOAD, seed=7)):
+        lp = runtime.spawn(f"rtload{i}", periodic_task(cfg))
+        runtime.add_static_reservation(lp, budget=int(cfg.cost * 1.1), period=cfg.period)
+
+    if law_name == "LFS":
+        feedback = Lfs()
+        controller = TaskControllerConfig(sampling_period=40 * MS, use_period_estimate=False)
+        analyser = None
+    else:
+        feedback = LfsPlusPlus()
+        controller = TaskControllerConfig(sampling_period=100 * MS)
+        analyser = AnalyserConfig(
+            spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+        )
+
+    task = runtime.adopt(
+        proc, feedback=feedback, controller_config=controller, analyser_config=analyser
+    )
+    runtime.run(N_FRAMES * 40 * MS)
+    return player, probe, task
+
+
+def main() -> None:
+    print(f"{N_FRAMES} frames at 25 fps, {RT_LOAD:.0%} reserved real-time load\n")
+    print(f"{'law':<6} {'mean IFT':>9} {'std IFT':>9} {'late>80ms':>10} "
+          f"{'last late':>10} {'reserved':>9}")
+    for law in ("LFS", "LFS++"):
+        player, probe, task = playback(law)
+        ift = np.array(probe.inter_frame_times) / MS
+        late = np.where(ift > 80.0)[0]
+        bw = np.mean([g.bandwidth for _, g in task.controller.granted_history])
+        print(
+            f"{law:<6} {ift.mean():>7.2f}ms {ift.std():>7.2f}ms "
+            f"{late.size:>10} {late[-1] + 1 if late.size else 0:>10} {bw:>8.1%}"
+        )
+    print(
+        "\nLFS++ converges within a handful of frames; LFS needs an order of"
+        "\nmagnitude longer and keeps a visibly longer inter-frame-time tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Sizing CPU reservations with the analysis toolkit (§3.2 as a tool).
+
+Given a task's (C, P), what does a badly chosen server period cost?  And
+what does packing several tasks into one reservation cost compared to
+dedicated per-task servers?  This script answers both with the supply /
+demand bound machinery behind Figures 1 and 2 — the quantitative
+motivation for inferring each task's period and serving it in its own
+reservation.
+
+Run with::
+
+    python examples/reservation_sizing.py
+"""
+
+from repro.analysis import (
+    Task,
+    min_bandwidth_dedicated,
+    min_bandwidth_shared_edf,
+    min_bandwidth_shared_rm,
+)
+from repro.analysis.tasks import total_utilisation
+
+
+def single_task_story() -> None:
+    task = Task(cost=20, period=100)
+    print(f"task: C={task.cost} ms, P={task.period} ms (utilisation {task.utilisation:.0%})\n")
+    print(f"{'server period':>14}  {'min bandwidth':>14}  {'waste':>7}")
+    for period in (10, 20, 100 / 3, 40, 50, 60, 100, 110, 150, 200):
+        b = min_bandwidth_dedicated(task, period)
+        waste = b - task.utilisation
+        marker = "  <- T = P (robust optimum)" if period == 100 else ""
+        print(f"{period:>12.1f}ms  {b:>13.1%}  {waste:>6.1%}{marker}")
+    print(
+        "\nchoosing T equal to the task period (or an exact sub-multiple) costs"
+        "\nnothing; anything else wastes up to 3x the task's own demand."
+    )
+
+
+def consolidation_story() -> None:
+    tasks = [Task(3, 15), Task(5, 20), Task(5, 30)]
+    util = total_utilisation(tasks)
+    print(f"\ntask set: {[(t.cost, t.period) for t in tasks]}, cumulative utilisation {util:.1%}\n")
+    print(f"{'server period':>14}  {'one server (RM)':>16}  {'one server (EDF)':>17}  {'dedicated':>10}")
+    for period in (2, 5, 10, 20, 30, 60):
+        rm = min_bandwidth_shared_rm(tasks, period)
+        edf = min_bandwidth_shared_edf(tasks, period)
+        print(
+            f"{period:>12.1f}ms  {rm:>15.1%}  {edf:>16.1%}  {util:>9.1%}"
+        )
+    print(
+        "\na shared reservation always over-provisions (and there is no obvious"
+        "\nbest server period); dedicated per-task servers with correctly"
+        "\ninferred periods reach the theoretical lower bound."
+    )
+
+
+if __name__ == "__main__":
+    single_task_story()
+    consolidation_story()

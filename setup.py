@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines that lack the ``wheel`` package (PEP 660 editable installs
+need it).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

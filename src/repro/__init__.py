@@ -1,0 +1,38 @@
+"""repro — reproduction of *Self-tuning Schedulers for Legacy Real-Time
+Applications* (Cucinotta, Checconi, Abeni, Palopoli — EuroSys 2010).
+
+The package rebuilds the paper's whole stack on a deterministic
+discrete-event simulator:
+
+- :mod:`repro.sim` — the kernel substrate (virtual time, processes,
+  system calls);
+- :mod:`repro.sched` — CBS/EDF reservations plus baseline schedulers;
+- :mod:`repro.tracer` — the qtrace kernel tracer and the ptrace-based
+  baselines;
+- :mod:`repro.core` — the paper's contribution: the sparse-spectrum
+  period analyser, the LFS++ feedback controller, the LFS baseline and
+  the bandwidth supervisor;
+- :mod:`repro.analysis` — hierarchical schedulability analysis (supply /
+  demand bound functions, minimum-budget search);
+- :mod:`repro.workloads` — generative models of the legacy applications
+  (mplayer, ffmpeg, synthetic periodic load);
+- :mod:`repro.metrics` — statistics and the inter-frame-time probe.
+
+Quick start::
+
+    from repro.core import SelfTuningRuntime
+    from repro.workloads import VideoPlayer
+    from repro.metrics import InterFrameProbe
+    from repro.sim.time import SEC
+
+    rt = SelfTuningRuntime()
+    player = VideoPlayer()
+    proc = rt.spawn("mplayer", player.program(n_frames=500))
+    probe = InterFrameProbe(pid=proc.pid)
+    probe.install(rt.kernel)
+    rt.adopt(proc)
+    rt.run(25 * SEC)
+    print(f"inter-frame time: {probe.mean_ms:.2f} +/- {probe.std_ms:.2f} ms")
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,56 @@
+"""Hierarchical schedulability analysis (§3.2, Figures 1 and 2).
+
+Pure real-time mathematics, independent of the simulator:
+
+- :mod:`.supply` — supply bound functions of a CPU reservation: the
+  dedicated-CBS lower bound (worst-case initial service delay ``T - Q``)
+  and the Shin & Lee periodic-resource bound (delay ``2(T - Q)``) used
+  when several tasks share one server;
+- :mod:`.demand` — EDF demand bound and fixed-priority request bound
+  functions;
+- :mod:`.minbudget` — minimum budget / bandwidth search for a server
+  period against a task set, the machinery behind both figures.
+
+All functions are unit-agnostic: times may be ints or floats in any unit,
+as long as they are consistent.
+"""
+
+from repro.analysis.demand import edf_dbf, edf_deadline_points, rm_rbf
+from repro.analysis.minbudget import (
+    min_bandwidth_dedicated,
+    min_bandwidth_shared_edf,
+    min_bandwidth_shared_rm,
+    min_budget_dedicated,
+    min_budget_shared_rm,
+)
+from repro.analysis.response import (
+    edf_schedulable_utilisation,
+    liu_layland_bound,
+    rm_response_time,
+    rm_response_times,
+    rm_schedulable_by_bound,
+    rm_schedulable_exact,
+)
+from repro.analysis.supply import cbs_dedicated_sbf, periodic_sbf, sbf_breakpoints
+from repro.analysis.tasks import Task
+
+__all__ = [
+    "Task",
+    "liu_layland_bound",
+    "rm_schedulable_by_bound",
+    "rm_response_time",
+    "rm_response_times",
+    "rm_schedulable_exact",
+    "edf_schedulable_utilisation",
+    "cbs_dedicated_sbf",
+    "periodic_sbf",
+    "sbf_breakpoints",
+    "edf_dbf",
+    "edf_deadline_points",
+    "rm_rbf",
+    "min_budget_dedicated",
+    "min_bandwidth_dedicated",
+    "min_budget_shared_rm",
+    "min_bandwidth_shared_rm",
+    "min_bandwidth_shared_edf",
+]

@@ -1,0 +1,85 @@
+"""Demand side: EDF demand bound and fixed-priority request bound.
+
+- :func:`edf_dbf` — Baruah's demand bound function: the total execution
+  the task set can *require* to complete inside any interval of length
+  ``t`` under EDF;
+- :func:`rm_rbf` — the request bound function of one task under
+  preemptive fixed priorities: its own cost plus all higher-priority
+  interference released in ``[0, t]`` (Lehoczky/Sha/Ding exact analysis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.tasks import Task
+
+
+def edf_dbf(tasks: Sequence[Task], t: float) -> float:
+    """EDF demand bound of ``tasks`` in an interval of length ``t``.
+
+    ``dbf(t) = Σ_i max(0, floor((t - D_i)/P_i) + 1) · C_i``
+    """
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    total = 0.0
+    for task in tasks:
+        jobs = math.floor((t - task.relative_deadline) / task.period) + 1
+        if jobs > 0:
+            total += jobs * task.cost
+    return total
+
+
+def edf_deadline_points(tasks: Sequence[Task], horizon: float) -> list[float]:
+    """Absolute deadlines of synchronous-release jobs in ``(0, horizon]``.
+
+    These are the only points where :func:`edf_dbf` steps, hence the only
+    points an exact EDF schedulability check needs.
+    """
+    points: set[float] = set()
+    for task in tasks:
+        d = task.relative_deadline
+        while d <= horizon:
+            points.add(d)
+            d += task.period
+    return sorted(points)
+
+
+def rm_rbf(task_index: int, tasks: Sequence[Task], t: float) -> float:
+    """Request bound of ``tasks[task_index]`` at ``t`` under RM priorities.
+
+    Priorities are implied by the Rate Monotonic order of the ``tasks``
+    sequence itself: every task with a strictly shorter period (ties:
+    earlier position) pre-empts.
+
+    ``rbf_i(t) = C_i + Σ_{j ∈ hp(i)} ceil(t/P_j) · C_j``
+    """
+    if t <= 0:
+        raise ValueError(f"t must be > 0, got {t}")
+    me = tasks[task_index]
+    total = me.cost
+    for j, other in enumerate(tasks):
+        if j == task_index:
+            continue
+        if other.period < me.period or (other.period == me.period and j < task_index):
+            total += math.ceil(t / other.period) * other.cost
+    return total
+
+
+def rm_arrival_points(task_index: int, tasks: Sequence[Task]) -> list[float]:
+    """Testing points for the exact RM check of ``tasks[task_index]``:
+    all higher-priority arrival instants up to the deadline, plus the
+    deadline itself."""
+    me = tasks[task_index]
+    horizon = me.relative_deadline
+    points: set[float] = {horizon}
+    for j, other in enumerate(tasks):
+        if j == task_index:
+            continue
+        if other.period < me.period or (other.period == me.period and j < task_index):
+            k = 1
+            while k * other.period < horizon:
+                points.add(k * other.period)
+                k += 1
+    return sorted(points)

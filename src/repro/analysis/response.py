@@ -1,0 +1,94 @@
+"""Classical fixed-priority and EDF schedulability results.
+
+Complements the supply/demand machinery with the closed-form tests the
+real-time literature leans on (and the paper cites through [16, 19]):
+
+- :func:`liu_layland_bound` — the 1973 utilisation bound ``n(2^{1/n}−1)``
+  under which *any* implicit-deadline set is RM-schedulable;
+- :func:`rm_response_time` / :func:`rm_response_times` — the exact
+  response-time iteration (Joseph & Pandya / Audsley) for a dedicated
+  processor;
+- :func:`edf_schedulable_utilisation` — EDF's exact U ≤ 1 condition for
+  implicit deadlines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.tasks import Task, total_utilisation
+
+
+def liu_layland_bound(n: int) -> float:
+    """The RM utilisation bound for ``n`` tasks: ``n(2^{1/n} - 1)``.
+
+    >>> round(liu_layland_bound(1), 3)
+    1.0
+    >>> round(liu_layland_bound(2), 3)
+    0.828
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def rm_schedulable_by_bound(tasks: Sequence[Task]) -> bool:
+    """Sufficient Liu & Layland check (may reject schedulable sets)."""
+    if not tasks:
+        return True
+    return total_utilisation(tasks) <= liu_layland_bound(len(tasks)) + 1e-12
+
+
+def rm_response_time(
+    task_index: int, tasks: Sequence[Task], *, max_iterations: int = 10_000
+) -> float | None:
+    """Exact worst-case response time of ``tasks[task_index]`` under RM.
+
+    Priorities follow the Rate Monotonic order of the sequence (shorter
+    period first; ties by position).  Returns ``None`` when the iteration
+    exceeds the task's deadline (the task is unschedulable).
+    """
+    me = tasks[task_index]
+    higher = [
+        other
+        for j, other in enumerate(tasks)
+        if j != task_index
+        and (other.period < me.period or (other.period == me.period and j < task_index))
+    ]
+    response = me.cost
+    for _ in range(max_iterations):
+        interference = sum(math.ceil(response / h.period) * h.cost for h in higher)
+        nxt = me.cost + interference
+        if nxt == response:
+            return response if response <= me.relative_deadline else None
+        if nxt > me.relative_deadline:
+            return None
+        response = nxt
+    raise RuntimeError("response-time iteration did not converge")
+
+
+def rm_response_times(tasks: Sequence[Task]) -> list[float | None]:
+    """Worst-case response times of every task (None = deadline miss)."""
+    return [rm_response_time(i, tasks) for i in range(len(tasks))]
+
+
+def rm_schedulable_exact(tasks: Sequence[Task]) -> bool:
+    """Exact RM schedulability through response-time analysis."""
+    return all(r is not None for r in rm_response_times(tasks))
+
+
+def edf_schedulable_utilisation(tasks: Sequence[Task]) -> bool:
+    """EDF's necessary-and-sufficient U ≤ 1 test (implicit deadlines only).
+
+    Raises :class:`ValueError` when any task has a constrained deadline —
+    the utilisation test is not sufficient there; use the demand bound
+    machinery in :mod:`repro.analysis.minbudget` instead.
+    """
+    for t in tasks:
+        if t.relative_deadline != t.period:
+            raise ValueError(
+                "utilisation test requires implicit deadlines; use the "
+                "demand-bound test for constrained deadlines"
+            )
+    return total_utilisation(tasks) <= 1.0 + 1e-12

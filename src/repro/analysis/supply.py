@@ -1,0 +1,83 @@
+"""Supply bound functions of a CPU reservation (Q, T).
+
+``sbf(t)`` lower-bounds the CPU time a reservation delivers in *any*
+interval of length ``t``.  Two variants matter here:
+
+- :func:`cbs_dedicated_sbf` — a CBS serving a **single** task.  The CBS
+  sets the server deadline at the task's arrival, so the worst case is an
+  initial service delay of ``T - Q`` followed by ``Q`` units of service in
+  every server period.  This is the model behind Figure 1 (and the
+  analysis of the authors' earlier work [8]).
+
+- :func:`periodic_sbf` — the Shin & Lee periodic resource model, for a
+  reservation **shared** by several tasks whose arrivals are not aligned
+  with the server: worst-case initial delay ``2(T - Q)``.  This is the
+  hierarchical-scheduling model behind Figure 2.
+
+Both are piecewise linear, nondecreasing, and superadditive-ish; the
+breakpoint helper exposes the corners for exact schedulability tests.
+"""
+
+from __future__ import annotations
+
+
+def _validate(budget: float, period: float) -> None:
+    if budget <= 0 or period <= 0:
+        raise ValueError(f"budget and period must be positive, got Q={budget}, T={period}")
+    if budget > period:
+        raise ValueError(f"budget {budget} exceeds period {period}")
+
+
+def _delayed_periodic_supply(t: float, budget: float, period: float, delay: float) -> float:
+    """Supply of a pattern: ``delay`` of nothing, then Q-per-T forever."""
+    if t <= delay:
+        return 0.0
+    rel = t - delay
+    k = int(rel // period)
+    rem = rel - k * period
+    return k * budget + min(budget, rem)
+
+
+def cbs_dedicated_sbf(t: float, budget: float, period: float) -> float:
+    """Worst-case supply of a dedicated CBS (Q, T) in an interval ``t``.
+
+    Initial delay ``T - Q`` (deadline set at arrival; budget delivered
+    just before it), then worst-case ``Q`` per ``T``.
+    """
+    _validate(budget, period)
+    return _delayed_periodic_supply(t, budget, period, period - budget)
+
+
+def periodic_sbf(t: float, budget: float, period: float) -> float:
+    """Shin & Lee supply bound of a periodic resource (Q, T).
+
+    Initial delay ``2(T - Q)``: the interval may open right after a
+    back-to-back pair of supply chunks.
+    """
+    _validate(budget, period)
+    return _delayed_periodic_supply(t, budget, period, 2.0 * (period - budget))
+
+
+def sbf_breakpoints(horizon: float, budget: float, period: float, *, dedicated: bool) -> list[float]:
+    """Slope-change points of the chosen sbf in ``(0, horizon]``.
+
+    The sbf alternates between slope 1 (service) and slope 0 (gap); exact
+    schedulability checks only need these corners plus the horizon.
+    """
+    _validate(budget, period)
+    if horizon <= 0:
+        return []
+    delay = (period - budget) if dedicated else 2.0 * (period - budget)
+    points: list[float] = []
+    k = 0
+    while True:
+        service_start = delay + k * period
+        service_end = service_start + budget
+        if service_start >= horizon:
+            break
+        points.append(service_start)
+        if service_end < horizon:
+            points.append(service_end)
+        k += 1
+    points.append(horizon)
+    return points

@@ -1,0 +1,42 @@
+"""Task model for the analysis layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic task (C, P) with an optional constrained deadline.
+
+    ``cost`` is the worst-case execution time, ``period`` the minimum
+    inter-arrival time; the deadline defaults to the period (the paper's
+    implicit-deadline model).
+    """
+
+    cost: float
+    period: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0 or self.period <= 0:
+            raise ValueError(f"cost and period must be positive, got {self}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.cost > self.relative_deadline:
+            raise ValueError(f"cost exceeds deadline: {self}")
+
+    @property
+    def relative_deadline(self) -> float:
+        """The effective relative deadline (period when implicit)."""
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilisation(self) -> float:
+        """C / P."""
+        return self.cost / self.period
+
+
+def total_utilisation(tasks) -> float:
+    """Σ C_i / P_i of a collection of :class:`Task`."""
+    return sum(t.utilisation for t in tasks)

@@ -1,0 +1,115 @@
+"""AQuoSA-compatible ``qres`` facade.
+
+The paper's implementation talks to the scheduler through the AQuoSA
+middleware API [23] (``qres_create_server``, ``qres_attach_thread``,
+``qres_set_params``, ``qres_get_exec_time``, …).  This module exposes the
+same vocabulary over :class:`repro.sched.cbs.CbsScheduler`, so code
+written against AQuoSA's C API ports to the simulator almost verbatim —
+and so the reproduction's naming stays recognisable to readers of the
+original sources.
+
+Times in this facade are **microseconds**, as in AQuoSA (the simulator's
+native unit is nanoseconds).
+
+Example::
+
+    qres = QresFacade(scheduler)
+    sid = qres.qres_create_server(budget_us=20_000, period_us=100_000)
+    qres.qres_attach_thread(sid, proc)
+    ...
+    used = qres.qres_get_exec_time(sid)      # total CPU, us
+"""
+
+from __future__ import annotations
+
+from repro.sched.cbs import CbsScheduler, Server, ServerParams
+from repro.sim.process import Process
+from repro.sim.time import US
+
+
+class QresError(Exception):
+    """Raised for the conditions the C API signals with error codes."""
+
+
+class QresFacade:
+    """AQuoSA-style server management over a :class:`CbsScheduler`."""
+
+    def __init__(self, scheduler: CbsScheduler) -> None:
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def qres_create_server(
+        self, budget_us: int, period_us: int, *, flags: str = "hard"
+    ) -> int:
+        """Create a reservation; returns the server id (``qres_sid_t``)."""
+        try:
+            params = ServerParams(
+                budget=budget_us * US, period=period_us * US, policy=flags
+            )
+        except ValueError as exc:
+            raise QresError(str(exc)) from exc
+        return self.scheduler.create_server(params).sid
+
+    def qres_destroy_server(self, sid: int) -> None:
+        """Destroy a reservation (threads fall back to best-effort)."""
+        self.scheduler.destroy_server(self._server(sid))
+
+    def qres_attach_thread(self, sid: int, proc: Process) -> None:
+        """Attach ``proc`` to server ``sid``."""
+        self.scheduler.attach(proc, self._server(sid))
+
+    def qres_detach_thread(self, sid: int, proc: Process) -> None:
+        """Detach ``proc`` from server ``sid``."""
+        server = self._server(sid)
+        if proc.pid not in server.members:
+            raise QresError(f"pid {proc.pid} is not attached to server {sid}")
+        self.scheduler.detach(proc)
+
+    # ------------------------------------------------------------------
+    # parameters and sensors
+    # ------------------------------------------------------------------
+    def qres_set_params(self, sid: int, budget_us: int, period_us: int) -> None:
+        """Change the reservation at run time."""
+        server = self._server(sid)
+        try:
+            params = ServerParams(
+                budget=budget_us * US, period=period_us * US, policy=server.params.policy
+            )
+        except ValueError as exc:
+            raise QresError(str(exc)) from exc
+        self.scheduler.set_params(server, params)
+
+    def qres_get_params(self, sid: int) -> tuple[int, int]:
+        """Current (budget_us, period_us) of the reservation."""
+        params = self._server(sid).params
+        return params.budget // US, params.period // US
+
+    def qres_get_exec_time(self, sid: int) -> int:
+        """Total CPU time executed through the server, microseconds.
+
+        This is the LFS++ sensor (``qres_get_time`` in the paper's text).
+        """
+        return self._server(sid).consumed // US
+
+    def qres_get_curr_budget(self, sid: int) -> int:
+        """Remaining budget in the current server period, microseconds."""
+        return max(self._server(sid).q, 0) // US
+
+    def qres_get_deadline(self, sid: int) -> int:
+        """Current absolute scheduling deadline, microseconds."""
+        return self._server(sid).deadline // US
+
+    def qres_get_exhaustions(self, sid: int) -> int:
+        """Budget-exhaustion count (the LFS binary-feedback sensor)."""
+        return self._server(sid).exhaustions
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _server(self, sid: int) -> Server:
+        server = self.scheduler.servers.get(sid)
+        if server is None:
+            raise QresError(f"no such server: {sid}")
+        return server

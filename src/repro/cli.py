@@ -1,0 +1,136 @@
+"""Command-line experiment runner.
+
+::
+
+    repro-exp list                      # what can be reproduced
+    repro-exp run fig01                 # one experiment, default params
+    repro-exp run fig12 reps=100        # override keyword parameters
+    repro-exp all                       # everything (long)
+
+Parameters are passed as ``key=value`` pairs; values are parsed as Python
+literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import time
+
+from repro.experiments import REGISTRY
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            out[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            out[key] = raw
+    return out
+
+
+def _run_one(name: str, overrides: dict, csv_path: str | None = None) -> None:
+    module = REGISTRY.get(name)
+    if module is None:
+        raise SystemExit(f"unknown experiment {name!r}; try 'repro-exp list'")
+    start = time.perf_counter()
+    result = module.run(**overrides)
+    elapsed = time.perf_counter() - start
+    print(result.to_text())
+    print(f"[{name} completed in {elapsed:.1f}s]")
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv written to {csv_path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-exp``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduce the tables and figures of 'Self-tuning "
+        "Schedulers for Legacy Real-Time Applications' (EuroSys 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment name (e.g. fig01)")
+    run_p.add_argument("overrides", nargs="*", help="key=value parameter overrides")
+    run_p.add_argument("--csv", default=None, help="also write the result as CSV to this path")
+    all_p = sub.add_parser("all", help="run every experiment with defaults")
+    all_p.add_argument("--skip", nargs="*", default=[], help="experiments to skip")
+    an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
+    an_p.add_argument("trace", help="trace file (qtrace v1 format)")
+    an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
+    an_p.add_argument("--fmin", type=float, default=1.0, help="scan floor, Hz")
+    an_p.add_argument("--fmax", type=float, default=100.0, help="scan ceiling, Hz")
+    an_p.add_argument("--df", type=float, default=0.1, help="frequency step, Hz")
+    an_p.add_argument("--horizon", type=float, default=2.0, help="observation horizon, s")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, module in REGISTRY.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment, _parse_overrides(args.overrides), csv_path=args.csv)
+        return 0
+    if args.command == "all":
+        for name in REGISTRY:
+            if name in args.skip:
+                continue
+            _run_one(name, {})
+            print()
+        return 0
+    if args.command == "analyze":
+        _analyze(args)
+        return 0
+    return 1  # pragma: no cover
+
+
+def _analyze(args) -> None:
+    """Offline period detection on a saved trace."""
+    from repro.core.analyser import AnalyserConfig, PeriodAnalyser
+    from repro.core.spectrum import SpectrumConfig
+    from repro.sim.time import SEC
+    from repro.tracer import EventKind, filter_trace, load_trace
+
+    events = load_trace(args.trace)
+    events = filter_trace(events, pid=args.pid, kinds=[EventKind.SYSCALL_ENTRY, EventKind.WAKEUP])
+    if not events:
+        raise SystemExit("no matching events in the trace")
+    pids = sorted({e.pid for e in events})
+    print(f"{len(events)} events, pids {pids}, span "
+          f"{(events[-1].time - events[0].time) / SEC:.3f} s")
+
+    analyser = PeriodAnalyser(
+        AnalyserConfig(
+            spectrum=SpectrumConfig(f_min=args.fmin, f_max=args.fmax, df=args.df),
+            horizon_ns=int(args.horizon * SEC),
+        )
+    )
+    analyser.add_times([e.time for e in events])
+    estimate = analyser.analyse(events[-1].time)
+    if estimate is None:
+        print("verdict: no periodic structure detected")
+        return
+    print(f"verdict: periodic at {estimate.frequency:.2f} Hz "
+          f"(period {estimate.period_ns / 1e6:.3f} ms, from {estimate.n_events} events)")
+    if estimate.detail is not None and estimate.detail.candidates:
+        top = sorted(
+            zip(estimate.detail.candidates, estimate.detail.harmonic_sums),
+            key=lambda cs: -cs[1],
+        )[:5]
+        print("top candidates (freq Hz : harmonic sum):")
+        for freq, total in top:
+            print(f"  {freq:8.2f} : {total:.1f}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's contribution: black-box period inference + adaptive reservations.
+
+- :mod:`.spectrum` — sparse Fourier transform of a kernel-event time
+  series (§4.2–4.3, Eq. 2–4) with the iterative cost model of Eq. 3;
+- :mod:`.peaks` — the peak-detection heuristic of §4.3.1 with the
+  complexity model of Eq. 5;
+- :mod:`.analyser` — :class:`PeriodAnalyser`, the first task-controller
+  block of Figure 3;
+- :mod:`.predictors` — prediction functions for LFS++, including the
+  paper's quantile estimator;
+- :mod:`.lfspp` / :mod:`.lfs` — the new feedback controller (§4.4) and
+  the original Legacy Feedback Scheduler baseline [2];
+- :mod:`.supervisor` — global bandwidth compression enforcing Eq. 1;
+- :mod:`.controller` / :mod:`.runtime` — the task controller and the
+  fully wired closed loop of Figure 3.
+"""
+
+from repro.core.analyser import AnalyserConfig, PeriodAnalyser, PeriodEstimate
+from repro.core.autocorr import IntervalDetectorConfig, IntervalEstimate, IntervalHistogramDetector
+from repro.core.controller import TaskController, TaskControllerConfig
+from repro.core.daemon import DaemonConfig, SelfTuningDaemon
+from repro.core.lfs import Lfs, LfsConfig
+from repro.core.lfspp import LfsPlusPlus, LfsPlusPlusConfig
+from repro.core.peaks import PeakConfig, PeakDetector, PeakResult
+from repro.core.predictors import Ewma, MovingAverage, Predictor, QuantileEstimator
+from repro.core.runtime import SelfTuningRuntime
+from repro.core.smp import SmpSelfTuningRuntime
+from repro.core.spectrum import Spectrum, SpectrumConfig, sparse_amplitude_spectrum
+from repro.core.supervisor import Supervisor
+
+__all__ = [
+    "Spectrum",
+    "SpectrumConfig",
+    "sparse_amplitude_spectrum",
+    "PeakConfig",
+    "PeakDetector",
+    "PeakResult",
+    "PeriodAnalyser",
+    "AnalyserConfig",
+    "PeriodEstimate",
+    "IntervalHistogramDetector",
+    "IntervalDetectorConfig",
+    "IntervalEstimate",
+    "Predictor",
+    "QuantileEstimator",
+    "MovingAverage",
+    "Ewma",
+    "LfsPlusPlus",
+    "LfsPlusPlusConfig",
+    "Lfs",
+    "LfsConfig",
+    "Supervisor",
+    "TaskController",
+    "TaskControllerConfig",
+    "SelfTuningRuntime",
+    "SmpSelfTuningRuntime",
+    "SelfTuningDaemon",
+    "DaemonConfig",
+]

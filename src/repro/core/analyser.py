@@ -1,0 +1,133 @@
+"""The period analyser: first block of the task controller (Fig. 3).
+
+Consumes batches of trace events (from the qtrace download agent or from a
+recorded trace), maintains a sliding observation window of ``H`` ns, and on
+demand runs spectrum + peak detection to produce a
+:class:`PeriodEstimate`.
+
+The analyser is deliberately oblivious to *what* the events are — syscall
+entries, exits, or scheduler wake-ups all work, as long as the application
+emits them in periodic bursts (§4.2's founding assumption).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.peaks import PeakConfig, PeakDetector, PeakResult
+from repro.core.spectrum import SpectrumConfig, sparse_amplitude_spectrum
+from repro.sim.time import SEC
+from repro.tracer.events import TraceEvent
+
+
+@dataclass(frozen=True)
+class AnalyserConfig:
+    """Everything the analyser needs: frequency grid, heuristic, horizon."""
+
+    spectrum: SpectrumConfig = field(default_factory=SpectrumConfig)
+    peaks: PeakConfig = field(default_factory=PeakConfig)
+    #: observation time horizon H, ns
+    horizon_ns: int = 2 * SEC
+    #: minimum number of events in the window before attempting detection
+    min_events: int = 8
+
+    def __post_init__(self) -> None:
+        if self.horizon_ns <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon_ns}")
+        if self.min_events < 1:
+            raise ValueError(f"min_events must be >= 1, got {self.min_events}")
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """A successful period detection."""
+
+    #: fundamental frequency, Hz
+    frequency: float
+    #: the corresponding period, ns
+    period_ns: int
+    #: number of events the estimate was computed from
+    n_events: int
+    #: detection detail (candidates, harmonic sums, cost)
+    detail: PeakResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class PeriodAnalyser:
+    """Sliding-window period estimation from kernel event timestamps."""
+
+    def __init__(self, config: AnalyserConfig | None = None) -> None:
+        self.config = config or AnalyserConfig()
+        self._detector = PeakDetector(self.config.peaks)
+        self._freqs = self.config.spectrum.frequencies()
+        self._times: deque[int] = deque()
+        #: most recent estimate (None until the first success)
+        self.last_estimate: PeriodEstimate | None = None
+        #: history of (analysis time, estimate-or-None)
+        self.history: list[tuple[int, PeriodEstimate | None]] = []
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+    def add_times(self, times_ns) -> None:
+        """Feed raw event timestamps (ns)."""
+        for t in times_ns:
+            self._times.append(int(t))
+
+    def add_batch(self, batch: list[TraceEvent], now: int) -> None:
+        """Sink interface for :meth:`repro.tracer.qtrace.QTracer.add_sink`."""
+        for ev in batch:
+            self._times.append(ev.time)
+        self._evict(now)
+
+    def _evict(self, now: int) -> None:
+        cutoff = now - self.config.horizon_ns
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+
+    @property
+    def n_events(self) -> int:
+        """Events currently inside the observation window."""
+        return len(self._times)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def window_times(self, now: int | None = None) -> np.ndarray:
+        """Timestamps inside the window ending at ``now`` (default: all)."""
+        if now is not None:
+            self._evict(now)
+        return np.fromiter(self._times, dtype=np.int64, count=len(self._times))
+
+    def spectrum(self, now: int | None = None) -> np.ndarray:
+        """Amplitude spectrum of the current window."""
+        return sparse_amplitude_spectrum(self.window_times(now), self._freqs)
+
+    def analyse(self, now: int | None = None) -> PeriodEstimate | None:
+        """Run detection on the current window.
+
+        Returns ``None`` when the window is too empty or the heuristic
+        declares the event train non-periodic.  Successful estimates are
+        also stored in :attr:`last_estimate`.
+        """
+        times = self.window_times(now)
+        stamp = now if now is not None else (int(times[-1]) if times.size else 0)
+        if times.size < self.config.min_events:
+            self.history.append((stamp, None))
+            return None
+        amp = sparse_amplitude_spectrum(times, self._freqs)
+        result = self._detector.detect(self._freqs, amp)
+        if result.frequency is None or result.frequency <= 0:
+            self.history.append((stamp, None))
+            return None
+        estimate = PeriodEstimate(
+            frequency=result.frequency,
+            period_ns=int(round(SEC / result.frequency)),
+            n_events=int(times.size),
+            detail=result,
+        )
+        self.last_estimate = estimate
+        self.history.append((stamp, estimate))
+        return estimate

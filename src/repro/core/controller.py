@@ -1,0 +1,188 @@
+"""Per-task controller: period analyser + feedback law (Figure 3).
+
+One :class:`TaskController` is associated with each CBS server.  At every
+activation it
+
+1. drains freshly traced events into its period analyser and re-estimates
+   the application period (unless rate detection is disabled, as in the
+   paper's §5.4 evaluation of the feedback in isolation),
+2. samples the scheduler state (consumed CPU time for LFS++, the budget
+   exhaustion counter for LFS),
+3. runs the feedback law to produce a bandwidth request,
+4. submits the request to the supervisor and actuates the granted
+   parameters on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.core.analyser import PeriodAnalyser
+from repro.core.lfspp import BandwidthRequest
+from repro.core.supervisor import Supervisor
+from repro.sim.time import MS
+
+
+class FeedbackLaw(Protocol):
+    """What the controller needs from LFS / LFS++."""
+
+    #: which scheduler variable the law consumes:
+    #: ``"consumed"`` (ns of CPU) or ``"exhaustions"`` (saturation count)
+    SENSOR: str
+
+    def initial_request(self, period_ns: int | None = None) -> BandwidthRequest:
+        """Request used at adoption time."""
+        ...
+
+    def update(
+        self,
+        sensor_value: int,
+        period_ns: int | None,
+        now: int,
+        *,
+        exhaustions_total: int | None = None,
+    ) -> BandwidthRequest:
+        """One activation of the feedback loop.
+
+        ``exhaustions_total`` carries the server's budget-exhaustion
+        counter for laws that exploit it (the LFS++ exhaustion boost);
+        laws that do not may ignore it.
+        """
+        ...
+
+
+@dataclass
+class ServerSample:
+    """Snapshot of the scheduler state variables for one server."""
+
+    consumed: int
+    exhaustions: int
+
+
+@dataclass
+class TaskControllerConfig:
+    """Controller activation parameters.
+
+    ``period_confirmations``/``period_tolerance`` implement a hysteresis on
+    rate detection: the actuated reservation period only follows the
+    analyser once the same frequency has been seen in that many
+    consecutive analyses (within the relative tolerance).  Without it, the
+    garbage estimates produced while the task is still starved (smeared
+    syscall bursts — the same degradation Figure 12 quantifies) would be
+    actuated immediately and corrupt the trace even further.
+    """
+
+    #: controller sampling period S, ns
+    sampling_period: int = 100 * MS
+    #: enable the period analyser (rate detection)
+    use_period_estimate: bool = True
+    #: consecutive consistent estimates required before actuating a change
+    period_confirmations: int = 3
+    #: relative tolerance for "consistent"
+    period_tolerance: float = 0.08
+    #: acceptable reservation-period range, ns
+    period_bounds: tuple[int, int] = (5 * MS, 500 * MS)
+
+    def __post_init__(self) -> None:
+        if self.sampling_period <= 0:
+            raise ValueError("sampling_period must be positive")
+        if self.period_confirmations < 1:
+            raise ValueError("period_confirmations must be >= 1")
+        lo, hi = self.period_bounds
+        if not 0 < lo < hi:
+            raise ValueError(f"invalid period_bounds {self.period_bounds}")
+
+
+class TaskController:
+    """Closed-loop controller for one adopted legacy task."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        feedback: FeedbackLaw,
+        analyser: PeriodAnalyser | None,
+        supervisor: Supervisor,
+        supervisor_key: int,
+        sensor: Callable[[], ServerSample],
+        actuate: Callable[[BandwidthRequest], None],
+        drain: Callable[[int], None] | None = None,
+        config: TaskControllerConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.feedback = feedback
+        self.analyser = analyser
+        self.supervisor = supervisor
+        self.supervisor_key = supervisor_key
+        self.sensor = sensor
+        self.actuate = actuate
+        self.drain = drain
+        self.config = config or TaskControllerConfig()
+        #: [(now, granted request)] — the actuated reservation over time
+        self.granted_history: list[tuple[int, BandwidthRequest]] = []
+        #: [(now, period estimate in ns or None)]
+        self.period_history: list[tuple[int, int | None]] = []
+        self.activations = 0
+        #: period currently actuated (None until first confirmation)
+        self._confirmed_period: int | None = None
+        self._pending_period: int | None = None
+        self._pending_count = 0
+
+    def current_period_estimate(self) -> int | None:
+        """Latest *confirmed* period estimate (ns), if any."""
+        return self._confirmed_period
+
+    def _consider_estimate(self, period_ns: int | None) -> None:
+        """Hysteresis: confirm a new period after N consistent sightings."""
+        cfg = self.config
+        lo, hi = cfg.period_bounds
+        if period_ns is None or not lo <= period_ns <= hi:
+            self._pending_period = None
+            self._pending_count = 0
+            return
+        if self._confirmed_period is not None:
+            ref = self._confirmed_period
+            if abs(period_ns - ref) <= cfg.period_tolerance * ref:
+                # small drift around the confirmed value: track it
+                self._confirmed_period = period_ns
+                self._pending_period = None
+                self._pending_count = 0
+                return
+        if (
+            self._pending_period is not None
+            and abs(period_ns - self._pending_period) <= cfg.period_tolerance * self._pending_period
+        ):
+            self._pending_count += 1
+        else:
+            self._pending_period = period_ns
+            self._pending_count = 1
+        if self._pending_count >= cfg.period_confirmations:
+            self._confirmed_period = self._pending_period
+            self._pending_period = None
+            self._pending_count = 0
+
+    def activate(self, now: int) -> BandwidthRequest:
+        """One controller activation; returns the granted parameters."""
+        self.activations += 1
+        if self.drain is not None:
+            self.drain(now)
+
+        if self.config.use_period_estimate and self.analyser is not None:
+            estimate = self.analyser.analyse(now)
+            self._consider_estimate(estimate.period_ns if estimate is not None else None)
+        period_ns = self._confirmed_period
+        self.period_history.append((now, period_ns))
+
+        sample = self.sensor()
+        if self.feedback.SENSOR == "exhaustions":
+            value = sample.exhaustions
+        else:
+            value = sample.consumed
+        request = self.feedback.update(
+            value, period_ns, now, exhaustions_total=sample.exhaustions
+        )
+        granted = self.supervisor.submit(self.supervisor_key, request)
+        self.actuate(granted)
+        self.granted_history.append((now, granted))
+        return granted

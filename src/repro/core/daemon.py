@@ -1,0 +1,237 @@
+"""The autonomous self-tuning daemon — lfs++ as a system service.
+
+Everything else in :mod:`repro.core` adopts processes the caller names.
+The paper's vision (and the authors' earlier workshop title, "The Wizard
+of OS") is stronger: a daemon that watches the *whole system*, probes
+unknown processes, and transparently adopts the ones that turn out to be
+periodic — no operator in the loop at all.
+
+:class:`SelfTuningDaemon` implements that loop on top of a
+:class:`~repro.core.runtime.SelfTuningRuntime`:
+
+1. every ``scan_period`` it looks for alive best-effort processes it has
+   not seen before and starts tracing them;
+2. after ``probe_duration`` of tracing it runs the period analyser on the
+   collected events;
+3. processes with a confirmed periodic structure are adopted (reservation
+   created, controller attached); the rest are untraced and set aside,
+   to be re-probed after ``retry_after`` (their behaviour might change).
+
+Batch jobs (ffmpeg), the desktop mix and the daemon's own machinery are
+thereby left alone, while any media-player-like process ends up under an
+adaptive reservation a few seconds after it appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyser import AnalyserConfig, PeriodAnalyser
+from repro.core.controller import TaskControllerConfig
+from repro.core.runtime import AdoptedTask, SelfTuningRuntime
+from repro.sim.process import Process
+from repro.sim.time import SEC
+from repro.tracer.events import EventKind, TraceEvent
+
+
+@dataclass
+class DaemonConfig:
+    """Scan/probe/adopt policy of the daemon."""
+
+    #: how often the system is scanned for new processes, ns
+    scan_period: int = 1 * SEC
+    #: how long a candidate is traced before the periodicity verdict, ns
+    probe_duration: int = 3 * SEC
+    #: consecutive consistent detections required to adopt (on top of the
+    #: controller's own runtime hysteresis)
+    confirmations: int = 2
+    #: relative tolerance for "consistent"
+    tolerance: float = 0.08
+    #: how long a non-periodic process rests before being re-probed, ns
+    retry_after: int = 30 * SEC
+    #: minimum prominence (winning peak / spectrum mean) to count a
+    #: detection: dense aperiodic trains (batch jobs) produce spectral
+    #: ripples that the paper's α threshold does not reject, but their
+    #: prominence stays near 1-2 while real periodic trains score >> 3
+    min_confidence: float = 3.0
+    #: minimum blocking activity: the candidate must have slept at least
+    #: this fraction of ``probe_duration / detected period`` times.
+    #: A CPU-bound process *gated* by a periodic competitor carries that
+    #: competitor's rhythm in its event spectrum, but it never blocks —
+    #: a real periodic application sleeps every period.
+    min_wake_ratio: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.scan_period <= 0 or self.probe_duration <= 0:
+            raise ValueError("scan_period and probe_duration must be positive")
+        if self.confirmations < 1:
+            raise ValueError("confirmations must be >= 1")
+        if self.min_confidence < 1.0:
+            raise ValueError("min_confidence must be >= 1")
+
+
+@dataclass
+class _Probe:
+    """Tracing state for one candidate process."""
+
+    proc: Process
+    started: int
+    analyser: PeriodAnalyser
+    #: the process's wake-up counter when the probe began
+    wakes_at_start: int = 0
+    detections: list[int] = field(default_factory=list)
+
+
+class SelfTuningDaemon:
+    """Scans, probes and adopts periodic processes autonomously."""
+
+    def __init__(
+        self,
+        runtime: SelfTuningRuntime,
+        *,
+        config: DaemonConfig | None = None,
+        analyser_config: AnalyserConfig | None = None,
+        controller_config: TaskControllerConfig | None = None,
+        exclude: set[int] | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.config = config or DaemonConfig()
+        self.analyser_config = analyser_config
+        self.controller_config = controller_config
+        #: pids never to touch (infrastructure processes)
+        self.exclude: set[int] = set(exclude or ())
+        #: pid -> active probe
+        self._probes: dict[int, _Probe] = {}
+        #: pid -> earliest re-probe time for processes judged aperiodic
+        self._rests: dict[int, int] = {}
+        #: adoptions performed, in order
+        self.adopted: list[AdoptedTask] = []
+        #: pids probed and found aperiodic (diagnostics)
+        self.rejected: list[int] = []
+        self._timer = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin scanning (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._timer = self.runtime.kernel.every(self.config.scan_period, self._scan)
+
+    def stop(self) -> None:
+        """Stop scanning; active probes are abandoned."""
+        if self._timer is not None:
+            self._timer.cancel()
+        for pid in list(self._probes):
+            self._drop_probe(pid)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # the scan loop
+    # ------------------------------------------------------------------
+    def _eligible(self, proc: Process, now: int) -> bool:
+        if not proc.alive:
+            return False
+        if proc.pid in self.exclude or proc.pid in self._probes:
+            return False
+        if proc.pid in self.runtime.tasks:
+            return False
+        if self.runtime.scheduler.server_of(proc) is not None:
+            return False  # already reserved (statically or otherwise)
+        return self._rests.get(proc.pid, 0) <= now
+
+    def _scan(self, now: int) -> None:
+        # pull fresh events to every analyser sink (including probes')
+        self.runtime.tracer.drain(now)
+        for proc in list(self.runtime.kernel.processes.values()):
+            if self._eligible(proc, now):
+                self._start_probe(proc, now)
+        adopted_this_round = False
+        for pid in list(self._probes):
+            probe = self._probes[pid]
+            if not probe.proc.alive:
+                self._drop_probe(pid)
+                continue
+            estimate = probe.analyser.analyse(now)
+            if (
+                estimate is not None
+                and estimate.detail is not None
+                and estimate.detail.peak_to_mean >= self.config.min_confidence
+            ):
+                probe.detections.append(estimate.period_ns)
+            if now - probe.started >= self.config.probe_duration:
+                if self._conclude(probe, now):
+                    adopted_this_round = True
+        if adopted_this_round:
+            # an adoption changes the scheduling topology: a best-effort
+            # process observed *before* a competitor moved into its own
+            # reservation may have inherited that competitor's rhythm
+            # (CPU gating), so every in-flight observation is stale
+            for pid in list(self._probes):
+                probe = self._probes[pid]
+                self._drop_probe(pid)
+                self._start_probe(probe.proc, now)
+
+    def _start_probe(self, proc: Process, now: int) -> None:
+        analyser = PeriodAnalyser(self.analyser_config)
+        pid = proc.pid
+
+        def sink(batch: list[TraceEvent], when: int, _a=analyser) -> None:
+            _a.add_batch(
+                [e for e in batch if e.pid == pid and e.kind is EventKind.SYSCALL_ENTRY], when
+            )
+
+        self.runtime.tracer.add_sink(sink)
+        self.runtime.tracer.trace_pid(pid)
+        self._probes[pid] = _Probe(
+            proc=proc, started=now, analyser=analyser, wakes_at_start=proc.sched_latency.n
+        )
+        self._probes[pid]._sink = sink  # type: ignore[attr-defined]
+
+    def _drop_probe(self, pid: int) -> None:
+        probe = self._probes.pop(pid, None)
+        if probe is None:
+            return
+        self.runtime.tracer.untrace_pid(pid)
+        sink = getattr(probe, "_sink", None)
+        if sink is not None and sink in self.runtime.tracer._sinks:
+            self.runtime.tracer._sinks.remove(sink)
+
+    def _confirmed_period(self, detections: list[int]) -> int | None:
+        need = self.config.confirmations
+        if len(detections) < need:
+            return None
+        tail = detections[-need:]
+        ref = tail[-1]
+        if all(abs(d - ref) <= self.config.tolerance * ref for d in tail):
+            return ref
+        return None
+
+    def _conclude(self, probe: _Probe, now: int) -> bool:
+        """Adopt or reject a finished probe; returns True on adoption."""
+        pid = probe.proc.pid
+        period = self._confirmed_period(probe.detections)
+        self._drop_probe(pid)
+        if period is not None:
+            # gating check: did the process actually sleep at the rate a
+            # periodic application would, or is its rhythm inherited from
+            # a competitor through CPU gating?
+            wakes = probe.proc.sched_latency.n - probe.wakes_at_start
+            expected = (now - probe.started) / period
+            if wakes < self.config.min_wake_ratio * expected:
+                period = None
+        if period is None:
+            self.rejected.append(pid)
+            self._rests[pid] = now + self.config.retry_after
+            return False
+        task = self.runtime.adopt(
+            probe.proc,
+            controller_config=self.controller_config,
+            analyser_config=self.analyser_config,
+            period_hint=period,
+        )
+        self.adopted.append(task)
+        return True

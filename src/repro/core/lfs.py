@@ -1,0 +1,103 @@
+"""The original Legacy Feedback Scheduler baseline (LFS, [2]).
+
+LFS samples, once per reservation period, a *binary* signal: did the task
+saturate its budget in the last period?  Bandwidth is then nudged up on
+saturation and decayed otherwise — a coarse-grained law that cannot see
+how much CPU the task actually consumed, which is precisely the limitation
+LFS++ removes ("we use a finer grain for the feedback information").
+
+The multiplicative step sizes reproduce the qualitative behaviour of
+Figure 13: starting from a small initial bandwidth, LFS needs on the order
+of a hundred sampling periods to climb to the task's utilisation, and it
+keeps oscillating around it because the binary signal carries no
+magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lfspp import BandwidthRequest
+from repro.sim.time import MS
+
+
+@dataclass
+class LfsConfig:
+    """LFS parameters."""
+
+    #: multiplicative increase applied on budget saturation
+    eta_up: float = 0.01
+    #: multiplicative decrease applied when the budget was not exhausted
+    eta_down: float = 0.002
+    #: bandwidth the controller starts from
+    initial_bandwidth: float = 0.05
+    #: bandwidth bounds
+    min_bandwidth: float = 0.01
+    max_bandwidth: float = 0.95
+    #: fixed reservation period (LFS has no period detector), ns
+    period: int = 40 * MS
+
+    def __post_init__(self) -> None:
+        if self.eta_up <= 0 or self.eta_down < 0:
+            raise ValueError("eta_up must be > 0 and eta_down >= 0")
+        if not 0.0 < self.min_bandwidth <= self.max_bandwidth <= 1.0:
+            raise ValueError("need 0 < min_bandwidth <= max_bandwidth <= 1")
+
+
+class Lfs:
+    """Binary-feedback bandwidth controller."""
+
+    #: scheduler variable this law consumes (see TaskController)
+    SENSOR = "exhaustions"
+
+    def __init__(self, config: LfsConfig | None = None) -> None:
+        self.config = config or LfsConfig()
+        self.bandwidth = self.config.initial_bandwidth
+        self._last_exhaustions: int | None = None
+        #: request history [(now, request)]
+        self.history: list[tuple[int, BandwidthRequest]] = []
+
+    def _request(self, now: int) -> BandwidthRequest:
+        period = self.config.period
+        request = BandwidthRequest(budget=max(1, int(self.bandwidth * period)), period=period)
+        self.history.append((now, request))
+        return request
+
+    def initial_request(self, period_ns: int | None = None) -> BandwidthRequest:
+        """Request used at adoption time (period hint is ignored: LFS has
+        no period detector, it always uses its configured default)."""
+        return self._request(0)
+
+    def update_binary(self, saturated: bool, now: int) -> BandwidthRequest:
+        """One activation given the binary saturation signal directly."""
+        cfg = self.config
+        if saturated:
+            self.bandwidth *= 1.0 + cfg.eta_up
+        else:
+            self.bandwidth *= 1.0 - cfg.eta_down
+        self.bandwidth = min(max(self.bandwidth, cfg.min_bandwidth), cfg.max_bandwidth)
+        return self._request(now)
+
+    def update(
+        self,
+        sensor_value: int,
+        period_ns: int | None,
+        now: int,
+        *,
+        exhaustions_total: int | None = None,
+    ) -> BandwidthRequest:
+        """Controller-style activation from the server's exhaustion counter.
+
+        Signature-compatible with :meth:`repro.core.lfspp.LfsPlusPlus.update`
+        modulo the sensor: LFS reads the *exhaustion counter* (its binary
+        "did not receive enough computation" flag) as its sensor value,
+        not the consumed time, and it ignores both the period estimate and
+        the redundant ``exhaustions_total`` keyword.
+        """
+        count = sensor_value
+        if self._last_exhaustions is None:
+            self._last_exhaustions = count
+            return self._request(now)
+        saturated = count > self._last_exhaustions
+        self._last_exhaustions = count
+        return self.update_binary(saturated, now)

@@ -1,0 +1,178 @@
+"""The LFS++ bandwidth controller (§4.4).
+
+Sampled every ``S`` ns, the controller reads the CPU-time sensor of the
+task's server (the ``qres_get_time`` equivalent), converts the consumption
+of the last sampling interval into an estimated *per-period* computation
+time, feeds it to a predictor, and requests::
+
+    Q_req = (1 + x) · P( W_k − W_{k−1} ) · P / S
+
+where ``x`` is the spread factor (10–20%), ``P`` the application period
+estimated by the period analyser and ``S`` the sampling period.  The
+reservation period is set equal to the estimated task period (the robust
+choice Figure 1 motivates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predictors import Predictor, QuantileEstimator
+from repro.sim.time import MS
+
+
+@dataclass
+class LfsPlusPlusConfig:
+    """Controller parameters; defaults per the paper's description."""
+
+    #: spread factor x (robustness / responsiveness margin)
+    spread: float = 0.15
+    #: quantile-estimator window N
+    predictor_window: int = 16
+    #: quantile p = (N - j)/N; 0.9375 = second maximum with N = 16
+    quantile: float = 0.9375
+    #: floor for the requested budget, ns (avoids zero-size reservations)
+    min_budget: int = 200_000
+    #: cap for the requested bandwidth (the supervisor may curb it further)
+    max_bandwidth: float = 0.95
+    #: reservation period used before the first period estimate, ns
+    default_period: int = 40 * MS
+    #: initial bandwidth request before any measurement
+    initial_bandwidth: float = 0.05
+    #: §4.4 remark 1 extension ("a closer cooperation with the scheduler
+    #: for detecting budget exhaustion might help"): when the server
+    #: exhausted its budget more than this many times per application
+    #: period during the last sampling interval, the request is raised by
+    #: :attr:`exhaustion_boost` on top of the prediction.  ``None``
+    #: disables the mechanism (the paper's baseline behaviour).
+    exhaustion_rate_threshold: float | None = None
+    #: multiplicative boost applied when the threshold trips
+    exhaustion_boost: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.spread < 0:
+            raise ValueError(f"spread must be >= 0, got {self.spread}")
+        if not 0.0 < self.max_bandwidth <= 1.0:
+            raise ValueError(f"max_bandwidth must be in (0, 1], got {self.max_bandwidth}")
+        if self.default_period <= 0:
+            raise ValueError("default_period must be positive")
+        if self.exhaustion_rate_threshold is not None and self.exhaustion_rate_threshold < 0:
+            raise ValueError("exhaustion_rate_threshold must be >= 0 or None")
+        if self.exhaustion_boost < 0:
+            raise ValueError("exhaustion_boost must be >= 0")
+
+
+@dataclass(frozen=True)
+class BandwidthRequest:
+    """A (budget, period) pair requested from the supervisor."""
+
+    budget: int
+    period: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Requested CPU fraction."""
+        return self.budget / self.period
+
+
+class LfsPlusPlus:
+    """Per-task LFS++ feedback law.
+
+    Drive it with :meth:`update` once per sampling interval; it returns
+    the next :class:`BandwidthRequest`.  The caller (the task controller)
+    owns the sensor and the actuation.
+    """
+
+    #: scheduler variable this law consumes (see TaskController)
+    SENSOR = "consumed"
+
+    def __init__(
+        self, config: LfsPlusPlusConfig | None = None, *, predictor: Predictor | None = None
+    ) -> None:
+        self.config = config or LfsPlusPlusConfig()
+        self.predictor: Predictor = predictor or QuantileEstimator(
+            window=self.config.predictor_window, quantile=self.config.quantile
+        )
+        self._last_consumed: int | None = None
+        self._last_time: int | None = None
+        self._last_exhaustions: int | None = None
+        #: request history [(now, request)], for the Figure 13 time series
+        self.history: list[tuple[int, BandwidthRequest]] = []
+        #: raw per-period computation-time estimates [(now, ns)] — the
+        #: "predicted computation time" signal §4.4's remark 2 discusses
+        self.sample_history: list[tuple[int, float]] = []
+        #: number of sampling intervals in which the boost tripped
+        self.boosts = 0
+
+    def _clamp(self, budget: int, period: int) -> BandwidthRequest:
+        budget = max(budget, self.config.min_budget)
+        cap = int(self.config.max_bandwidth * period)
+        request = BandwidthRequest(budget=min(budget, cap), period=period)
+        return request
+
+    def initial_request(self, period_ns: int | None = None) -> BandwidthRequest:
+        """Request used when the task is adopted, before any sample."""
+        period = period_ns or self.config.default_period
+        budget = int(self.config.initial_bandwidth * period)
+        return self._clamp(budget, period)
+
+    def update(
+        self,
+        consumed_total: int,
+        period_ns: int | None,
+        now: int,
+        *,
+        exhaustions_total: int | None = None,
+    ) -> BandwidthRequest:
+        """One activation of the feedback loop.
+
+        Parameters
+        ----------
+        consumed_total:
+            Monotone CPU-time counter of the task's server (ns).
+        period_ns:
+            Current period estimate from the analyser (``None`` keeps the
+            previous/default reservation period).
+        now:
+            Current time (ns); the *actual* elapsed interval is used in
+            place of the nominal ``S`` so controller jitter cannot skew the
+            utilisation estimate.
+        exhaustions_total:
+            Optional monotone budget-exhaustion counter; only consulted
+            when the §4.4-remark-1 boost is enabled in the configuration.
+        """
+        period = period_ns or self.config.default_period
+        if self._last_consumed is None or self._last_time is None or now <= self._last_time:
+            self._last_consumed = consumed_total
+            self._last_time = now
+            self._last_exhaustions = exhaustions_total
+            request = self.initial_request(period)
+            self.history.append((now, request))
+            return request
+
+        interval = now - self._last_time
+        delta = max(0, consumed_total - self._last_consumed)
+        self._last_consumed = consumed_total
+        self._last_time = now
+
+        # expected computation time per application period
+        per_period = delta * period / interval
+        self.sample_history.append((now, per_period))
+        self.predictor.observe(per_period)
+        predicted = self.predictor.predict()
+        factor = 1.0 + self.config.spread
+        if (
+            self.config.exhaustion_rate_threshold is not None
+            and exhaustions_total is not None
+            and self._last_exhaustions is not None
+        ):
+            periods_elapsed = max(interval / period, 1e-9)
+            rate = (exhaustions_total - self._last_exhaustions) / periods_elapsed
+            if rate > self.config.exhaustion_rate_threshold:
+                factor *= 1.0 + self.config.exhaustion_boost
+                self.boosts += 1
+        self._last_exhaustions = exhaustions_total
+        budget = int(factor * predicted)
+        request = self._clamp(budget, period)
+        self.history.append((now, request))
+        return request

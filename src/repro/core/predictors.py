@@ -1,0 +1,116 @@
+"""Prediction functions P(·) for the LFS++ controller (§4.4).
+
+The controller translates the measured per-period computation time into
+the budget for the next sampling interval through a predictor.  The paper
+proposes a **quantile estimator** over the last ``N`` observations, with
+the quantile ``p`` expressed as ``(N - j)/N`` so extraction is a simple
+order statistic: ``p = 1.0`` takes the window maximum, ``p = 0.9375`` with
+``N = 16`` the second maximum, and so on.  Max, moving-average and EWMA
+predictors are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Observe a sample, predict the next value."""
+
+    def observe(self, value: float) -> None:
+        """Feed one measured computation time."""
+        ...
+
+    def predict(self) -> float:
+        """Expected computation time for the next interval (0 if empty)."""
+        ...
+
+
+class QuantileEstimator:
+    """Order-statistic predictor over a sliding window (the paper's P)."""
+
+    def __init__(self, window: int = 16, quantile: float = 0.9375) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        self.window = window
+        self.quantile = quantile
+        self._samples: deque[float] = deque(maxlen=window)
+
+    @property
+    def rank(self) -> int:
+        """How many samples from the top the estimate sits (0 = max).
+
+        With ``p = (N - j)/N`` the estimate is the ``(j+1)``-th largest of
+        the current window (scaled when the window is not yet full).
+        """
+        n = len(self._samples)
+        if n == 0:
+            return 0
+        # scale the rank to the *current* fill so a warming-up window
+        # stays conservative (takes the max) instead of the minimum
+        j = int((1.0 - self.quantile) * n)
+        return min(j, n - 1)
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def predict(self) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples, reverse=True)
+        return ordered[self.rank]
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._samples.clear()
+
+
+class MovingAverage:
+    """Arithmetic mean over a sliding window."""
+
+    def __init__(self, window: int = 16) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def predict(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+
+class Ewma:
+    """Exponentially weighted moving average, optionally tracking peaks.
+
+    ``bias_up`` > 0 reacts faster to increases than decreases — a cheap
+    way to approximate the quantile estimator's conservatism.
+    """
+
+    def __init__(self, alpha: float = 0.25, bias_up: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if bias_up < 0:
+            raise ValueError(f"bias_up must be >= 0, got {bias_up}")
+        self.alpha = alpha
+        self.bias_up = bias_up
+        self._value: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+            return
+        alpha = self.alpha
+        if value > self._value and self.bias_up > 0:
+            alpha = min(1.0, alpha * (1.0 + self.bias_up))
+        self._value += alpha * (value - self._value)
+
+    def predict(self) -> float:
+        return self._value if self._value is not None else 0.0

@@ -1,0 +1,125 @@
+"""Partitioned multicore self-tuning (§6's multicore direction).
+
+The paper's §6 names multicore as future work: "an interesting
+possibility is to use a SMP real-time CPU scheduling policy [7] ... an
+open research issue is to design an optimised cooperation between the
+load balancing mechanisms inside the kernel, the real-time partitioning
+of the tasks between the cores and the adaptive mechanisms proposed in
+this paper."
+
+:class:`SmpSelfTuningRuntime` implements the *partitioned* point in that
+design space: every CPU runs its own kernel, CBS scheduler, tracer and
+supervisor (per-CPU ``Σ Q/T ≤ U_lub``), and adopted tasks are placed on a
+CPU at adoption time by worst-fit on the currently granted bandwidth —
+the placement policy hierarchical multiprocessor reservations [7] use.
+Tasks do not migrate after placement; on-line re-balancing is exactly the
+open research issue the paper defers, and is deferred here too.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import AdoptedTask, SelfTuningRuntime
+from repro.sim.kernel import KernelConfig
+from repro.sim.process import Process, Program
+
+
+class SmpSelfTuningRuntime:
+    """N independent per-CPU self-tuning runtimes with worst-fit placement."""
+
+    def __init__(
+        self,
+        n_cpus: int = 2,
+        *,
+        u_lub: float = 0.95,
+        kernel_config: KernelConfig | None = None,
+        reservation_policy: str = "hard",
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
+        self.cpus: list[SelfTuningRuntime] = [
+            SelfTuningRuntime(
+                u_lub=u_lub,
+                kernel_config=kernel_config,
+                reservation_policy=reservation_policy,
+            )
+            for _ in range(n_cpus)
+        ]
+        self._bg_next = 0
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of CPUs in the system."""
+        return len(self.cpus)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def granted_bandwidth(self, cpu: int) -> float:
+        """Σ of granted bandwidths on ``cpu``."""
+        return self.cpus[cpu].supervisor.total_granted_bandwidth()
+
+    def least_loaded_cpu(self) -> int:
+        """Worst-fit target: the CPU with the smallest granted bandwidth."""
+        return min(range(self.n_cpus), key=self.granted_bandwidth)
+
+    def place(
+        self,
+        name: str,
+        program: Program,
+        *,
+        cpu: int | None = None,
+        **adopt_kwargs,
+    ) -> tuple[int, Process, AdoptedTask]:
+        """Spawn ``program`` on a CPU and adopt it there.
+
+        ``cpu`` pins the placement; otherwise worst-fit on the granted
+        bandwidth decides.  ``adopt_kwargs`` are forwarded to
+        :meth:`repro.core.runtime.SelfTuningRuntime.adopt`.
+        Returns ``(cpu index, process, adopted task)``.
+        """
+        target = cpu if cpu is not None else self.least_loaded_cpu()
+        if not 0 <= target < self.n_cpus:
+            raise ValueError(f"cpu {target} out of range 0..{self.n_cpus - 1}")
+        runtime = self.cpus[target]
+        proc = runtime.spawn(name, program)
+        task = runtime.adopt(proc, **adopt_kwargs)
+        return target, proc, task
+
+    def spawn_background(self, name: str, program: Program, *, cpu: int | None = None) -> tuple[int, Process]:
+        """Spawn a best-effort process (round-robin over CPUs by default)."""
+        if cpu is None:
+            cpu = self._bg_next % self.n_cpus
+            self._bg_next += 1
+        proc = self.cpus[cpu].spawn(name, program)
+        return cpu, proc
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: int) -> None:
+        """Advance every CPU to virtual time ``until``.
+
+        Partitioned scheduling has no cross-CPU interaction, so the CPUs
+        are simulated independently and exactly.
+        """
+        for runtime in self.cpus:
+            runtime.run(until)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def load_report(self) -> list[dict]:
+        """Per-CPU summary: granted bandwidth, busy fraction, task count."""
+        report = []
+        for i, runtime in enumerate(self.cpus):
+            stats = runtime.kernel.stats
+            elapsed = max(runtime.kernel.clock, 1)
+            report.append(
+                {
+                    "cpu": i,
+                    "granted_bandwidth": self.granted_bandwidth(i),
+                    "busy_fraction": stats.busy_time / elapsed,
+                    "adopted_tasks": len(set(t.controller.name for t in runtime.tasks.values())),
+                }
+            )
+        return report

@@ -1,0 +1,175 @@
+"""Sparse amplitude spectrum of an event time series (§4.2–4.3).
+
+Each traced kernel event at time ``t_i`` is modelled as a Dirac delta, so
+the signal's Fourier transform evaluated at angular frequency ``ω`` is
+simply ``Σ_i e^{-jω t_i}`` — no sampling grid, no FFT.  The paper computes
+the *amplitude* spectrum (Eq. 4)::
+
+    |S(ω)| = | Σ_{i=1..N} e^{-jω t_i} |
+
+on a frequency range ``[f_min, f_max]`` with resolution ``δf``.  The
+computation is embarrassingly incremental: a new event adds one complex
+exponential per frequency sample, which is why the paper prefers it over an
+FFT whose sampling period would need to be nanoseconds ("the resulting
+signal would be null most of the time").
+
+Two interfaces are provided:
+
+- :func:`sparse_amplitude_spectrum` — one-shot, vectorised over numpy;
+- :class:`Spectrum` — incremental accumulator with exact event retirement
+  (the transform is linear, so sliding the observation window means
+  *subtracting* the contributions of expired events), plus the operation
+  counter of Eq. 3 for the overhead studies of Figures 6–7.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.time import SEC
+
+
+@dataclass(frozen=True)
+class SpectrumConfig:
+    """Frequency-domain sampling parameters.
+
+    Defaults match the paper's experimental mid-range: spectrum computed
+    between 1 Hz and 100 Hz with a 0.1 Hz step.
+    """
+
+    f_min: float = 1.0
+    f_max: float = 100.0
+    df: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.f_min < 0:
+            raise ValueError(f"f_min must be >= 0, got {self.f_min}")
+        if self.f_max <= self.f_min:
+            raise ValueError(f"need f_max > f_min, got [{self.f_min}, {self.f_max}]")
+        if self.df <= 0:
+            raise ValueError(f"df must be positive, got {self.df}")
+
+    def frequencies(self) -> np.ndarray:
+        """The sampled frequency grid (Hz), inclusive of both ends."""
+        n = int(round((self.f_max - self.f_min) / self.df)) + 1
+        return self.f_min + self.df * np.arange(n)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of frequency samples F = (f_max - f_min)/δf + 1."""
+        return int(round((self.f_max - self.f_min) / self.df)) + 1
+
+
+def sparse_amplitude_spectrum(times_ns: np.ndarray, freqs_hz: np.ndarray) -> np.ndarray:
+    """Amplitude spectrum ``|Σ e^{-j 2π f t_i}|`` of events at ``times_ns``.
+
+    ``times_ns`` are integer nanoseconds; ``freqs_hz`` is the grid in Hz.
+    Returns an array of the same length as ``freqs_hz``.  An empty event
+    set yields all zeros.
+    """
+    times_ns = np.asarray(times_ns, dtype=np.float64)
+    freqs_hz = np.asarray(freqs_hz, dtype=np.float64)
+    if times_ns.size == 0:
+        return np.zeros_like(freqs_hz)
+    t_sec = times_ns / SEC
+    # Chunk over frequencies to bound the (F x N) intermediate; real
+    # cos/sin on the phase matrix beats complex exp by ~2x.
+    out = np.empty_like(freqs_hz)
+    chunk = max(1, int(4_000_000 / max(t_sec.size, 1)))
+    for start in range(0, freqs_hz.size, chunk):
+        f = freqs_hz[start : start + chunk]
+        phase = (2.0 * np.pi) * np.outer(f, t_sec)
+        re = np.cos(phase).sum(axis=1)
+        im = np.sin(phase).sum(axis=1)
+        out[start : start + chunk] = np.hypot(re, im)
+    return out
+
+
+class Spectrum:
+    """Incremental sparse spectrum over a sliding observation window.
+
+    Events enter with :meth:`add_event`; :meth:`slide_to` retires events
+    older than the configured horizon by subtracting their contribution
+    (exact, by linearity of the transform).  :attr:`operations` counts the
+    complex exponentiations performed so far — the quantity Eq. 3 bounds.
+    """
+
+    def __init__(self, config: SpectrumConfig | None = None, *, horizon_ns: int | None = None) -> None:
+        self.config = config or SpectrumConfig()
+        self.freqs = self.config.frequencies()
+        self._omega = 2.0 * np.pi * self.freqs
+        self._acc = np.zeros(self.freqs.size, dtype=np.complex128)
+        self._times: deque[int] = deque()
+        self.horizon_ns = horizon_ns
+        #: complex exponentiations performed (Eq. 3 accounting)
+        self.operations = 0
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> list[int]:
+        """Event timestamps currently inside the window (ns, sorted order
+        of insertion)."""
+        return list(self._times)
+
+    def _contribution(self, t_ns: int) -> np.ndarray:
+        self.operations += self.freqs.size
+        return np.exp(-1.0j * self._omega * (t_ns / SEC))
+
+    def add_event(self, t_ns: int) -> None:
+        """Fold one event at ``t_ns`` into the accumulator."""
+        self._times.append(t_ns)
+        self._acc += self._contribution(t_ns)
+
+    def add_events(self, times_ns) -> None:
+        """Fold a batch of events (any iterable of int ns)."""
+        for t in times_ns:
+            self.add_event(int(t))
+
+    def slide_to(self, now_ns: int) -> int:
+        """Retire events older than ``now - horizon``; return the count.
+
+        No-op when the spectrum was created without a horizon.
+        """
+        if self.horizon_ns is None:
+            return 0
+        cutoff = now_ns - self.horizon_ns
+        retired = 0
+        while self._times and self._times[0] < cutoff:
+            t = self._times.popleft()
+            self._acc -= self._contribution(t)
+            retired += 1
+        return retired
+
+    def reset(self) -> None:
+        """Drop all events and zero the accumulator."""
+        self._times.clear()
+        self._acc[:] = 0
+        # operations counter intentionally preserved (cumulative cost)
+
+    def amplitude(self) -> np.ndarray:
+        """Current amplitude spectrum |S(f)| over the grid."""
+        if not self._times:
+            return np.zeros(self.freqs.size)
+        # Recompute from the accumulator; subtraction error is negligible
+        # for the window sizes used here (<= a few thousand events).
+        return np.abs(self._acc)
+
+    def normalized_amplitude(self) -> np.ndarray:
+        """Amplitude spectrum scaled so its maximum is 1 (Figure 10)."""
+        amp = self.amplitude()
+        peak = amp.max() if amp.size else 0.0
+        return amp / peak if peak > 0 else amp
+
+
+def expected_operations(config: SpectrumConfig, n_events: int) -> int:
+    """The Eq. 3 operation count ``O = (f_max - f_min)/δf · N``.
+
+    (The paper writes N as ``H/P · K``: events per period times periods in
+    the horizon; callers that know those factors can pass their product.)
+    """
+    return config.n_samples * n_events

@@ -1,0 +1,143 @@
+"""The supervisor: global schedulability enforcement (Eq. 1).
+
+Task controllers *request* reservation parameters; the supervisor *grants*
+them, compressing the requests when their cumulative bandwidth would
+exceed the schedulability bound ``Σ Q_i/T_i ≤ U_lub``.  Compression is
+proportional above per-task guaranteed minimums, after the AQuoSA
+supervisor described in [23]:
+
+- every registered task may declare a guaranteed minimum bandwidth
+  ``u_min`` (granted unconditionally as long as the minimums themselves
+  fit) and a weight;
+- if ``Σ B_req ≤ U_lub`` all requests are granted in full;
+- otherwise each task receives ``u_min_i`` plus a weighted, proportional
+  share of the leftover: the *excess* ``B_req_i − u_min_i`` is scaled by a
+  common factor so the total lands exactly on ``U_lub``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Callable, Optional
+
+from repro.core.lfspp import BandwidthRequest
+
+
+@dataclass
+class _Registration:
+    key: int
+    u_min: float
+    weight: float
+    granted: BandwidthRequest | None = None
+    requested: BandwidthRequest | None = None
+    #: invoked whenever this task's grant changes because of *another*
+    #: task's request (the submitting task gets its grant returned)
+    actuate: Optional[Callable[[BandwidthRequest], None]] = None
+
+
+class Supervisor:
+    """Bandwidth admission and compression.
+
+    ``capacity`` scales the bound for multiprocessor systems: the grants
+    satisfy ``Σ Q_i/T_i ≤ u_lub · capacity`` (the SCHED_DEADLINE-style
+    global admission rule when ``capacity`` is the CPU count).
+    """
+
+    def __init__(self, u_lub: float = 0.95, *, capacity: int = 1) -> None:
+        if not 0.0 < u_lub <= 1.0:
+            raise ValueError(f"u_lub must be in (0, 1], got {u_lub}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.u_lub = u_lub * capacity
+        self._tasks: dict[int, _Registration] = {}
+        self._next_key = 1
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        *,
+        u_min: float = 0.0,
+        weight: float = 1.0,
+        actuate: Callable[[BandwidthRequest], None] | None = None,
+    ) -> int:
+        """Register a task controller; returns its key.
+
+        ``actuate`` (optional) is invoked when this task's grant shrinks
+        or grows as a side effect of another task's request — that is how
+        compression reaches reservations whose own controller is idle.
+
+        Raises :class:`ValueError` if the guaranteed minimums would no
+        longer fit in ``U_lub`` (admission control).
+        """
+        if u_min < 0 or weight <= 0:
+            raise ValueError("u_min must be >= 0 and weight > 0")
+        if sum(r.u_min for r in self._tasks.values()) + u_min > self.u_lub:
+            raise ValueError(
+                f"guaranteed minimums would exceed U_lub={self.u_lub}: "
+                f"cannot admit u_min={u_min}"
+            )
+        key = self._next_key
+        self._next_key += 1
+        self._tasks[key] = _Registration(key=key, u_min=u_min, weight=weight, actuate=actuate)
+        return key
+
+    def unregister(self, key: int) -> None:
+        """Remove a task controller (frees its bandwidth)."""
+        self._tasks.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def submit(self, key: int, request: BandwidthRequest) -> BandwidthRequest:
+        """Submit ``request`` for task ``key``; returns the granted pair.
+
+        Other tasks' grants may shrink as a side effect (their controllers
+        pick the new value up at their next activation through
+        :meth:`granted`).
+        """
+        if key not in self._tasks:
+            raise KeyError(f"unknown supervisor key {key}")
+        self._tasks[key].requested = request
+        self._recompute()
+        granted = self._tasks[key].granted
+        assert granted is not None
+        return granted
+
+    def granted(self, key: int) -> BandwidthRequest | None:
+        """Most recent grant for task ``key`` (None before first submit)."""
+        return self._tasks[key].granted
+
+    def total_granted_bandwidth(self) -> float:
+        """Σ of granted bandwidths."""
+        return sum(r.granted.bandwidth for r in self._tasks.values() if r.granted is not None)
+
+    def _recompute(self) -> None:
+        active = [r for r in self._tasks.values() if r.requested is not None]
+        if not active:
+            return
+        previous = {r.key: r.granted for r in active}
+        total = sum(r.requested.bandwidth for r in active)  # type: ignore[union-attr]
+        if total <= self.u_lub:
+            for r in active:
+                r.granted = r.requested
+        else:
+            # compression: grant minimums, share the leftover proportionally
+            floor = sum(min(r.u_min, r.requested.bandwidth) for r in active)  # type: ignore[union-attr]
+            available = max(self.u_lub - floor, 0.0)
+            excess = [
+                max(r.requested.bandwidth - r.u_min, 0.0) * r.weight for r in active  # type: ignore[union-attr]
+            ]
+            total_excess = sum(excess)
+            for r, exc in zip(active, excess):
+                req = r.requested
+                assert req is not None
+                share = (exc / total_excess) * available if total_excess > 0 else 0.0
+                bandwidth = min(r.u_min, req.bandwidth) + share
+                budget = max(1, int(bandwidth * req.period))
+                r.granted = BandwidthRequest(budget=min(budget, req.budget), period=req.period)
+        for r in active:
+            if r.actuate is not None and r.granted != previous[r.key]:
+                r.actuate(r.granted)

@@ -1,0 +1,83 @@
+"""One module per table/figure of the paper's evaluation (§5).
+
+Each module exposes ``run(...) -> ExperimentResult`` with keyword
+parameters that default to the paper's setting (scaled-down repetition
+counts keep the default runs minutes-fast; pass ``reps``/``duration``
+overrides for full-fidelity runs).  The benchmark suite, the CLI and the
+examples all call into these functions, so there is exactly one
+implementation of every experiment.
+"""
+
+from types import SimpleNamespace
+
+from repro.experiments import (
+    ablations,
+    fig01,
+    fig02,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    tab01,
+    tab03,
+)
+from repro.experiments.base import ExperimentResult, Series
+
+
+def _ablation(run_fn, doc: str) -> SimpleNamespace:
+    return SimpleNamespace(run=run_fn, __doc__=doc)
+
+
+#: registry used by the CLI: name -> module-like (must expose ``run``)
+REGISTRY = {
+    "fig01": fig01,
+    "fig02": fig02,
+    "fig04": fig04,
+    "fig05": fig05,
+    "tab01": tab01,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,  # also Table 2
+    "fig13": fig13,  # also Figure 14
+    "tab03": tab03,
+    # ablations of the design choices the paper's text calls out
+    "abl-predictors": _ablation(
+        ablations.run_predictors, "Ablation: LFS++ prediction function (quantile/max/avg/EWMA)."
+    ),
+    "abl-spread": _ablation(ablations.run_spread, "Ablation: LFS++ spread factor x sweep."),
+    "abl-sampling": _ablation(
+        ablations.run_sampling_period,
+        "Ablation: controller sampling period S, incl. the destabilising S = P.",
+    ),
+    "abl-policy": _ablation(
+        ablations.run_exhaustion_policy, "Ablation: CBS exhaustion policy (hard/soft/background)."
+    ),
+    "abl-boost": _ablation(
+        ablations.run_exhaustion_boost, "Ablation: §4.4-remark-1 budget boost on exhaustion bursts."
+    ),
+    "abl-tracer-input": _ablation(
+        ablations.run_tracer_input, "Ablation: syscall vs wake-up events as analyser input (§6)."
+    ),
+    "abl-smp": _ablation(
+        ablations.run_smp, "Extension: partitioned multicore adaptive reservations (§6)."
+    ),
+    "abl-rate-change": _ablation(
+        ablations.run_rate_change, "Extension: tracking a mid-run rate change (§1 motivation)."
+    ),
+    "abl-detector": _ablation(
+        ablations.run_detector_comparison,
+        "Ablation: sparse-spectrum vs time-domain (autocorrelation) detection.",
+    ),
+}
+
+__all__ = ["REGISTRY", "ExperimentResult", "Series"]

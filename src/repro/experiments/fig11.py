@@ -1,0 +1,62 @@
+"""Figure 11: PMF of the detected frequency vs tracing time.
+
+Tracing + detection is repeated over independent runs at 200 ms and
+2000 ms tracing times.  At 200 ms the PMF spreads over a few Hz around
+32.5 with occasional hits on a harmonic; at 2000 ms it concentrates
+tightly on 32.5 Hz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.common import build_mp3_scenario, detect_frequency, trace_mp3
+from repro.metrics import pmf
+from repro.sim.time import SEC
+
+
+def run(
+    *,
+    reps: int = 60,
+    tracing_times_s: tuple[float, ...] = (0.2, 2.0),
+    seed0: int = 1100,
+) -> ExperimentResult:
+    """Detect over ``reps`` runs per tracing time and report the PMFs."""
+    result = ExperimentResult(
+        experiment="fig11",
+        title="PMF of the detected frequency at short vs long tracing times",
+    )
+    duration = int(max(tracing_times_s) * SEC) + SEC // 2
+    traces = []
+    for r in range(reps):
+        scenario = build_mp3_scenario(seed=seed0 + r, n_frames=int(duration / SEC * 33) + 10)
+        traces.append(np.array(trace_mp3(scenario, duration), dtype=np.int64))
+
+    for t_s in tracing_times_s:
+        upto = int(t_s * SEC)
+        detections = []
+        for trace in traces:
+            f = detect_frequency(trace[trace < upto], horizon_ns=upto, now=upto)
+            if f is not None:
+                detections.append(f)
+        dist = pmf(detections, bin_width=0.5)
+        curve = Series(name=f"pmf_{t_s}s")
+        for f, p in dist.items():
+            curve.add(f, p)
+        result.series.append(curve)
+        arr = np.array(detections)
+        in_band = arr[(arr > 30.0) & (arr < 40.0)]
+        result.add_row(
+            tracing_s=t_s,
+            detections=len(detections),
+            mode_hz=max(dist, key=dist.get) if dist else None,
+            mode_mass=max(dist.values()) if dist else 0.0,
+            fraction_30_40hz=len(in_band) / len(arr) if len(arr) else 0.0,
+            harmonic_hits=int((arr >= 60.0).sum()),
+        )
+    result.notes.append(
+        "the PMF must tighten around 32.5 Hz as the tracing time grows; "
+        "occasional harmonic hits may persist (as in the paper)"
+    )
+    return result

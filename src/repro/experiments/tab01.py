@@ -1,0 +1,77 @@
+"""Table 1: overhead of the tracers on an ffmpeg transcode.
+
+The transcode runs to completion under four configurations — no tracer,
+qtrace (the paper's), qostrace and strace (both ptrace-based) — ten times
+each; the table reports mean wall time, relative overhead over NOTRACE,
+and the run-to-run standard deviation.
+
+Expected shape (paper): QTRACE ≈ 0.6% ≪ QOSTRACE ≈ 2.7% < STRACE ≈ 5.5%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, mean_std
+from repro.sched import RoundRobinScheduler
+from repro.sim import Kernel, SEC
+from repro.sim.time import MS
+from repro.tracer import QTracer, qostrace, strace
+from repro.workloads import FfmpegConfig, ffmpeg_transcode
+
+
+def _one_transcode(tracer_kind: str, seed: int) -> float:
+    """Run one transcode; returns wall time in seconds."""
+    kernel = Kernel(RoundRobinScheduler())
+    config = FfmpegConfig(seed=seed)
+    proc = kernel.spawn("ffmpeg", ffmpeg_transcode(config))
+
+    if tracer_kind == "qtrace":
+        tracer = QTracer()
+        tracer.trace_pid(proc.pid)
+        kernel.add_tracer(tracer)
+        # the download agent periodically drains the buffer (the real cost
+        # of qtrace: a few context switches per sampling period)
+        tracer.spawn_download_agent(kernel, period=100 * MS)
+    elif tracer_kind == "qostrace":
+        tracer = qostrace()
+        tracer.record = False  # overhead study: skip event storage
+        tracer.trace_pid(proc.pid)
+        kernel.add_tracer(tracer)
+    elif tracer_kind == "strace":
+        tracer = strace()
+        tracer.record = False
+        tracer.trace_pid(proc.pid)
+        kernel.add_tracer(tracer)
+    elif tracer_kind != "notrace":
+        raise ValueError(f"unknown tracer {tracer_kind!r}")
+
+    end = kernel.run_until_exit([proc], hard_limit=120 * SEC)
+    return end / SEC
+
+
+def run(*, reps: int = 10) -> ExperimentResult:
+    """Measure all four configurations, ``reps`` repetitions each."""
+    result = ExperimentResult(
+        experiment="tab01",
+        title="Tracer overhead on an ffmpeg transcode",
+    )
+    baseline_mean = None
+    for kind in ("notrace", "qtrace", "qostrace", "strace"):
+        walls = [_one_transcode(kind, seed=100 + r) for r in range(reps)]
+        mean, std = mean_std(walls)
+        if kind == "notrace":
+            baseline_mean = mean
+            overhead = None
+        else:
+            overhead = (mean - baseline_mean) / baseline_mean
+        result.add_row(
+            tracer=kind.upper(),
+            mean_s=mean,
+            relative_overhead=overhead,
+            std_s=std,
+        )
+    result.notes.append(
+        "overheads are emergent from the cost structure: qtrace pays ~0.5us "
+        "per logged event plus periodic download context switches; the "
+        "ptrace tracers pay 2 context switches + tracer work per syscall stop"
+    )
+    return result

@@ -1,0 +1,12 @@
+"""Measurement utilities: running statistics, PMFs/CDFs, inter-frame times."""
+
+from repro.metrics.ift import InterFrameProbe
+from repro.metrics.stats import RunningStats, cdf_points, pmf, quantile
+
+__all__ = [
+    "RunningStats",
+    "pmf",
+    "cdf_points",
+    "quantile",
+    "InterFrameProbe",
+]

@@ -1,0 +1,53 @@
+"""Inter-frame-time measurement.
+
+The paper instruments a custom player that "records the sequence of
+inter-frame times" — the application-level QoS metric of §5.4–5.5.
+:class:`InterFrameProbe` is that instrument: it subscribes to the video
+player's ``frame_displayed`` labels and records both the raw display
+timestamps and the deltas between consecutive displays.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.stats import RunningStats
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+
+
+class InterFrameProbe:
+    """Collects the inter-frame-time series of one (or every) player."""
+
+    def __init__(self, *, pid: int | None = None) -> None:
+        #: restrict to one process, or None for any emitter
+        self.pid = pid
+        #: display timestamps, ns
+        self.display_times: list[int] = []
+        #: frame indices as reported by the player
+        self.frames: list[int] = []
+        #: consecutive display deltas, ns
+        self.inter_frame_times: list[int] = []
+        self.stats = RunningStats()
+
+    def install(self, kernel: Kernel, label: str = "frame_displayed") -> None:
+        """Subscribe to ``label`` events on ``kernel``."""
+        kernel.add_label_probe(label, self._on_frame)
+
+    def _on_frame(self, proc: Process, now: int, payload: dict) -> None:
+        if self.pid is not None and proc.pid != self.pid:
+            return
+        if self.display_times:
+            ift = now - self.display_times[-1]
+            self.inter_frame_times.append(ift)
+            self.stats.add(ift)
+        self.display_times.append(now)
+        self.frames.append(int(payload.get("frame", len(self.frames))))
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean inter-frame time in milliseconds."""
+        return self.stats.mean / 1e6
+
+    @property
+    def std_ms(self) -> float:
+        """Standard deviation of the inter-frame time in milliseconds."""
+        return self.stats.std / 1e6

@@ -1,0 +1,87 @@
+"""Small statistics toolkit used across the experiments.
+
+Everything the paper reports is a mean, a standard deviation, a PMF or a
+CDF of some measured series; these helpers compute them without pulling in
+heavier machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RunningStats:
+    """Welford single-pass mean/variance accumulator."""
+
+    n: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample in."""
+        x = float(x)
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    def extend(self, xs) -> None:
+        """Fold an iterable of samples in."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 with fewer than 2 samples."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+def pmf(values, bin_width: float) -> dict[float, float]:
+    """Probability mass function over bins of ``bin_width``.
+
+    Values are binned to ``round(v / bin_width) * bin_width``; the result
+    maps bin centre -> probability, and sums to 1 for non-empty input.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    values = list(values)
+    if not values:
+        return {}
+    counts: dict[float, int] = {}
+    for v in values:
+        centre = round(float(v) / bin_width) * bin_width
+        counts[centre] = counts.get(centre, 0) + 1
+    total = len(values)
+    return {k: c / total for k, c in sorted(counts.items())}
+
+
+def cdf_points(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def quantile(values, q: float) -> float:
+    """The ``q``-quantile of ``values`` (linear interpolation)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("quantile of empty sequence")
+    return float(np.quantile(arr, q))

@@ -1,0 +1,33 @@
+"""Pluggable CPU schedulers.
+
+The paper's machinery sits on top of the AQuoSA Constant Bandwidth Server
+(:mod:`.cbs`).  The package also provides the baselines the paper's
+analysis contrasts against: plain EDF (:mod:`.edf`), preemptive fixed
+priority with a Rate Monotonic helper (:mod:`.fp`), a proportional-share
+stride scheduler (:mod:`.pshare`) — the class of algorithms Section 3.2
+calls out as period-oblivious — and a POSIX-flavoured round-robin
+best-effort scheduler (:mod:`.posix`).
+"""
+
+from repro.sched.base import Scheduler, SmpScheduler
+from repro.sched.cbs import CbsScheduler, Server, ServerParams
+from repro.sched.edf import EdfScheduler
+from repro.sched.fp import FixedPriorityScheduler, rate_monotonic_priorities
+from repro.sched.gedf import GlobalCbsScheduler, GlobalEdfScheduler
+from repro.sched.posix import RoundRobinScheduler
+from repro.sched.pshare import StrideScheduler
+
+__all__ = [
+    "Scheduler",
+    "SmpScheduler",
+    "CbsScheduler",
+    "Server",
+    "ServerParams",
+    "EdfScheduler",
+    "FixedPriorityScheduler",
+    "rate_monotonic_priorities",
+    "GlobalEdfScheduler",
+    "GlobalCbsScheduler",
+    "RoundRobinScheduler",
+    "StrideScheduler",
+]

@@ -1,0 +1,80 @@
+"""Scheduler interface.
+
+The kernel drives schedulers through a small protocol:
+
+- :meth:`Scheduler.on_ready` / :meth:`Scheduler.on_block` /
+  :meth:`Scheduler.on_exit` report state transitions;
+- :meth:`Scheduler.pick` selects the process to run *now*;
+- :meth:`Scheduler.charge` accounts CPU consumed by the running process;
+- :meth:`Scheduler.time_until_internal_event` bounds how long the current
+  pick may run before the scheduler itself wants control back (budget
+  exhaustion, time-slice expiry); releases and wake-ups arrive through the
+  kernel's event calendar instead.
+
+Schedulers that need timed callbacks (CBS budget replenishment) receive the
+kernel handle via :meth:`Scheduler.bind`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduling policy."""
+
+    def __init__(self) -> None:
+        self.kernel: "Kernel | None" = None
+
+    def bind(self, kernel: "Kernel") -> None:
+        """Attach to a kernel (called once by :class:`~repro.sim.kernel.Kernel`)."""
+        self.kernel = kernel
+
+    @abc.abstractmethod
+    def on_ready(self, proc: "Process", now: int) -> None:
+        """``proc`` became runnable at ``now`` (admission or wake-up)."""
+
+    @abc.abstractmethod
+    def on_block(self, proc: "Process", now: int) -> None:
+        """``proc`` blocked at ``now``."""
+
+    def on_exit(self, proc: "Process", now: int) -> None:
+        """``proc`` exited at ``now``; default defers to :meth:`on_block`."""
+        self.on_block(proc, now)
+
+    @abc.abstractmethod
+    def pick(self, now: int) -> Optional["Process"]:
+        """Return the process that should occupy the CPU at ``now``."""
+
+    @abc.abstractmethod
+    def charge(self, proc: "Process", delta: int, now: int) -> None:
+        """Account ``delta`` ns of CPU just consumed by ``proc`` ending at ``now``."""
+
+    def time_until_internal_event(self, proc: "Process", now: int) -> Optional[int]:
+        """Upper bound (ns from ``now``) on how long ``proc`` may run
+        before this scheduler needs to re-decide; ``None`` means no bound."""
+        return None
+
+
+class SmpScheduler(Scheduler):
+    """A scheduler that can occupy several CPUs at once.
+
+    Used with :class:`repro.sim.multicore.MultiCoreKernel`: at every
+    decision point the kernel asks for the ``n`` processes to run.
+    """
+
+    @abc.abstractmethod
+    def pick_n(self, now: int, n: int) -> "list[Optional[Process]]":
+        """Return the processes to run on CPUs ``0..n-1`` (None = idle).
+
+        The returned processes must be distinct and runnable.
+        """
+
+    def pick(self, now: int) -> "Optional[Process]":
+        """Uniprocessor compatibility: the most urgent pick."""
+        return self.pick_n(now, 1)[0]

@@ -1,0 +1,353 @@
+"""Constant Bandwidth Server scheduler (Abeni & Buttazzo, RTSS 1998).
+
+This is the reservation scheduler underneath the paper's whole machinery
+(the AQuoSA ``qres`` module on Linux 2.6.29).  Each *server* owns a budget
+``Q`` per period ``T``; servers with pending work are dispatched EDF on
+their scheduling deadlines.  The two classic CBS rules are implemented:
+
+- **wake-up rule**: when a task arrives at an idle server at time ``t``, if
+  the remaining budget ``q`` could not be consumed by the current deadline
+  ``d`` without exceeding the reserved bandwidth (``q >= (d - t) * Q/T``),
+  the server state is reset to ``q = Q``, ``d = t + T``;
+- **exhaustion rule**: when ``q`` reaches zero the configured policy
+  applies — ``"hard"`` throttles the tasks until the replenishment at the
+  server deadline, ``"soft"`` (classic CBS) postpones ``d += T`` and
+  recharges immediately, and ``"background"`` (the AQuoSA flavour) drops
+  the tasks to the best-effort class until the replenishment.  See
+  :class:`ServerParams`.
+
+Processes not attached to any server run in a best-effort background class
+(round robin), strictly below every server — the stand-in for Linux's
+normal scheduling class, which is where an untuned legacy application
+lives before the self-tuning framework adopts it.
+
+The ``qres``-style introspection API used by the LFS++ sensor is
+:attr:`Server.consumed` (total CPU time executed by the server, the
+equivalent of ``qres_get_time()``) and :attr:`Server.exhaustions`
+(budget-exhaustion counter, the binary saturation signal of the original
+LFS).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.process import Process
+from repro.sim.time import MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+#: what happens when a server's budget runs out mid-period
+EXHAUSTION_POLICIES = ("hard", "soft", "background")
+
+
+@dataclass
+class ServerParams:
+    """Reservation parameters: budget ``Q``, period ``T`` (ns), and the
+    exhaustion policy.
+
+    - ``"hard"`` — the attached tasks are throttled until the budget
+      replenishes at the server deadline (strict temporal isolation, the
+      ``SCHED_DEADLINE`` throttling behaviour);
+    - ``"soft"`` — classic soft CBS: the deadline is postponed by ``T``
+      and the budget recharged, so the tasks stay runnable at lower EDF
+      priority;
+    - ``"background"`` — the AQuoSA behaviour the paper's experiments run
+      under: the guaranteed ``(Q, T)`` is served through EDF, and once
+      exhausted the tasks *drop to the best-effort class* until the
+      replenishment, competing with ordinary processes for leftover CPU.
+    """
+
+    budget: int
+    period: int
+    policy: str = "hard"
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.budget > self.period:
+            raise ValueError(
+                f"budget {self.budget} exceeds period {self.period} (bandwidth > 1)"
+            )
+        if self.policy not in EXHAUSTION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {EXHAUSTION_POLICIES}, got {self.policy!r}"
+            )
+
+    @property
+    def hard(self) -> bool:
+        """Whether the reservation throttles on exhaustion."""
+        return self.policy == "hard"
+
+    @property
+    def bandwidth(self) -> float:
+        """Reserved CPU fraction ``Q/T``."""
+        return self.budget / self.period
+
+
+class Server:
+    """A CBS instance: scheduling state plus attached processes."""
+
+    def __init__(self, sid: int, params: ServerParams, name: str = "") -> None:
+        self.sid = sid
+        self.name = name or f"srv{sid}"
+        self.params = params
+        #: remaining budget in the current server period (ns)
+        self.q = 0
+        #: absolute scheduling deadline (ns)
+        self.deadline = 0
+        self.throttled = False
+        #: ready attached processes (round-robin among them when several
+        #: threads share the reservation, as the stock Linux policy would)
+        self.ready: deque[Process] = deque()
+        self.members: set[int] = set()
+        #: remaining intra-server time slice, ns (multi-member servers)
+        self.slice_left = 0
+        #: total CPU time consumed through this server (``qres_get_time``)
+        self.consumed = 0
+        #: number of budget exhaustions since creation
+        self.exhaustions = 0
+        self._replenish_handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Server({self.name}, Q={self.params.budget}, T={self.params.period}, "
+            f"q={self.q}, d={self.deadline}, throttled={self.throttled})"
+        )
+
+    @property
+    def bandwidth(self) -> float:
+        """Currently reserved CPU fraction."""
+        return self.params.bandwidth
+
+    def has_work(self) -> bool:
+        """Whether any attached process is ready to run."""
+        return bool(self.ready)
+
+
+class CbsScheduler(Scheduler):
+    """EDF dispatcher over CBS servers, with a background RR class."""
+
+    def __init__(self, *, background_slice: int = 20 * MS, intra_server_slice: int = 4 * MS) -> None:
+        super().__init__()
+        if background_slice <= 0 or intra_server_slice <= 0:
+            raise ValueError("slices must be positive")
+        self.servers: dict[int, Server] = {}
+        self._next_sid = 1
+        self._bg: deque[Process] = deque()
+        self._bg_slice = background_slice
+        self._bg_slice_left = background_slice
+        self._intra_slice = intra_server_slice
+        self._proc_server: dict[int, Server] = {}
+
+    # ------------------------------------------------------------------
+    # server management (the qres-like API)
+    # ------------------------------------------------------------------
+    def create_server(self, params: ServerParams, name: str = "") -> Server:
+        """Create a reservation; returns the server handle."""
+        server = Server(self._next_sid, params, name)
+        self._next_sid += 1
+        self.servers[server.sid] = server
+        return server
+
+    def destroy_server(self, server: Server) -> None:
+        """Remove a reservation; attached processes fall back to background."""
+        for pid in list(server.members):
+            proc = self._find_proc(server, pid)
+            if proc is not None:
+                self.detach(proc)
+        self.servers.pop(server.sid, None)
+
+    def _find_proc(self, server: Server, pid: int) -> Process | None:
+        for p in server.ready:
+            if p.pid == pid:
+                return p
+        if self.kernel is not None:
+            return self.kernel.processes.get(pid)
+        return None
+
+    def attach(self, proc: Process, server: Server) -> None:
+        """Attach ``proc`` to ``server`` (the ``qres_attach_thread`` call)."""
+        old = self._proc_server.get(proc.pid)
+        if old is not None:
+            self.detach(proc)
+        if proc in self._bg:
+            self._bg.remove(proc)
+        server.members.add(proc.pid)
+        self._proc_server[proc.pid] = server
+        proc.sched_data = server
+        if proc.runnable:
+            now = self.kernel.clock if self.kernel else 0
+            self._enqueue(server, proc, now)
+
+    def detach(self, proc: Process) -> None:
+        """Detach ``proc`` from its server; it becomes a background process."""
+        server = self._proc_server.pop(proc.pid, None)
+        if server is None:
+            return
+        server.members.discard(proc.pid)
+        if proc in server.ready:
+            server.ready.remove(proc)
+        proc.sched_data = None
+        if proc.runnable and proc not in self._bg:
+            self._bg.append(proc)
+
+    def server_of(self, proc: Process) -> Server | None:
+        """The server ``proc`` is attached to, if any."""
+        return self._proc_server.get(proc.pid)
+
+    def set_params(self, server: Server, params: ServerParams) -> None:
+        """Change a reservation at run time (``qres_set_params``).
+
+        A running (non-throttled) server keeps its current deadline and its
+        remaining budget clamped to the new ``Q``; a throttled server picks
+        up the new budget at its pending replenishment.  Actuation latency
+        is therefore at most one server period, as on the real system.
+        """
+        server.params = params
+        if not server.throttled:
+            server.q = min(server.q, params.budget)
+
+    def total_bandwidth(self) -> float:
+        """Sum of reserved fractions over all servers."""
+        return sum(s.bandwidth for s in self.servers.values())
+
+    # ------------------------------------------------------------------
+    # CBS rules
+    # ------------------------------------------------------------------
+    def _enqueue(self, server: Server, proc: Process, now: int) -> None:
+        was_idle = not server.ready
+        server.ready.append(proc)
+        if was_idle and not server.throttled:
+            self._wakeup_rule(server, now)
+
+    def _wakeup_rule(self, server: Server, now: int) -> None:
+        q, d = server.q, server.deadline
+        Q, T = server.params.budget, server.params.period
+        # reset if the pair (q, d) is not bandwidth-safe at `now`
+        if d <= now or q * T >= (d - now) * Q:
+            server.q = Q
+            server.deadline = now + T
+
+    def _on_exhaustion(self, server: Server, now: int) -> None:
+        server.exhaustions += 1
+        Q, T = server.params.budget, server.params.period
+        if server.params.policy == "soft":
+            # soft CBS: postpone the deadline, recharge, keep running
+            while server.q <= 0:
+                server.q += Q
+                server.deadline += T
+            return
+        # hard / background: the guaranteed budget is gone until the
+        # replenishment at the server deadline
+        server.throttled = True
+        if server.params.policy == "background":
+            # AQuoSA behaviour: the tasks drop to the best-effort class
+            for p in server.ready:
+                if p not in self._bg:
+                    self._bg.append(p)
+        wake_at = max(server.deadline, now + 1)
+        assert self.kernel is not None
+        server._replenish_handle = self.kernel.events.push(
+            wake_at, lambda t, _payload, s=server: self._replenish(s, t)
+        )
+
+    def _replenish(self, server: Server, now: int) -> None:
+        server.throttled = False
+        server._replenish_handle = None
+        server.q = server.params.budget
+        server.deadline = max(server.deadline + server.params.period, now + server.params.period)
+        if server.params.policy == "background":
+            # pull the tasks back out of the best-effort class
+            for p in server.ready:
+                if p in self._bg:
+                    self._bg.remove(p)
+
+    # ------------------------------------------------------------------
+    # Scheduler protocol
+    # ------------------------------------------------------------------
+    def on_ready(self, proc: Process, now: int) -> None:
+        server = self._proc_server.get(proc.pid)
+        if server is not None:
+            self._enqueue(server, proc, now)
+            if (
+                server.throttled
+                and server.params.policy == "background"
+                and proc not in self._bg
+            ):
+                self._bg.append(proc)
+        elif proc not in self._bg:
+            self._bg.append(proc)
+
+    def on_block(self, proc: Process, now: int) -> None:
+        server = self._proc_server.get(proc.pid)
+        if server is not None and proc in server.ready:
+            server.ready.remove(proc)
+        if proc in self._bg:
+            self._bg.remove(proc)
+
+    def _eligible_servers(self) -> list[Server]:
+        return [
+            s
+            for s in self.servers.values()
+            if s.has_work() and not s.throttled and s.q > 0
+        ]
+
+    def pick(self, now: int) -> Optional[Process]:
+        eligible = self._eligible_servers()
+        if eligible:
+            best = min(eligible, key=lambda s: (s.deadline, s.sid))
+            return best.ready[0]
+        if self._bg:
+            return self._bg[0]
+        return None
+
+    def _charge_background(self, proc: Process, delta: int) -> None:
+        self._bg_slice_left -= delta
+        if self._bg_slice_left <= 0:
+            self._bg_slice_left = self._bg_slice
+            if len(self._bg) > 1 and self._bg and self._bg[0] is proc:
+                self._bg.rotate(-1)
+
+    def charge(self, proc: Process, delta: int, now: int) -> None:
+        server = self._proc_server.get(proc.pid)
+        if server is None:
+            self._charge_background(proc, delta)
+            return
+        server.consumed += delta
+        if server.throttled:
+            # background-policy overflow execution: no budget to charge,
+            # but the best-effort round robin still rotates
+            self._charge_background(proc, delta)
+            return
+        server.q -= delta
+        # intra-server round robin among a multi-thread reservation
+        if len(server.ready) > 1:
+            server.slice_left -= delta
+            if server.slice_left <= 0:
+                server.slice_left = self._intra_slice
+                if server.ready and server.ready[0] is proc:
+                    server.ready.rotate(-1)
+        if server.q <= 0:
+            server.q = max(server.q, 0)
+            self._on_exhaustion(server, now)
+
+    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+        server = self._proc_server.get(proc.pid)
+        if server is not None and not server.throttled:
+            bound = max(server.q, 0)
+            if len(server.ready) > 1:
+                if server.slice_left <= 0:
+                    server.slice_left = self._intra_slice
+                bound = min(bound, server.slice_left)
+            return max(bound, 1)
+        if len(self._bg) > 1:
+            return max(self._bg_slice_left, 1)
+        return None

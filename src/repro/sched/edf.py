@@ -1,0 +1,64 @@
+"""Task-level Earliest Deadline First scheduler.
+
+This is the plain EDF dispatcher CBS builds upon, exposed standalone so the
+analysis layer and the property-based tests can exercise EDF optimality
+directly (a feasible implicit-deadline periodic set never misses under
+EDF at unit speed).
+
+Tasks are attached with a *relative deadline*: every time a process wakes
+up (which, for the periodic workload models, happens exactly at a job
+release) its absolute deadline becomes ``wake time + relative deadline``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.process import Process
+
+
+class EdfScheduler(Scheduler):
+    """Preemptive EDF over processes with per-wakeup absolute deadlines."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rel_deadline: dict[int, int] = {}
+        self._abs_deadline: dict[int, int] = {}
+        self._ready: list[Process] = []
+
+    def attach(self, proc: Process, rel_deadline: int) -> None:
+        """Declare ``proc``'s relative deadline (ns after each wake-up)."""
+        if rel_deadline <= 0:
+            raise ValueError(f"relative deadline must be positive, got {rel_deadline}")
+        self._rel_deadline[proc.pid] = rel_deadline
+        if proc.runnable:
+            # already released: anchor the first deadline at attach time
+            now = self.kernel.clock if self.kernel is not None else 0
+            self._abs_deadline[proc.pid] = now + rel_deadline
+
+    def deadline_of(self, proc: Process) -> int | None:
+        """Current absolute deadline of ``proc`` (None if never released)."""
+        return self._abs_deadline.get(proc.pid)
+
+    def on_ready(self, proc: Process, now: int) -> None:
+        rel = self._rel_deadline.get(proc.pid)
+        if rel is not None:
+            self._abs_deadline[proc.pid] = now + rel
+        else:
+            # best-effort task: schedule it behind everything real-time
+            self._abs_deadline.setdefault(proc.pid, 2**62)
+        if proc not in self._ready:
+            self._ready.append(proc)
+
+    def on_block(self, proc: Process, now: int) -> None:
+        if proc in self._ready:
+            self._ready.remove(proc)
+
+    def pick(self, now: int) -> Optional[Process]:
+        if not self._ready:
+            return None
+        return min(self._ready, key=lambda p: (self._abs_deadline.get(p.pid, 2**62), p.pid))
+
+    def charge(self, proc: Process, delta: int, now: int) -> None:
+        pass  # plain EDF has no budgets

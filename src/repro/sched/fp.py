@@ -1,0 +1,66 @@
+"""Preemptive fixed-priority scheduler with a Rate Monotonic helper.
+
+Fixed priorities are what general-purpose OSes offer real-time
+applications out of the box (``SCHED_FIFO``); the paper's Section 1 calls
+them "known to be unfit for soft real-time applications", and Section 3.2's
+Figure 2 uses a Rate Monotonic assignment *inside* a shared reservation.
+Both uses are covered here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sched.base import Scheduler
+from repro.sim.process import Process
+
+
+def rate_monotonic_priorities(periods: Sequence[int]) -> list[int]:
+    """Priorities (0 = highest) for tasks with the given periods.
+
+    The famous Liu & Layland assignment: shorter period, higher priority.
+    Ties keep input order.
+
+    >>> rate_monotonic_priorities([30_000, 15_000, 20_000])
+    [2, 0, 1]
+    """
+    order = sorted(range(len(periods)), key=lambda i: (periods[i], i))
+    prio = [0] * len(periods)
+    for rank, idx in enumerate(order):
+        prio[idx] = rank
+    return prio
+
+
+class FixedPriorityScheduler(Scheduler):
+    """Strictly preemptive fixed priorities; FIFO within a priority level."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._prio: dict[int, int] = {}
+        self._ready: list[Process] = []
+
+    def attach(self, proc: Process, priority: int) -> None:
+        """Assign ``priority`` (lower value = more important) to ``proc``."""
+        self._prio[proc.pid] = priority
+
+    def priority_of(self, proc: Process) -> int:
+        """Priority of ``proc`` (unattached processes idle at the bottom)."""
+        return self._prio.get(proc.pid, 2**31)
+
+    def on_ready(self, proc: Process, now: int) -> None:
+        if proc not in self._ready:
+            self._ready.append(proc)
+
+    def on_block(self, proc: Process, now: int) -> None:
+        if proc in self._ready:
+            self._ready.remove(proc)
+
+    def pick(self, now: int) -> Optional[Process]:
+        if not self._ready:
+            return None
+        # stable min: FIFO among equal priorities because _ready preserves
+        # arrival order and min() returns the first minimal element
+        return min(self._ready, key=lambda p: self.priority_of(p))
+
+    def charge(self, proc: Process, delta: int, now: int) -> None:
+        pass  # no budgets

@@ -1,0 +1,53 @@
+"""Global EDF schedulers for the multicore kernel.
+
+Two flavours:
+
+- :class:`GlobalEdfScheduler` — task-level global EDF: the ``n`` earliest
+  absolute deadlines run, wherever they last executed.  Exhibits the
+  classic global-EDF pathologies (Dhall's effect) that make the paper's
+  partitioned direction attractive — the test suite demonstrates one.
+- :class:`GlobalCbsScheduler` — server-level global EDF over CBS
+  reservations: the ``n`` earliest server deadlines run (one task per
+  server), with the same wake-up/exhaustion rules as the uniprocessor
+  :class:`repro.sched.cbs.CbsScheduler` it extends, and the best-effort
+  class filling whatever CPUs remain idle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import SmpScheduler
+from repro.sched.cbs import CbsScheduler
+from repro.sched.edf import EdfScheduler
+from repro.sim.process import Process
+
+
+class GlobalEdfScheduler(EdfScheduler, SmpScheduler):
+    """Task-level global EDF: the n earliest deadlines occupy the CPUs."""
+
+    def pick_n(self, now: int, n: int) -> list[Optional[Process]]:
+        ordered = sorted(
+            self._ready, key=lambda p: (self._abs_deadline.get(p.pid, 2**62), p.pid)
+        )
+        picks: list[Optional[Process]] = list(ordered[:n])
+        picks += [None] * (n - len(picks))
+        return picks
+
+
+class GlobalCbsScheduler(CbsScheduler, SmpScheduler):
+    """Server-level global EDF over CBS reservations."""
+
+    def pick_n(self, now: int, n: int) -> list[Optional[Process]]:
+        picks: list[Optional[Process]] = []
+        for server in sorted(self._eligible_servers(), key=lambda s: (s.deadline, s.sid)):
+            if len(picks) >= n:
+                break
+            picks.append(server.ready[0])
+        for proc in self._bg:
+            if len(picks) >= n:
+                break
+            if proc not in picks:
+                picks.append(proc)
+        picks += [None] * (n - len(picks))
+        return picks

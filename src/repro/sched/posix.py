@@ -1,0 +1,51 @@
+"""Round-robin best-effort scheduler (the ``SCHED_OTHER`` stand-in).
+
+Used for experiments that do not involve reservations at all, e.g. the
+tracer-overhead measurements of Table 1, where ffmpeg and the trace
+download agent share the CPU under the stock time-sharing policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.process import Process
+from repro.sim.time import MS
+
+
+class RoundRobinScheduler(Scheduler):
+    """Single-queue round robin with a fixed time slice."""
+
+    def __init__(self, *, timeslice: int = 4 * MS) -> None:
+        super().__init__()
+        if timeslice <= 0:
+            raise ValueError("timeslice must be positive")
+        self.timeslice = timeslice
+        self._queue: deque[Process] = deque()
+        self._slice_left = timeslice
+
+    def on_ready(self, proc: Process, now: int) -> None:
+        if proc not in self._queue:
+            self._queue.append(proc)
+
+    def on_block(self, proc: Process, now: int) -> None:
+        if proc in self._queue:
+            self._queue.remove(proc)
+            self._slice_left = self.timeslice
+
+    def pick(self, now: int) -> Optional[Process]:
+        return self._queue[0] if self._queue else None
+
+    def charge(self, proc: Process, delta: int, now: int) -> None:
+        self._slice_left -= delta
+        if self._slice_left <= 0:
+            self._slice_left = self.timeslice
+            if len(self._queue) > 1 and self._queue[0] is proc:
+                self._queue.rotate(-1)
+
+    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+        if len(self._queue) <= 1:
+            return None
+        return max(self._slice_left, 1)

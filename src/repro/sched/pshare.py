@@ -1,0 +1,79 @@
+"""Proportional-share (stride) scheduler.
+
+Section 3.2 of the paper points out "a possible inefficiency in scheduling
+real-time periodic tasks by a class of algorithms (such as the Proportional
+Share algorithms), for which the scheduling period is not explicitly
+considered".  This stride scheduler is that class's representative: each
+process holds *tickets*; the scheduler always runs the process with the
+smallest virtual *pass*, advancing the pass by ``stride = STRIDE1 /
+tickets`` per quantum of service.  CPU shares converge to ticket ratios,
+but there is no per-task period, so allocation granularity is emergent —
+exactly the weakness Figure 1 quantifies for reservations with a
+badly-chosen server period.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.process import Process
+from repro.sim.time import MS
+
+#: Numerator for stride computation (tickets divide it).
+STRIDE1 = 1 << 20
+
+
+class StrideScheduler(Scheduler):
+    """Classic stride scheduling (Waldspurger & Weihl, OSDI 1994)."""
+
+    def __init__(self, *, quantum: int = 1 * MS) -> None:
+        super().__init__()
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._tickets: dict[int, int] = {}
+        self._pass: dict[int, int] = {}
+        self._remaining: dict[int, int] = {}
+        self._ready: list[Process] = []
+        self._global_pass = 0
+
+    def attach(self, proc: Process, tickets: int) -> None:
+        """Give ``proc`` a weight of ``tickets`` (>= 1)."""
+        if tickets < 1:
+            raise ValueError(f"tickets must be >= 1, got {tickets}")
+        self._tickets[proc.pid] = tickets
+
+    def _stride(self, proc: Process) -> int:
+        return STRIDE1 // self._tickets.get(proc.pid, 1)
+
+    def on_ready(self, proc: Process, now: int) -> None:
+        if proc not in self._ready:
+            # re-sync the pass so a long sleeper does not monopolise the CPU
+            self._pass[proc.pid] = max(self._pass.get(proc.pid, 0), self._global_pass)
+            self._remaining.setdefault(proc.pid, self.quantum)
+            self._ready.append(proc)
+
+    def on_block(self, proc: Process, now: int) -> None:
+        if proc in self._ready:
+            self._ready.remove(proc)
+
+    def pick(self, now: int) -> Optional[Process]:
+        if not self._ready:
+            return None
+        best = min(self._ready, key=lambda p: (self._pass.get(p.pid, 0), p.pid))
+        self._global_pass = self._pass.get(best.pid, 0)
+        return best
+
+    def charge(self, proc: Process, delta: int, now: int) -> None:
+        left = self._remaining.get(proc.pid, self.quantum) - delta
+        if left <= 0:
+            # one quantum of service: advance the pass
+            self._pass[proc.pid] = self._pass.get(proc.pid, 0) + self._stride(proc)
+            left = self.quantum
+        self._remaining[proc.pid] = left
+
+    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+        if len(self._ready) <= 1:
+            return None
+        return max(self._remaining.get(proc.pid, self.quantum), 1)

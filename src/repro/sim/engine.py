@@ -1,0 +1,76 @@
+"""Event calendar for the discrete-event simulator.
+
+A minimal, deterministic priority queue of timestamped events.  Ties are
+broken by insertion order (a monotonically increasing sequence number), so a
+run never depends on heap internals or hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry in the calendar.
+
+    Ordering is ``(time, seq)``; ``callback`` and ``payload`` do not
+    participate in comparisons.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[int, Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`ScheduledEvent`.
+
+    Cancellation is lazy: cancelled events stay in the heap and are skipped
+    when popped, which keeps :meth:`cancel` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def push(self, time: int, callback: Callable[[int, Any], None], payload: Any = None) -> ScheduledEvent:
+        """Schedule ``callback(time, payload)`` at ``time``; return a handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = ScheduledEvent(time=time, seq=self._seq, callback=callback, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> ScheduledEvent | None:
+        """Remove and return the earliest pending event, or ``None``."""
+        self._drop_cancelled()
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def pop_due(self, now: int) -> ScheduledEvent | None:
+        """Pop the earliest event if it is due at or before ``now``."""
+        when = self.peek_time()
+        if when is None or when > now:
+            return None
+        return heapq.heappop(self._heap)

@@ -1,0 +1,123 @@
+"""Instructions yielded by process programs.
+
+A *program* is a Python generator.  Each ``yield`` hands the kernel one
+instruction; the kernel executes it (consuming virtual CPU time, possibly
+blocking the process) and resumes the generator with the completion
+timestamp, so programs can be written in a natural imperative style::
+
+    def body():
+        t = yield Compute(2 * MS)                      # burn CPU
+        t = yield Syscall(SyscallNr.WRITE)             # non-blocking call
+        t = yield Syscall(SyscallNr.CLOCK_NANOSLEEP,
+                          block=SleepUntil(next_release))
+
+Blocking semantics mirror Linux: a blocking system call consumes its kernel
+entry cost, suspends the process, and *returns* (the tracer's syscall-exit
+event fires) only after the process has been woken and scheduled again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.syscalls import SyscallNr, default_cost
+
+
+class BlockSpec:
+    """Base class for the ways a syscall can suspend its caller."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SleepUntil(BlockSpec):
+    """Block until the absolute virtual time ``wake_at`` (ns)."""
+
+    wake_at: int
+
+
+@dataclass(frozen=True)
+class SleepFor(BlockSpec):
+    """Block for ``duration`` ns measured from the moment of blocking."""
+
+    duration: int
+
+
+@dataclass(frozen=True)
+class WaitEvent(BlockSpec):
+    """Block until :meth:`repro.sim.kernel.Kernel.fire_event` is called
+    with the same ``key`` (models pipes, device readiness, futexes...)."""
+
+    key: str
+
+
+class Instruction:
+    """Base class of everything a program may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Instruction):
+    """Consume ``duration`` ns of user-mode CPU time."""
+
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"compute duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class Syscall(Instruction):
+    """Invoke system call ``nr``.
+
+    Parameters
+    ----------
+    nr:
+        Which call (drives tracing and statistics).
+    cost:
+        In-kernel CPU cost in ns; defaults to the per-call table in
+        :mod:`repro.sim.syscalls`.
+    block:
+        If set, the call suspends the process after consuming ``cost``.
+    return_cost:
+        Kernel CPU spent on the return path after a wake-up (only used for
+        blocking calls); the syscall-exit trace event fires when it is done.
+    """
+
+    nr: SyscallNr
+    cost: int = -1
+    block: BlockSpec | None = None
+    return_cost: int = 500
+
+    # dataclass(frozen=True) + computed default: resolve in __post_init__
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            object.__setattr__(self, "cost", default_cost(self.nr))
+        if self.return_cost < 0:
+            raise ValueError("return_cost must be >= 0")
+
+
+@dataclass(frozen=True)
+class Fire(Instruction):
+    """Wake any processes blocked on ``WaitEvent(key)``; costs no time.
+
+    Lets one program act as a producer for another (e.g. a decoder thread
+    feeding an output thread).
+    """
+
+    key: str
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """Zero-time annotation; the kernel invokes registered probes.
+
+    Workloads use labels to expose application-level instants (a video
+    player marks ``"frame_displayed"``) that the metrics layer turns into
+    the paper's inter-frame-time series without perturbing the simulation.
+    """
+
+    name: str
+    payload: dict = field(default_factory=dict)

@@ -1,0 +1,418 @@
+"""Single-CPU kernel: ties processes, scheduler, tracers and timers together.
+
+The kernel advances a nanosecond virtual clock.  At every step it
+
+1. dispatches due calendar events (wake-ups, timer callbacks, admissions),
+2. asks the scheduler for the process to run,
+3. runs it for the largest quantum that cannot miss anything interesting:
+   the end of the process's current segment, the scheduler's next internal
+   event (CBS budget exhaustion, time-slice expiry) or the next calendar
+   event, whichever comes first,
+4. charges the consumed CPU to the process and the scheduler.
+
+System calls are traced through pluggable hooks (see
+:mod:`repro.tracer.qtrace`); each hook may add kernel CPU overhead to the
+call, which is how tracing overhead perturbs the workload exactly as in the
+paper's Table 1 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+from repro.sim.engine import EventQueue, ScheduledEvent
+from repro.sim.instructions import (
+    Compute,
+    Fire,
+    Instruction,
+    Label,
+    SleepFor,
+    SleepUntil,
+    Syscall,
+    WaitEvent,
+)
+from repro.sim.process import Process, ProcState, Program, Segment, SegmentKind
+from repro.sim.syscalls import SyscallNr
+from repro.sched.base import Scheduler
+
+
+class TracerHook(Protocol):
+    """Interface tracers implement to observe (and perturb) system calls."""
+
+    def on_syscall_entry(self, proc: Process, nr: SyscallNr, now: int) -> int:
+        """Record a syscall entry; return extra kernel ns the tracing costs."""
+        ...
+
+    def on_syscall_exit(self, proc: Process, nr: SyscallNr, now: int) -> int:
+        """Record a syscall exit; return extra kernel ns the tracing costs."""
+        ...
+
+    def traces(self, proc: Process) -> bool:
+        """Whether this tracer is attached to ``proc`` at all."""
+        ...
+
+
+LabelProbe = Callable[[Process, int, dict], None]
+
+
+@dataclass
+class KernelStats:
+    """Aggregate accounting for a run."""
+
+    context_switches: int = 0
+    idle_time: int = 0
+    busy_time: int = 0
+    syscalls: int = 0
+    dispatched_events: int = 0
+
+
+@dataclass
+class KernelConfig:
+    """Tunables of the machine model."""
+
+    #: CPU cost of a context switch, ns (2008-era x86: a few microseconds).
+    context_switch_cost: int = 2_000
+    #: If True, the switch cost is charged to the incoming process's
+    #: scheduler accounting (and CBS budget); otherwise it only burns wall
+    #: time.
+    charge_switch_to_budget: bool = False
+
+
+@dataclass
+class _Timer:
+    """Handle for a recurring kernel timer."""
+
+    period: int
+    callback: Callable[[int], None]
+    event: ScheduledEvent | None = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.event is not None:
+            self.event.cancel()
+
+
+class Kernel:
+    """The simulated machine (one CPU)."""
+
+    def __init__(self, scheduler: Scheduler, config: KernelConfig | None = None) -> None:
+        self.config = config or KernelConfig()
+        self.clock = 0
+        self.events = EventQueue()
+        self.scheduler = scheduler
+        scheduler.bind(self)
+        self.processes: dict[int, Process] = {}
+        self.tracers: list[TracerHook] = []
+        self.stats = KernelStats()
+        self._next_pid = 1000
+        self._current: Process | None = None
+        self._waiters: dict[str, list[Process]] = {}
+        self._label_probes: dict[str, list[LabelProbe]] = {}
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, program: Program, *, at: int | None = None) -> Process:
+        """Create a process running ``program``.
+
+        With ``at`` (absolute ns) the process is admitted at that future
+        instant; otherwise it becomes ready immediately.
+        """
+        proc = Process(self._next_pid, name, program)
+        self._next_pid += 1
+        self.processes[proc.pid] = proc
+        if at is None or at <= self.clock:
+            self._admit(proc, self.clock)
+        else:
+            self.events.push(at, lambda now, _payload, p=proc: self._admit(p, now))
+        return proc
+
+    def _admit(self, proc: Process, now: int) -> None:
+        proc.state = ProcState.READY
+        proc.start_time = now
+        proc.woken_at = now
+        self.scheduler.on_ready(proc, now)
+
+    def _unassign(self, proc: Process) -> None:
+        """Drop ``proc`` from whatever CPU it occupies (hook for SMP)."""
+        if self._current is proc:
+            self._current = None
+
+    def _exit(self, proc: Process, now: int) -> None:
+        proc.state = ProcState.EXITED
+        proc.exit_time = now
+        proc.segment = None
+        self._unassign(proc)
+        self.scheduler.on_exit(proc, now)
+
+    # ------------------------------------------------------------------
+    # tracers, probes, events
+    # ------------------------------------------------------------------
+    def add_tracer(self, tracer: TracerHook) -> None:
+        """Install a syscall tracer hook."""
+        self.tracers.append(tracer)
+
+    def remove_tracer(self, tracer: TracerHook) -> None:
+        """Detach a previously installed tracer hook."""
+        self.tracers.remove(tracer)
+
+    def add_label_probe(self, name: str, probe: LabelProbe) -> None:
+        """Invoke ``probe(proc, now, payload)`` whenever a program yields
+        ``Label(name)``."""
+        self._label_probes.setdefault(name, []).append(probe)
+
+    def fire_event(self, key: str, now: int | None = None) -> int:
+        """Wake every process blocked on ``WaitEvent(key)``; return count."""
+        now = self.clock if now is None else now
+        waiters = self._waiters.pop(key, [])
+        for proc in waiters:
+            self._wake(proc, now)
+        return len(waiters)
+
+    def at(self, when: int, callback: Callable[[int], None]) -> ScheduledEvent:
+        """One-shot kernel callback at absolute time ``when``."""
+        return self.events.push(when, lambda now, _payload, _cb=callback: _cb(now))
+
+    def every(self, period: int, callback: Callable[[int], None], *, start: int | None = None) -> _Timer:
+        """Recurring kernel callback every ``period`` ns (first at ``start``,
+        default ``clock + period``).  Returns a cancellable handle."""
+        if period <= 0:
+            raise ValueError("timer period must be positive")
+        timer = _Timer(period=period, callback=callback)
+
+        def fire(now: int, _payload: object = None) -> None:
+            if timer.cancelled:
+                return
+            timer.callback(now)
+            if not timer.cancelled:
+                timer.event = self.events.push(now + timer.period, fire)
+
+        first = (self.clock + period) if start is None else start
+        timer.event = self.events.push(first, fire)
+        return timer
+
+    # ------------------------------------------------------------------
+    # blocking / wake-up
+    # ------------------------------------------------------------------
+    def _wake(self, proc: Process, now: int) -> None:
+        if proc.state is not ProcState.BLOCKED:
+            return
+        proc.wakeup_handle = None
+        proc.state = ProcState.READY
+        proc.woken_at = now
+        self.scheduler.on_ready(proc, now)
+
+    def _block(self, proc: Process, spec, now: int) -> bool:
+        """Suspend ``proc`` per ``spec``.  Returns False if the block is a
+        no-op (sleep deadline already passed)."""
+        if isinstance(spec, SleepUntil):
+            if spec.wake_at <= now:
+                return False
+            wake_at = spec.wake_at
+        elif isinstance(spec, SleepFor):
+            if spec.duration <= 0:
+                return False
+            wake_at = now + spec.duration
+        elif isinstance(spec, WaitEvent):
+            proc.state = ProcState.BLOCKED
+            self._unassign(proc)
+            self.scheduler.on_block(proc, now)
+            self._waiters.setdefault(spec.key, []).append(proc)
+            return True
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown block spec {spec!r}")
+        proc.state = ProcState.BLOCKED
+        self._unassign(proc)
+        self.scheduler.on_block(proc, now)
+        proc.wakeup_handle = self.events.push(wake_at, lambda t, _payload, p=proc: self._wake(p, t))
+        return True
+
+    # ------------------------------------------------------------------
+    # program advancement
+    # ------------------------------------------------------------------
+    def _trace_entry(self, proc: Process, nr: SyscallNr, now: int) -> int:
+        extra = 0
+        for tracer in self.tracers:
+            extra += tracer.on_syscall_entry(proc, nr, now)
+        return extra
+
+    def _trace_exit(self, proc: Process, nr: SyscallNr, now: int) -> int:
+        extra = 0
+        for tracer in self.tracers:
+            extra += tracer.on_syscall_exit(proc, nr, now)
+        return extra
+
+    def _fetch_next(self, proc: Process) -> None:
+        """Pull instructions from the program until one produces a CPU
+        segment (zero-time instructions are executed inline)."""
+        while proc.alive and proc.segment is None:
+            try:
+                if proc.started:
+                    instr: Instruction = proc.program.send(self.clock)
+                else:
+                    instr = next(proc.program)
+                    proc.started = True
+            except StopIteration:
+                self._exit(proc, self.clock)
+                return
+            except Exception as exc:  # noqa: BLE001 - crash containment
+                # a buggy program must not take the machine down: the
+                # process dies (as on a real segfault) and everything
+                # else keeps running; the exception is kept for autopsy
+                proc.crash = exc
+                self._exit(proc, self.clock)
+                return
+            if isinstance(instr, Compute):
+                if instr.duration > 0:
+                    proc.segment = Segment(SegmentKind.USER, instr.duration)
+            elif isinstance(instr, Syscall):
+                extra = self._trace_entry(proc, instr.nr, self.clock)
+                proc.segment = Segment(
+                    SegmentKind.SYSCALL,
+                    max(1, instr.cost + extra),
+                    syscall=instr,
+                    block=instr.block,
+                    entry_time=self.clock,
+                )
+            elif isinstance(instr, Fire):
+                self.fire_event(instr.key)
+            elif isinstance(instr, Label):
+                for probe in self._label_probes.get(instr.name, []):
+                    probe(proc, self.clock, instr.payload)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"program of {proc.name} yielded {instr!r}")
+
+    def _complete_segment(self, proc: Process) -> None:
+        seg = proc.segment
+        assert seg is not None and seg.remaining == 0
+        proc.segment = None
+        now = self.clock
+        if seg.kind is SegmentKind.USER:
+            self._fetch_next(proc)
+            return
+        if seg.kind is SegmentKind.SYSCALL:
+            call = seg.syscall
+            assert call is not None
+            if seg.block is not None and self._block(proc, seg.block, now):
+                # blocking call: exit path runs after the wake-up
+                proc.segment = Segment(
+                    SegmentKind.SYSCALL_RETURN,
+                    max(1, call.return_cost),
+                    syscall=call,
+                    entry_time=seg.entry_time,
+                )
+                return
+            # non-blocking (or already-expired sleep): exit now
+            self._finish_syscall(proc, call, now)
+            return
+        if seg.kind is SegmentKind.SYSCALL_RETURN:
+            call = seg.syscall
+            assert call is not None
+            self._finish_syscall(proc, call, now)
+            return
+        raise AssertionError(f"unexpected segment kind {seg.kind}")  # pragma: no cover
+
+    def _finish_syscall(self, proc: Process, call: Syscall, now: int) -> None:
+        proc.syscall_count += 1
+        self.stats.syscalls += 1
+        extra = self._trace_exit(proc, call.nr, now)
+        if extra > 0:
+            # tracing cost on the exit path: burn it before the next
+            # instruction is fetched
+            proc.segment = Segment(SegmentKind.USER, extra)
+            return
+        self._fetch_next(proc)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _dispatch_due(self) -> None:
+        while True:
+            ev = self.events.pop_due(self.clock)
+            if ev is None:
+                return
+            self.stats.dispatched_events += 1
+            ev.callback(self.clock, ev.payload)
+
+    def run(self, until: int) -> None:
+        """Advance virtual time to ``until`` (absolute ns)."""
+        if until < self.clock:
+            raise ValueError(f"cannot run backwards: clock={self.clock}, until={until}")
+        while self.clock < until:
+            self._dispatch_due()
+            proc = self.scheduler.pick(self.clock)
+            if proc is None:
+                nxt = self.events.peek_time()
+                if nxt is None:
+                    # nothing will ever happen again
+                    self.stats.idle_time += until - self.clock
+                    self.clock = until
+                    return
+                step_to = min(nxt, until)
+                self.stats.idle_time += step_to - self.clock
+                self.clock = step_to
+                continue
+            if proc is not self._current:
+                if self._current is not None and self._current.state is ProcState.RUNNING:
+                    self._current.state = ProcState.READY
+                self.stats.context_switches += 1
+                cost = self.config.context_switch_cost
+                if cost > 0:
+                    self.clock = min(until, self.clock + cost)
+                    if self.config.charge_switch_to_budget:
+                        self.scheduler.charge(proc, cost, self.clock)
+                self._current = proc
+                if self.clock >= until:
+                    return
+            proc.state = ProcState.RUNNING
+            if proc.woken_at is not None:
+                proc.sched_latency.add(self.clock - proc.woken_at)
+                proc.woken_at = None
+            if proc.segment is None:
+                self._fetch_next(proc)
+                if proc.segment is None:
+                    # process exited or yielded only zero-time instructions
+                    # that changed state (e.g. woke someone); re-decide.
+                    if self._current is proc and not proc.alive:
+                        self._current = None
+                    continue
+            quantum = proc.segment.remaining
+            bound = self.scheduler.time_until_internal_event(proc, self.clock)
+            if bound is not None:
+                quantum = min(quantum, bound)
+            nxt = self.events.peek_time()
+            if nxt is not None:
+                quantum = min(quantum, nxt - self.clock)
+            quantum = min(quantum, until - self.clock)
+            if quantum <= 0:
+                # an event is due right now or the scheduler wants control
+                # immediately; dispatch and re-pick
+                if nxt is not None and nxt <= self.clock:
+                    continue
+                if bound is not None and bound <= 0:
+                    # scheduler internal event exactly now (budget edge)
+                    self.scheduler.charge(proc, 0, self.clock)
+                    continue
+                return
+            self.clock += quantum
+            proc.cpu_time += quantum
+            self.stats.busy_time += quantum
+            proc.segment.remaining -= quantum
+            self.scheduler.charge(proc, quantum, self.clock)
+            if proc.segment is not None and proc.segment.remaining == 0:
+                self._complete_segment(proc)
+
+    def run_until_exit(self, procs: Iterable[Process], hard_limit: int) -> int:
+        """Run until every process in ``procs`` exited (or ``hard_limit``).
+
+        Returns the clock value when the last of them exited.  Useful for
+        batch workloads (the ffmpeg transcode of Table 1).
+        """
+        procs = list(procs)
+        step = max(hard_limit // 1000, 1)
+        while any(p.alive for p in procs) and self.clock < hard_limit:
+            self.run(min(self.clock + step, hard_limit))
+        last_exit = max((p.exit_time or self.clock) for p in procs)
+        return last_exit

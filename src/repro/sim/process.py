@@ -1,0 +1,129 @@
+"""Process model.
+
+A :class:`Process` wraps a program generator plus the bookkeeping the kernel
+needs: scheduling state, the currently executing segment, and accounting of
+consumed CPU time (the ``CLOCK_PROCESS_CPUTIME_ID`` equivalent that the
+paper's LFS++ sensor reads) and of wake-up→dispatch latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.sim.instructions import BlockSpec, Instruction, Syscall
+
+Program = Generator[Instruction, int, None]
+
+
+class ProcState(enum.Enum):
+    """Scheduling state of a process."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+class SegmentKind(enum.Enum):
+    """What kind of work the current segment represents."""
+
+    USER = "user"  # user-mode compute
+    SYSCALL = "syscall"  # in-kernel portion of a system call
+    SYSCALL_RETURN = "syscall_return"  # return path after a blocking call
+
+
+@dataclass
+class Segment:
+    """A contiguous slab of CPU work the process still has to perform."""
+
+    kind: SegmentKind
+    remaining: int
+    syscall: Optional[Syscall] = None
+    block: Optional[BlockSpec] = None
+    entry_time: int = -1  # when the syscall entry was stamped
+
+
+class LatencyStats:
+    """Wake-up→dispatch latency accumulator (ns)."""
+
+    __slots__ = ("n", "total", "max", "_m2", "_mean")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0
+        self.max = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, latency: int) -> None:
+        """Record one wake-up latency."""
+        self.n += 1
+        self.total += latency
+        self.max = max(self.max, latency)
+        delta = latency - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (latency - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Average latency, ns (0 before any sample)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation, ns."""
+        return math.sqrt(self._m2 / (self.n - 1)) if self.n > 1 else 0.0
+
+
+class Process:
+    """A simulated process (or thread; the model does not distinguish)."""
+
+    def __init__(self, pid: int, name: str, program: Program) -> None:
+        self.pid = pid
+        self.name = name
+        self.program = program
+        self.state = ProcState.NEW
+        self.segment: Segment | None = None
+        #: total CPU time consumed (user + kernel), ns
+        self.cpu_time = 0
+        #: wall-clock time the process exited, or None while alive
+        self.exit_time: int | None = None
+        #: wall-clock time the process was admitted to the kernel
+        self.start_time: int | None = None
+        #: number of completed system calls
+        self.syscall_count = 0
+        #: opaque slot for the scheduler (run-queue node, server ref, ...)
+        self.sched_data: object | None = None
+        #: event handle for a pending wake-up (sleep), if any
+        self.wakeup_handle: object | None = None
+        #: whether the program generator has been started (first ``next``)
+        self.started = False
+        #: the exception that killed the program, if any (see
+        #: :attr:`crashed`); a well-behaved exit leaves it None
+        self.crash: BaseException | None = None
+        #: wake-up→dispatch latency accounting (filled by the kernel)
+        self.sched_latency = LatencyStats()
+        #: timestamp of the pending wake-up not yet dispatched, if any
+        self.woken_at: int | None = None
+
+    @property
+    def crashed(self) -> bool:
+        """True when the program died on an uncaught exception."""
+        return self.crash is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Process(pid={self.pid}, name={self.name!r}, state={self.state.value})"
+
+    @property
+    def alive(self) -> bool:
+        """True until the program generator is exhausted."""
+        return self.state is not ProcState.EXITED
+
+    @property
+    def runnable(self) -> bool:
+        """True when the process can be picked by the scheduler."""
+        return self.state in (ProcState.READY, ProcState.RUNNING)

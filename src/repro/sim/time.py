@@ -1,0 +1,66 @@
+"""Virtual-time units and helpers.
+
+All simulation times are integer nanoseconds.  Integer arithmetic keeps the
+simulator exactly deterministic (no floating-point drift in the event
+calendar) and matches the precision of the kernel timestamps the paper's
+tracer records ("events ... are recorded with a very high precision in the
+kernel").
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NS = 1
+#: One microsecond in nanoseconds.
+US = 1_000
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+
+def seconds(t_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return t_ns / SEC
+
+
+def millis(t_ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return t_ns / MS
+
+
+def micros(t_ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return t_ns / US
+
+
+def from_seconds(t_s: float) -> int:
+    """Convert float seconds to integer nanoseconds (rounded)."""
+    return round(t_s * SEC)
+
+
+def from_millis(t_ms: float) -> int:
+    """Convert float milliseconds to integer nanoseconds (rounded)."""
+    return round(t_ms * MS)
+
+
+def from_micros(t_us: float) -> int:
+    """Convert float microseconds to integer nanoseconds (rounded)."""
+    return round(t_us * US)
+
+
+def fmt_time(t_ns: int) -> str:
+    """Render a nanosecond timestamp with a human-friendly unit.
+
+    >>> fmt_time(1_500)
+    '1.500us'
+    >>> fmt_time(2_000_000_000)
+    '2.000s'
+    """
+    if abs(t_ns) >= SEC:
+        return f"{t_ns / SEC:.3f}s"
+    if abs(t_ns) >= MS:
+        return f"{t_ns / MS:.3f}ms"
+    if abs(t_ns) >= US:
+        return f"{t_ns / US:.3f}us"
+    return f"{t_ns}ns"

@@ -1,0 +1,36 @@
+"""System-call tracing.
+
+Reimplements the paper's §4.1 tracing stack:
+
+- :mod:`.events` — timestamped trace records and the statically allocated
+  circular buffer that backs the kernel patch;
+- :mod:`.qtrace` — the paper's low-overhead kernel tracer: selective
+  per-pid / per-syscall filters, a character-device-style batch download
+  interface, and a calibrated per-event cost model;
+- :mod:`.ptrace_tracers` — overhead models for the ``strace`` and
+  ``qostrace`` baselines of Table 1, both of which pay two context switches
+  per traced call because they are built on ``ptrace()``;
+- :mod:`.sched_events` — the future-work alternative sketched in §6:
+  tracing blocked→ready transitions instead of system calls.
+"""
+
+from repro.tracer.events import EventKind, RingBuffer, TraceEvent
+from repro.tracer.ptrace_tracers import PtraceTracer, qostrace, strace
+from repro.tracer.qtrace import QTraceConfig, QTracer
+from repro.tracer.sched_events import WakeupTracer
+from repro.tracer.tracefile import filter_trace, load_trace, save_trace
+
+__all__ = [
+    "TraceEvent",
+    "EventKind",
+    "RingBuffer",
+    "QTracer",
+    "QTraceConfig",
+    "PtraceTracer",
+    "strace",
+    "qostrace",
+    "WakeupTracer",
+    "save_trace",
+    "load_trace",
+    "filter_trace",
+]

@@ -1,0 +1,100 @@
+"""Trace records and the kernel-side circular buffer.
+
+The paper's kernel patch logs timestamps into "a statically allocated
+circular buffer"; when the buffer wraps before the user-space tool drains
+it, the oldest events are lost.  :class:`RingBuffer` reproduces both the
+bounded memory and the overwrite semantics, and counts drops so
+experiments can check the buffer was sized correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.syscalls import SyscallNr
+
+
+class EventKind(enum.Enum):
+    """What a trace record marks."""
+
+    SYSCALL_ENTRY = "entry"
+    SYSCALL_EXIT = "exit"
+    WAKEUP = "wakeup"  # blocked -> ready transition (sched_events tracer)
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped kernel event."""
+
+    time: int
+    pid: int
+    nr: SyscallNr | None
+    kind: EventKind
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        call = self.nr.value if self.nr is not None else "-"
+        return f"TraceEvent({self.time}, pid={self.pid}, {call}, {self.kind.value})"
+
+
+class RingBuffer:
+    """Fixed-capacity circular buffer of :class:`TraceEvent`.
+
+    ``push`` overwrites the oldest entry when full (and bumps
+    :attr:`dropped`); ``drain`` returns everything currently stored, in
+    chronological order, and empties the buffer — the character-device
+    "download a batch of time instants" operation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._slots: list[TraceEvent | None] = [None] * capacity
+        self._head = 0  # next write position
+        self._count = 0
+        #: events overwritten before being drained
+        self.dropped = 0
+        #: total events ever pushed
+        self.total = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """True when the next push will overwrite the oldest record."""
+        return self._count == self.capacity
+
+    def push(self, event: TraceEvent) -> None:
+        """Append ``event``, overwriting the oldest record if full."""
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._slots[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        self.total += 1
+
+    def drain(self) -> list[TraceEvent]:
+        """Return all stored events oldest-first and empty the buffer."""
+        if self._count == 0:
+            return []
+        start = (self._head - self._count) % self.capacity
+        out: list[TraceEvent] = []
+        for i in range(self._count):
+            ev = self._slots[(start + i) % self.capacity]
+            assert ev is not None
+            out.append(ev)
+        self._slots = [None] * self.capacity
+        self._head = 0
+        self._count = 0
+        return out
+
+    def peek(self) -> list[TraceEvent]:
+        """Like :meth:`drain` but non-destructive."""
+        if self._count == 0:
+            return []
+        start = (self._head - self._count) % self.capacity
+        return [self._slots[(start + i) % self.capacity] for i in range(self._count)]  # type: ignore[misc]

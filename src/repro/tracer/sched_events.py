@@ -1,0 +1,69 @@
+"""Scheduler-transition tracing (the paper's §6 future-work direction).
+
+"Another direction can be to trace the transition between blocked and
+ready (or executing) state in the kernel as an alternative to the system
+calls. [...] it promises to be more closely related to the task temporal
+behaviour."
+
+:class:`WakeupTracer` records exactly those transitions.  It is not a
+syscall hook; it observes the kernel through a wrapper installed around
+the scheduler's ``on_ready``/``on_block`` callbacks (see :meth:`install`).
+A periodic task produces one wake-up per job, so the resulting event train
+is an even cleaner input for the period analyser than the syscall stream —
+the :mod:`repro.core.analyser` accepts either.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.tracer.events import EventKind, RingBuffer, TraceEvent
+
+
+class WakeupTracer:
+    """Records blocked→ready (and ready→blocked) transitions per pid."""
+
+    def __init__(self, capacity: int = 65536, *, record_blocks: bool = False) -> None:
+        self.buffer = RingBuffer(capacity)
+        self.record_blocks = record_blocks
+        self._pids: set[int] = set()
+        self._installed = False
+
+    def trace_pid(self, pid: int) -> None:
+        """Start tracing the scheduler transitions of ``pid``."""
+        self._pids.add(pid)
+
+    def untrace_pid(self, pid: int) -> None:
+        """Stop tracing ``pid``."""
+        self._pids.discard(pid)
+
+    def install(self, kernel: Kernel) -> None:
+        """Wrap the kernel's scheduler callbacks to observe transitions.
+
+        Idempotent per tracer instance; the wrapper delegates to the
+        original scheduler methods unchanged.
+        """
+        if self._installed:
+            return
+        self._installed = True
+        sched = kernel.scheduler
+        orig_ready = sched.on_ready
+        orig_block = sched.on_block
+        tracer = self
+
+        def on_ready(proc: Process, now: int) -> None:
+            if proc.pid in tracer._pids:
+                tracer.buffer.push(TraceEvent(now, proc.pid, None, EventKind.WAKEUP))
+            orig_ready(proc, now)
+
+        def on_block(proc: Process, now: int) -> None:
+            if tracer.record_blocks and proc.pid in tracer._pids:
+                tracer.buffer.push(TraceEvent(now, proc.pid, None, EventKind.BLOCK))
+            orig_block(proc, now)
+
+        sched.on_ready = on_ready  # type: ignore[method-assign]
+        sched.on_block = on_block  # type: ignore[method-assign]
+
+    def drain(self) -> list[TraceEvent]:
+        """Return and clear all recorded transitions, oldest first."""
+        return self.buffer.drain()

@@ -1,0 +1,103 @@
+"""Trace persistence: save and load recorded event trains.
+
+The real lfs++ workflow separates recording from analysis (the kernel
+logs, the tool downloads and processes).  This module gives the library
+the same capability: traces recorded in a simulation can be saved, shared
+and re-analysed offline (see the CLI's ``analyze`` command).
+
+Format: one event per line, tab-separated ::
+
+    <time_ns>\t<pid>\t<syscall-or-dash>\t<kind>
+
+with a single ``# qtrace v1`` header line.  The format is intentionally
+trivial — greppable, diffable, loadable from any language.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.sim.syscalls import SyscallNr
+from repro.tracer.events import EventKind, TraceEvent
+
+HEADER = "# qtrace v1"
+
+_KIND_BY_VALUE = {k.value: k for k in EventKind}
+_NR_BY_VALUE = {n.value: n for n in SyscallNr}
+
+
+def dump_trace(events: Iterable[TraceEvent], stream: io.TextIOBase) -> int:
+    """Write ``events`` to ``stream``; returns the number written."""
+    stream.write(HEADER + "\n")
+    count = 0
+    for ev in events:
+        nr = ev.nr.value if ev.nr is not None else "-"
+        stream.write(f"{ev.time}\t{ev.pid}\t{nr}\t{ev.kind.value}\n")
+        count += 1
+    return count
+
+
+def save_trace(path: str | Path, events: Iterable[TraceEvent]) -> int:
+    """Save ``events`` to ``path``; returns the number written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        return dump_trace(events, fh)
+
+
+def parse_trace(stream: io.TextIOBase) -> list[TraceEvent]:
+    """Parse a trace from ``stream`` (see module docstring for format)."""
+    first = stream.readline().rstrip("\n")
+    if first != HEADER:
+        raise ValueError(f"not a qtrace v1 file (header {first!r})")
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(stream, start=2):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+        time_s, pid_s, nr_s, kind_s = parts
+        try:
+            kind = _KIND_BY_VALUE[kind_s]
+        except KeyError:
+            raise ValueError(f"line {lineno}: unknown event kind {kind_s!r}") from None
+        nr = None
+        if nr_s != "-":
+            try:
+                nr = _NR_BY_VALUE[nr_s]
+            except KeyError:
+                raise ValueError(f"line {lineno}: unknown syscall {nr_s!r}") from None
+        events.append(TraceEvent(int(time_s), int(pid_s), nr, kind))
+    return events
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a trace saved with :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_trace(fh)
+
+
+def filter_trace(
+    events: Iterable[TraceEvent],
+    *,
+    pid: int | None = None,
+    kinds: Iterable[EventKind] | None = None,
+    start_ns: int | None = None,
+    end_ns: int | None = None,
+) -> list[TraceEvent]:
+    """Select events by pid, kind and time window (all optional)."""
+    kind_set = set(kinds) if kinds is not None else None
+    out = []
+    for ev in events:
+        if pid is not None and ev.pid != pid:
+            continue
+        if kind_set is not None and ev.kind not in kind_set:
+            continue
+        if start_ns is not None and ev.time < start_ns:
+            continue
+        if end_ns is not None and ev.time >= end_ns:
+            continue
+        out.append(ev)
+    return out

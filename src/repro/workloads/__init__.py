@@ -1,0 +1,45 @@
+"""Generative models of the legacy applications used in the evaluation.
+
+These stand in for the real binaries the paper traced:
+
+- :mod:`.mplayer` — the media player: an audio decoder pulsing ALSA
+  ``ioctl`` bursts at ~32.5 Hz (the mp3 experiments of Figures 6–12) and a
+  25 fps video decoder with GOP-structured frame costs (Figures 13–14,
+  Table 3);
+- :mod:`.ffmpeg` — a batch transcoder, the workload of the tracer
+  overhead study (Table 1);
+- :mod:`.periodic` — synthetic periodic real-time tasks, the background
+  load generator of Tables 2–3;
+- :mod:`.mixes` — canonical system-call mix statistics (Figure 4).
+
+All models draw their randomness from explicit seeds, so every experiment
+repetition is reproducible.
+"""
+
+from repro.workloads.desktop import DesktopLoadConfig, desktop_load, desktop_suite
+from repro.workloads.ffmpeg import FfmpegConfig, ffmpeg_transcode
+from repro.workloads.io import Disk, DiskConfig
+from repro.workloads.mixes import MPLAYER_CALL_MIX, sample_call
+from repro.workloads.mplayer import AudioPlayer, AudioPlayerConfig, VideoPlayer, VideoPlayerConfig
+from repro.workloads.periodic import PeriodicTaskConfig, periodic_task
+from repro.workloads.vlc import VlcConfig, VlcPlayer
+
+__all__ = [
+    "AudioPlayer",
+    "AudioPlayerConfig",
+    "VideoPlayer",
+    "VideoPlayerConfig",
+    "FfmpegConfig",
+    "ffmpeg_transcode",
+    "PeriodicTaskConfig",
+    "periodic_task",
+    "MPLAYER_CALL_MIX",
+    "sample_call",
+    "DesktopLoadConfig",
+    "desktop_load",
+    "desktop_suite",
+    "Disk",
+    "DiskConfig",
+    "VlcConfig",
+    "VlcPlayer",
+]

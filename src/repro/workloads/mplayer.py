@@ -1,0 +1,223 @@
+"""Generative mplayer models.
+
+§4.2's founding assumption: "the real-time application generates periodic
+bursts of system calls and ... the bursts are mostly concentrated at the
+beginning and at the end of the period to perform the I/O operations."
+Both models below produce exactly that structure:
+
+- :class:`AudioPlayer` — mp3 playback.  Every ~30.77 ms (32.5 Hz, the
+  frequency the paper's analyser detects for its mp3 runs) the player
+  wakes, issues a burst of reads/ioctls, decodes the frame, issues a burst
+  of ALSA ``ioctl`` writes, and blocks until the next period.
+
+- :class:`VideoPlayer` — 25 fps playback.  Same shape at 40 ms, with the
+  decode cost following a configurable MPEG GOP pattern (expensive
+  I-frames, mid P-frames, cheap B-frames — §4.4's remark 1 discusses why
+  this pattern stresses a purely average-based controller).  Each
+  displayed frame emits a ``"frame_displayed"`` label the metrics layer
+  timestamps into the paper's inter-frame-time series.
+
+Programs self-pace against an absolute release grid, as a real player
+does when it syncs to the audio clock: if decoding falls behind, the
+player skips the sleep and decodes back-to-back until it catches up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.instructions import Compute, Label, SleepUntil, Syscall
+from repro.sim.process import Program
+from repro.sim.syscalls import SyscallNr
+from repro.sim.time import MS, US
+from repro.workloads.mixes import sample_burst
+
+#: 32.5 Hz — the fundamental the paper repeatedly detects for mp3 playback
+AUDIO_PERIOD_NS = round(1e9 / 32.5)
+
+#: default MPEG group-of-pictures structure
+DEFAULT_GOP = "IBBPBBPBBPBB"
+
+
+@dataclass
+class AudioPlayerConfig:
+    """Parameters of the mp3-playback model.
+
+    One mp3 frame (~30.77 ms) is decoded per period, but the decoded
+    samples are pushed to ALSA in ``writes_per_period`` device-sized
+    chunks (real players write one ALSA period at a time, a fraction of an
+    mp3 frame).  The spectrum of the resulting event train therefore shows
+    a strong line at ``writes_per_period × 32.5 Hz`` *in addition to* the
+    32.5 Hz fundamental carried by the once-per-period input/decode burst
+    — exactly the 32.5 / 65 / 97.5 Hz peak family of the paper's
+    Figure 10.  When interference smears the decode burst, the fundamental
+    collapses while the device-write grid survives, which is how the
+    detector starts reporting integer multiples of the true frequency
+    (Table 2, Figure 12).
+    """
+
+    period: int = AUDIO_PERIOD_NS
+    #: mean decode cost per audio frame, ns
+    decode_cost: int = 2 * MS
+    #: multiplicative jitter on the decode cost (std dev as a fraction)
+    decode_jitter: float = 0.15
+    #: device writes per period (ALSA chunks per mp3 frame)
+    writes_per_period: int = 3
+    #: syscalls per device-write burst (ioctl-dominated)
+    write_burst: int = 3
+    #: syscalls in the once-per-period input/decode burst
+    start_burst: int = 6
+    #: user-mode compute between consecutive burst calls, ns
+    intra_burst_gap: int = 40 * US
+    #: release jitter (std dev, ns) of each wake-up instant
+    release_jitter: int = 200 * US
+    #: playback start offset (phase), ns
+    phase: int = 0
+    #: refill the input buffer every this many periods (0 disables);
+    #: refills block on the :class:`repro.workloads.io.Disk` daemon, whose
+    #: latency grows with best-effort contention
+    refill_every: int = 8
+    #: blocking reads per refill
+    refill_reads: int = 2
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.decode_cost < 0 or self.intra_burst_gap < 0:
+            raise ValueError("costs must be non-negative")
+        if self.writes_per_period < 1 or self.write_burst < 0:
+            raise ValueError("writes_per_period must be >= 1 and write_burst >= 0")
+
+    @property
+    def frequency(self) -> float:
+        """Fundamental frequency of the playback, Hz."""
+        return 1e9 / self.period
+
+
+class AudioPlayer:
+    """mp3 playback: periodic syscall bursts around a small decode."""
+
+    def __init__(self, config: AudioPlayerConfig | None = None) -> None:
+        self.config = config or AudioPlayerConfig()
+        self.frames_played = 0
+
+    def program(self, n_frames: int, disk=None) -> Program:
+        """Generator playing ``n_frames`` audio frames.
+
+        With ``disk`` (a :class:`repro.workloads.io.Disk`) the player
+        periodically refills its input buffer through blocking reads whose
+        latency depends on best-effort contention.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        slot_len = cfg.period // cfg.writes_per_period
+
+        def body() -> Program:
+            for j in range(n_frames):
+                base = cfg.phase + j * cfg.period
+                for s in range(cfg.writes_per_period):
+                    slot = base + s * slot_len
+                    if cfg.release_jitter > 0:
+                        slot += int(abs(rng.normal(0, cfg.release_jitter)))
+                    # block until the device has room for the next chunk
+                    yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(slot))
+                    if s == 0:
+                        if disk is not None and cfg.refill_every > 0 and j % cfg.refill_every == 0:
+                            for _ in range(cfg.refill_reads):
+                                yield disk.read_instruction()
+                        # once per period: fetch input, query clocks, decode
+                        for nr in sample_burst(rng, cfg.start_burst):
+                            yield Compute(cfg.intra_burst_gap)
+                            yield Syscall(nr)
+                        cost = max(
+                            1, int(rng.normal(cfg.decode_cost, cfg.decode_jitter * cfg.decode_cost))
+                        )
+                        yield Compute(cost)
+                    # push one device chunk (ioctl-heavy ALSA path)
+                    for _ in range(cfg.write_burst):
+                        yield Compute(cfg.intra_burst_gap)
+                        yield Syscall(SyscallNr.IOCTL)
+                self.frames_played += 1
+
+        return body()
+
+
+@dataclass
+class VideoPlayerConfig:
+    """Parameters of the 25 fps video-playback model."""
+
+    #: frame period, ns (25 fps)
+    period: int = 40 * MS
+    #: decode cost of I / P / B frames, ns (≈22% mean utilisation, the
+    #: scale of the paper's 800 MHz testbed playing a DVD-class movie)
+    i_cost: int = 15 * MS
+    p_cost: int = 11 * MS
+    b_cost: int = 9 * MS
+    #: multiplicative jitter on every frame's decode cost
+    decode_jitter: float = 0.08
+    #: GOP structure cycled over the stream
+    gop: str = DEFAULT_GOP
+    start_burst: int = 5
+    end_burst: int = 4
+    intra_burst_gap: int = 30 * US
+    phase: int = 0
+    seed: int = 2
+    #: payload key emitted with each displayed frame
+    display_label: str = "frame_displayed"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not self.gop or any(c not in "IPB" for c in self.gop):
+            raise ValueError(f"gop must be a non-empty string over 'IPB', got {self.gop!r}")
+
+    def frame_cost(self, index: int) -> int:
+        """Nominal decode cost of frame ``index`` per the GOP pattern."""
+        kind = self.gop[index % len(self.gop)]
+        return {"I": self.i_cost, "P": self.p_cost, "B": self.b_cost}[kind]
+
+    @property
+    def mean_cost(self) -> float:
+        """Average decode cost over one GOP, ns."""
+        return sum(self.frame_cost(i) for i in range(len(self.gop))) / len(self.gop)
+
+    @property
+    def utilisation(self) -> float:
+        """Average CPU fraction the playback demands."""
+        return self.mean_cost / self.period
+
+
+class VideoPlayer:
+    """25 fps playback with GOP-structured decode costs and IFT labels."""
+
+    def __init__(self, config: VideoPlayerConfig | None = None) -> None:
+        self.config = config or VideoPlayerConfig()
+        self.frames_played = 0
+
+    def program(self, n_frames: int) -> Program:
+        """Generator decoding and displaying ``n_frames`` video frames."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        def body() -> Program:
+            for j in range(n_frames):
+                target = cfg.phase + j * cfg.period
+                # sleep only if we are ahead of the playback grid
+                now = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(target))
+                for nr in sample_burst(rng, cfg.start_burst):
+                    yield Compute(cfg.intra_burst_gap)
+                    yield Syscall(nr)
+                cost = cfg.frame_cost(j)
+                cost = max(1, int(rng.normal(cost, cfg.decode_jitter * cost)))
+                yield Compute(cost)
+                for nr in sample_burst(rng, cfg.end_burst):
+                    yield Compute(cfg.intra_burst_gap)
+                    yield Syscall(nr)
+                # blit: the instant the user sees the frame
+                yield Label(cfg.display_label, {"frame": j})
+                self.frames_played += 1
+
+        return body()

@@ -1,0 +1,122 @@
+"""A multi-threaded media player (the "vlc" validation case).
+
+The paper validated period extraction "also on various other players …
+including vlc".  Unlike the single-threaded mplayer models, this player
+splits the pipeline into two threads, as real players do:
+
+- a **decoder thread** that reads, decodes and hands frames over through
+  a bounded queue;
+- an **output thread** that waits for a decoded frame, blits it on the
+  25 fps grid, and emits the ``frame_displayed`` label.
+
+The threads communicate through the kernel's event mechanism (a condition
+variable in real life).  Adopt the pair with
+:meth:`repro.core.runtime.SelfTuningRuntime.adopt_group`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.instructions import Compute, Fire, Label, SleepUntil, Syscall, WaitEvent
+from repro.sim.process import Program
+from repro.sim.syscalls import SyscallNr
+from repro.sim.time import MS, US
+
+
+@dataclass
+class VlcConfig:
+    """Two-thread 25 fps playback parameters."""
+
+    period: int = 40 * MS
+    #: decode cost per frame (flatter than the mplayer GOP model: a
+    #: pipelined decoder amortises I-frame peaks across the queue)
+    decode_cost: int = 9 * MS
+    decode_jitter: float = 0.12
+    #: output-thread blit cost per frame
+    blit_cost: int = 1 * MS
+    #: decoded-frame queue capacity
+    queue_depth: int = 4
+    #: syscalls around each decoded frame (reads, seeks)
+    decode_burst: int = 4
+    #: syscalls around each blit (Xv/ALSA pokes)
+    blit_burst: int = 3
+    intra_burst_gap: int = 30 * US
+    phase: int = 0
+    seed: int = 9
+    display_label: str = "frame_displayed"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.queue_depth < 1:
+            raise ValueError("period must be positive and queue_depth >= 1")
+
+    @property
+    def utilisation(self) -> float:
+        """Combined CPU fraction of both threads."""
+        return (self.decode_cost + self.blit_cost) / self.period
+
+
+class VlcPlayer:
+    """Decoder + output threads around a bounded frame queue."""
+
+    def __init__(self, config: VlcConfig | None = None) -> None:
+        self.config = config or VlcConfig()
+        self.frames_decoded = 0
+        self.frames_displayed = 0
+        self._queue: deque[int] = deque()
+        self._seq = id(self) & 0xFFFF
+
+    @property
+    def _frame_ready(self) -> str:
+        return f"vlc:{self._seq}:frame"
+
+    @property
+    def _slot_free(self) -> str:
+        return f"vlc:{self._seq}:slot"
+
+    def decoder_program(self, n_frames: int) -> Program:
+        """The decoder thread: fill the queue, block when it is full."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        def body() -> Program:
+            for j in range(n_frames):
+                while len(self._queue) >= cfg.queue_depth:
+                    yield Syscall(SyscallNr.FUTEX, block=WaitEvent(self._slot_free))
+                for _ in range(cfg.decode_burst):
+                    yield Compute(cfg.intra_burst_gap)
+                    yield Syscall(SyscallNr.READ)
+                cost = max(1, int(rng.normal(cfg.decode_cost, cfg.decode_jitter * cfg.decode_cost)))
+                yield Compute(cost)
+                self._queue.append(j)
+                self.frames_decoded += 1
+                yield Fire(self._frame_ready)
+            # guard against a lost wake-up racing the very last frame
+            yield Fire(self._frame_ready)
+
+        return body()
+
+    def output_program(self, n_frames: int) -> Program:
+        """The output thread: blit one frame per 40 ms grid slot."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+
+        def body() -> Program:
+            for j in range(n_frames):
+                target = cfg.phase + j * cfg.period
+                yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(target))
+                while not self._queue:
+                    yield Syscall(SyscallNr.FUTEX, block=WaitEvent(self._frame_ready))
+                self._queue.popleft()
+                yield Fire(self._slot_free)
+                for _ in range(cfg.blit_burst):
+                    yield Compute(cfg.intra_burst_gap)
+                    yield Syscall(SyscallNr.IOCTL)
+                yield Compute(cfg.blit_cost)
+                yield Label(cfg.display_label, {"frame": j})
+                self.frames_displayed += 1
+
+        return body()

@@ -1,0 +1,89 @@
+"""Tests for the demand/request bound functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Task, edf_dbf, edf_deadline_points, rm_rbf
+from repro.analysis.demand import rm_arrival_points
+from repro.analysis.tasks import total_utilisation
+
+
+class TestTask:
+    def test_implicit_deadline(self):
+        assert Task(2, 10).relative_deadline == 10
+
+    def test_constrained_deadline(self):
+        assert Task(2, 10, deadline=7).relative_deadline == 7
+
+    def test_utilisation(self):
+        assert Task(2, 10).utilisation == 0.2
+
+    @pytest.mark.parametrize("c,p", [(0, 10), (-1, 10), (5, 0), (11, 10)])
+    def test_invalid(self, c, p):
+        with pytest.raises(ValueError):
+            Task(c, p)
+
+    def test_total_utilisation(self):
+        assert total_utilisation([Task(2, 10), Task(3, 10)]) == pytest.approx(0.5)
+
+
+class TestEdfDbf:
+    def test_no_demand_before_first_deadline(self):
+        tasks = [Task(2, 10)]
+        assert edf_dbf(tasks, 9.99) == 0
+
+    def test_one_job_at_deadline(self):
+        tasks = [Task(2, 10)]
+        assert edf_dbf(tasks, 10) == 2
+
+    def test_accumulates_jobs(self):
+        tasks = [Task(2, 10)]
+        assert edf_dbf(tasks, 30) == 6
+
+    def test_multiple_tasks(self):
+        tasks = [Task(2, 10), Task(5, 20)]
+        assert edf_dbf(tasks, 20) == 4 + 5
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            edf_dbf([Task(1, 2)], -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t1=st.integers(min_value=0, max_value=500),
+        dt=st.integers(min_value=0, max_value=100),
+    )
+    def test_monotone(self, t1, dt):
+        tasks = [Task(2, 10), Task(3, 15), Task(1, 7)]
+        assert edf_dbf(tasks, t1 + dt) >= edf_dbf(tasks, t1)
+
+    def test_deadline_points(self):
+        tasks = [Task(2, 10), Task(5, 25)]
+        points = edf_deadline_points(tasks, 50)
+        assert points == [10, 20, 25, 30, 40, 50]
+
+
+class TestRmRbf:
+    def test_highest_priority_is_own_cost(self):
+        tasks = [Task(3, 15), Task(5, 20), Task(5, 30)]
+        assert rm_rbf(0, tasks, 10) == 3
+
+    def test_interference_from_higher_priorities(self):
+        tasks = [Task(3, 15), Task(5, 20), Task(5, 30)]
+        # lowest-priority task at t=30: 5 + ceil(30/15)*3 + ceil(30/20)*5
+        assert rm_rbf(2, tasks, 30) == 5 + 6 + 10
+
+    def test_equal_periods_tie_break_by_position(self):
+        tasks = [Task(1, 10), Task(2, 10)]
+        assert rm_rbf(0, tasks, 10) == 1  # first wins the tie
+        assert rm_rbf(1, tasks, 10) == 2 + 1
+
+    def test_arrival_points(self):
+        tasks = [Task(3, 15), Task(5, 20), Task(5, 30)]
+        points = rm_arrival_points(2, tasks)
+        assert points == [15, 20, 30]
+
+    def test_t_zero_rejected(self):
+        with pytest.raises(ValueError):
+            rm_rbf(0, [Task(1, 2)], 0)

@@ -1,0 +1,121 @@
+"""Tests for the minimum-budget search (Figures 1 and 2 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Task,
+    min_bandwidth_dedicated,
+    min_bandwidth_shared_edf,
+    min_bandwidth_shared_rm,
+    min_budget_dedicated,
+    min_budget_shared_rm,
+)
+from repro.analysis.minbudget import dedicated_schedulable, shared_rm_schedulable
+from repro.analysis.tasks import total_utilisation
+
+FIG1_TASK = Task(cost=20, period=100)
+FIG2_TASKS = [Task(3, 15), Task(5, 20), Task(5, 30)]
+
+
+class TestFigure1Anchors:
+    """The headline numbers §3.2 quotes for Figure 1."""
+
+    @pytest.mark.parametrize("period", [100, 50, 100 / 3, 25, 20, 10])
+    def test_exact_utilisation_at_divisors_of_p(self, period):
+        b = min_bandwidth_dedicated(FIG1_TASK, period)
+        assert b == pytest.approx(0.2, abs=1e-3)
+
+    def test_sixty_percent_at_twice_the_period(self):
+        b = min_bandwidth_dedicated(FIG1_TASK, 200)
+        assert b == pytest.approx(0.6, abs=1e-3)
+
+    def test_between_divisors_is_wasteful(self):
+        b = min_bandwidth_dedicated(FIG1_TASK, 60)
+        assert b == pytest.approx(1 / 3, abs=1e-3)
+
+    def test_small_error_near_p_third_raises_bandwidth(self):
+        at_div = min_bandwidth_dedicated(FIG1_TASK, 100 / 3)
+        off_div = min_bandwidth_dedicated(FIG1_TASK, 37)
+        assert off_div > at_div + 0.04
+
+    def test_never_below_utilisation(self):
+        for period in range(5, 201, 5):
+            b = min_bandwidth_dedicated(FIG1_TASK, period)
+            assert b is None or b >= 0.2 - 1e-6
+
+
+class TestFigure2Anchors:
+    def test_cumulative_utilisation(self):
+        assert total_utilisation(FIG2_TASKS) == pytest.approx(0.6167, abs=1e-3)
+
+    def test_single_reservation_always_wastes(self):
+        util = total_utilisation(FIG2_TASKS)
+        for period in range(1, 61, 3):
+            b = min_bandwidth_shared_rm(FIG2_TASKS, period)
+            if b is not None:
+                assert b > util + 0.05
+
+    def test_waste_range_matches_paper_shape(self):
+        util = total_utilisation(FIG2_TASKS)
+        values = [
+            min_bandwidth_shared_rm(FIG2_TASKS, t)
+            for t in [x * 0.5 for x in range(2, 121)]
+        ]
+        values = [v for v in values if v is not None]
+        assert min(values) - util < 0.15  # best case: modest waste
+        assert max(values) - util > 0.25  # worst case: severe waste
+
+    def test_edf_inside_no_worse_than_rm(self):
+        for period in (2, 5, 10, 20):
+            rm = min_bandwidth_shared_rm(FIG2_TASKS, period)
+            edf = min_bandwidth_shared_edf(FIG2_TASKS, period)
+            assert edf is not None and rm is not None
+            assert edf <= rm + 1e-6
+
+
+class TestSearchMechanics:
+    def test_infeasible_returns_none(self):
+        # C=(4,5), P=(8,12) is not RM-schedulable even on a dedicated
+        # processor (the classic over-ln2 counterexample), so no budget
+        # suffices
+        tasks = [Task(4, 8), Task(5, 12)]
+        assert min_budget_shared_rm(tasks, 4) is None
+
+    def test_dedicated_full_budget_always_feasible(self):
+        # with Q = T the dedicated supply bound is the processor itself,
+        # so any single task with C <= D fits
+        task = Task(cost=9, period=10)
+        q = min_budget_dedicated(task, 100)
+        assert q is not None and q <= 100
+
+    def test_budget_matches_bandwidth(self):
+        q = min_budget_dedicated(FIG1_TASK, 50)
+        b = min_bandwidth_dedicated(FIG1_TASK, 50)
+        assert q == pytest.approx(b * 50, abs=1e-3)
+
+    def test_schedulable_is_monotone_in_budget(self):
+        q = min_budget_shared_rm(FIG2_TASKS, 10)
+        assert q is not None
+        assert shared_rm_schedulable(FIG2_TASKS, q + 0.01, 10)
+        assert not shared_rm_schedulable(FIG2_TASKS, q - 0.05, 10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cost=st.integers(min_value=1, max_value=30),
+        period=st.integers(min_value=40, max_value=120),
+        server_period=st.integers(min_value=5, max_value=120),
+    )
+    def test_returned_budget_is_schedulable(self, cost, period, server_period):
+        task = Task(cost=cost, period=period)
+        q = min_budget_dedicated(task, server_period)
+        if q is not None:
+            assert dedicated_schedulable(task, q + 1e-6, server_period)
+
+    @settings(max_examples=20, deadline=None)
+    @given(server_period=st.floats(min_value=1.0, max_value=60.0))
+    def test_fig2_budget_always_covers_utilisation(self, server_period):
+        b = min_bandwidth_shared_rm(FIG2_TASKS, server_period)
+        if b is not None:
+            assert b >= total_utilisation(FIG2_TASKS) - 1e-6

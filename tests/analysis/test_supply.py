@@ -1,0 +1,93 @@
+"""Tests for the supply bound functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import cbs_dedicated_sbf, periodic_sbf, sbf_breakpoints
+
+
+class TestDedicatedSbf:
+    def test_zero_before_initial_delay(self):
+        # Q=20, T=100: worst-case initial delay is 80
+        assert cbs_dedicated_sbf(80, 20, 100) == 0
+        assert cbs_dedicated_sbf(79.9, 20, 100) == 0
+
+    def test_full_budget_after_delay_plus_budget(self):
+        assert cbs_dedicated_sbf(100, 20, 100) == 20
+
+    def test_slope_one_during_service(self):
+        assert cbs_dedicated_sbf(90, 20, 100) == 10
+
+    def test_flat_during_gap(self):
+        assert cbs_dedicated_sbf(150, 20, 100) == 20
+
+    def test_second_period(self):
+        assert cbs_dedicated_sbf(200, 20, 100) == 40
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            cbs_dedicated_sbf(10, 0, 100)
+        with pytest.raises(ValueError):
+            cbs_dedicated_sbf(10, 110, 100)
+
+
+class TestPeriodicSbf:
+    def test_double_initial_delay(self):
+        # Shin-Lee: delay 2(T-Q) = 160
+        assert periodic_sbf(160, 20, 100) == 0
+        assert periodic_sbf(180, 20, 100) == 20
+
+    def test_never_exceeds_dedicated(self):
+        for t in range(0, 500, 7):
+            assert periodic_sbf(t, 20, 100) <= cbs_dedicated_sbf(t, 20, 100)
+
+    def test_full_bandwidth_server_is_the_processor(self):
+        # Q == T: no delay at all
+        assert periodic_sbf(50, 100, 100) == 50
+
+
+class TestSbfProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=50),
+        period_extra=st.integers(min_value=0, max_value=100),
+        t1=st.integers(min_value=0, max_value=1000),
+        dt=st.integers(min_value=0, max_value=200),
+    )
+    def test_monotone_and_rate_bounded(self, budget, period_extra, t1, dt):
+        period = budget + period_extra
+        for sbf in (cbs_dedicated_sbf, periodic_sbf):
+            a = sbf(t1, budget, period)
+            b = sbf(t1 + dt, budget, period)
+            assert b >= a  # nondecreasing
+            assert b - a <= dt + 1e-9  # slope at most 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=50),
+        period_extra=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=1, max_value=20),
+    )
+    def test_long_run_rate_is_bandwidth(self, budget, period_extra, k):
+        period = budget + period_extra
+        t = 10 * period + k * period
+        low = cbs_dedicated_sbf(t, budget, period)
+        # over long horizons the supply approaches Q/T * t from below
+        assert low <= budget / period * t + 1e-9
+        assert low >= budget / period * t - 2 * period
+
+
+class TestBreakpoints:
+    def test_breakpoints_cover_corners(self):
+        points = sbf_breakpoints(300, 20, 100, dedicated=True)
+        # service starts at 80, 180, 280; ends at 100, 200
+        assert 80 in points and 100 in points and 180 in points
+        assert points[-1] == 300
+
+    def test_breakpoints_sorted(self):
+        points = sbf_breakpoints(500, 30, 70, dedicated=False)
+        assert points == sorted(points)
+
+    def test_empty_horizon(self):
+        assert sbf_breakpoints(0, 20, 100, dedicated=True) == []

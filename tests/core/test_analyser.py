@@ -1,0 +1,112 @@
+"""Tests for the sliding-window period analyser."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyser import AnalyserConfig, PeriodAnalyser
+from repro.core.spectrum import SpectrumConfig
+from repro.sim.syscalls import SyscallNr
+from repro.sim.time import MS, SEC
+from repro.tracer.events import EventKind, TraceEvent
+
+
+def cfg(**kwargs):
+    defaults = dict(
+        spectrum=SpectrumConfig(f_min=15.0, f_max=100.0, df=0.1),
+        horizon_ns=2 * SEC,
+        min_events=8,
+    )
+    defaults.update(kwargs)
+    return AnalyserConfig(**defaults)
+
+
+def train(period, n, phase=0):
+    return [phase + j * period for j in range(n)]
+
+
+class TestConfigValidation:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            AnalyserConfig(horizon_ns=0)
+
+    def test_invalid_min_events(self):
+        with pytest.raises(ValueError):
+            AnalyserConfig(min_events=0)
+
+
+class TestDetection:
+    def test_detects_25hz_train(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times(train(40 * MS, 60))
+        estimate = analyser.analyse(60 * 40 * MS)
+        assert estimate is not None
+        assert estimate.frequency == pytest.approx(25.0, abs=0.1)
+        assert estimate.period_ns == pytest.approx(40 * MS, rel=0.01)
+
+    def test_too_few_events_returns_none(self):
+        analyser = PeriodAnalyser(cfg(min_events=10))
+        analyser.add_times(train(40 * MS, 5))
+        assert analyser.analyse(2 * SEC) is None
+
+    def test_estimate_carries_event_count(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times(train(40 * MS, 30))
+        estimate = analyser.analyse(30 * 40 * MS)
+        assert estimate.n_events == 30
+
+    def test_last_estimate_retained(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times(train(40 * MS, 60))
+        first = analyser.analyse(60 * 40 * MS)
+        assert analyser.last_estimate is first
+
+    def test_history_records_failures_too(self):
+        analyser = PeriodAnalyser(cfg(min_events=10))
+        analyser.analyse(1 * SEC)
+        analyser.add_times(train(40 * MS, 60))
+        analyser.analyse(60 * 40 * MS)
+        assert len(analyser.history) == 2
+        assert analyser.history[0][1] is None
+        assert analyser.history[1][1] is not None
+
+
+class TestWindowing:
+    def test_events_outside_horizon_evicted(self):
+        analyser = PeriodAnalyser(cfg(horizon_ns=1 * SEC))
+        analyser.add_times(train(40 * MS, 100))  # covers 4 s
+        analyser.analyse(4 * SEC)
+        assert analyser.n_events <= 26
+
+    def test_window_times_sorted_view(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times([10 * MS, 20 * MS])
+        times = analyser.window_times()
+        assert list(times) == [10 * MS, 20 * MS]
+
+    def test_spectrum_shape(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times(train(40 * MS, 30))
+        amp = analyser.spectrum()
+        assert amp.shape == analyser.config.spectrum.frequencies().shape
+
+
+class TestBatchSink:
+    def test_add_batch_filters_nothing_but_evicts(self):
+        analyser = PeriodAnalyser(cfg(horizon_ns=1 * SEC))
+        batch = [
+            TraceEvent(t, 1, SyscallNr.IOCTL, EventKind.SYSCALL_ENTRY)
+            for t in train(40 * MS, 60)
+        ]
+        analyser.add_batch(batch, now=60 * 40 * MS)
+        assert analyser.n_events <= 26  # horizon is 1 s
+
+    def test_detection_from_batches(self):
+        analyser = PeriodAnalyser(cfg())
+        for chunk_start in range(0, 60, 10):
+            batch = [
+                TraceEvent(j * 40 * MS, 1, SyscallNr.IOCTL, EventKind.SYSCALL_ENTRY)
+                for j in range(chunk_start, chunk_start + 10)
+            ]
+            analyser.add_batch(batch, now=(chunk_start + 10) * 40 * MS)
+        estimate = analyser.analyse(60 * 40 * MS)
+        assert estimate.frequency == pytest.approx(25.0, abs=0.1)

@@ -1,0 +1,107 @@
+"""Tests for the time-domain (interval-histogram) period detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.autocorr import IntervalDetectorConfig, IntervalHistogramDetector
+from repro.sim.time import MS, SEC
+
+
+def train(period_ns, n, offsets=(0,), jitter_ns=0, seed=0):
+    rng = np.random.default_rng(seed)
+    times = []
+    for j in range(n):
+        for off in offsets:
+            t = j * period_ns + off
+            if jitter_ns:
+                t += int(rng.integers(-jitter_ns, jitter_ns + 1))
+            times.append(t)
+    return times
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_period": 0},
+            {"min_period": 200_000_000, "max_period": 100_000_000},
+            {"bin": 0},
+            {"tolerance": -1},
+            {"k_max": 0},
+            {"alpha": 1.5},
+            {"octave_tolerance": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            IntervalDetectorConfig(**kwargs)
+
+
+class TestHistogram:
+    def test_pairwise_intervals_counted(self):
+        det = IntervalHistogramDetector(
+            IntervalDetectorConfig(min_period=10 * MS, max_period=100 * MS, bin=1 * MS)
+        )
+        lags, counts, pairs = det.interval_histogram([0, 40 * MS, 80 * MS])
+        # pairs: (0,40) (0,80) (40,80) -> 3
+        assert pairs == 3
+        assert counts[40] == 2  # two pairs at 40 ms
+        assert counts[80] == 1
+
+    def test_horizon_respected(self):
+        det = IntervalHistogramDetector(
+            IntervalDetectorConfig(min_period=10 * MS, max_period=50 * MS, bin=1 * MS)
+        )
+        _, _, pairs = det.interval_histogram([0, 40 * MS, 200 * MS])
+        assert pairs == 1  # only (0, 40ms) is inside the horizon
+
+
+class TestDetection:
+    def test_clean_periodic_train(self):
+        est = IntervalHistogramDetector().detect(train(40 * MS, 100))
+        assert est.frequency == pytest.approx(25.0, abs=0.5)
+
+    def test_multi_burst_train_resolves_the_true_period(self):
+        # three bursts per period, like the ALSA writes: the job-level
+        # asymmetry (offsets near the period start) keeps P dominant
+        times = train(round(1e9 / 32.5), 130, offsets=(0, 2_100_000, 4_400_000))
+        est = IntervalHistogramDetector().detect(times)
+        assert est.frequency == pytest.approx(32.5, abs=0.5)
+
+    def test_jittered_train(self):
+        est = IntervalHistogramDetector().detect(train(40 * MS, 100, jitter_ns=1 * MS, seed=3))
+        assert est.frequency == pytest.approx(25.0, abs=0.7)
+
+    def test_empty_and_sparse_inputs(self):
+        det = IntervalHistogramDetector()
+        assert det.detect([]).period_ns is None
+        assert det.detect([5 * MS]).period_ns is None
+
+    def test_uniform_noise_gives_weak_verdict(self):
+        rng = np.random.default_rng(7)
+        times = np.sort(rng.integers(0, 4 * SEC, size=400))
+        est = IntervalHistogramDetector(
+            IntervalDetectorConfig(alpha=0.8)
+        ).detect(times)
+        # whatever it picks, the support is thin relative to a real train
+        real = IntervalHistogramDetector().detect(train(40 * MS, 100))
+        if est.period_ns is not None and est.support:
+            assert max(est.support) < max(real.support)
+
+    def test_range_bounded_to_half_horizon(self):
+        # 92 ms only fits one multiple under a 100 ms horizon: rejected
+        est = IntervalHistogramDetector().detect(train(92 * MS, 45))
+        assert est.period_ns is None or est.period_ns <= 50 * MS
+
+    def test_pairs_examined_reported(self):
+        est = IntervalHistogramDetector().detect(train(40 * MS, 50))
+        assert est.pairs_examined > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(period_ms=st.integers(min_value=12, max_value=48))
+    def test_recovers_arbitrary_periods(self, period_ms):
+        est = IntervalHistogramDetector().detect(train(period_ms * MS, 120))
+        assert est.period_ns is not None
+        assert est.period_ns == pytest.approx(period_ms * MS, rel=0.05)

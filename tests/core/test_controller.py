@@ -1,0 +1,169 @@
+"""Tests for the task controller (hysteresis, sensor wiring, actuation)."""
+
+import pytest
+
+from repro.core.analyser import AnalyserConfig, PeriodAnalyser
+from repro.core.controller import ServerSample, TaskController, TaskControllerConfig
+from repro.core.lfs import Lfs
+from repro.core.lfspp import BandwidthRequest, LfsPlusPlus
+from repro.core.spectrum import SpectrumConfig
+from repro.core.supervisor import Supervisor
+from repro.sim.time import MS, SEC
+
+
+def make_controller(feedback=None, analyser=None, config=None, sample=None):
+    supervisor = Supervisor()
+    key = supervisor.register()
+    actuated = []
+    state = {"sample": sample or ServerSample(consumed=0, exhaustions=0)}
+    controller = TaskController(
+        "t",
+        feedback=feedback or LfsPlusPlus(),
+        analyser=analyser,
+        supervisor=supervisor,
+        supervisor_key=key,
+        sensor=lambda: state["sample"],
+        actuate=actuated.append,
+        config=config or TaskControllerConfig(use_period_estimate=False),
+    )
+    return controller, actuated, state
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sampling_period": 0},
+            {"period_confirmations": 0},
+            {"period_bounds": (0, 10)},
+            {"period_bounds": (10, 10)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TaskControllerConfig(**kwargs)
+
+
+class TestActivation:
+    def test_activation_actuates_granted_request(self):
+        controller, actuated, _ = make_controller()
+        granted = controller.activate(100 * MS)
+        assert actuated == [granted]
+        assert controller.activations == 1
+
+    def test_lfspp_reads_consumed(self):
+        law = LfsPlusPlus()
+        controller, _, state = make_controller(feedback=law)
+        controller.activate(100 * MS)
+        state["sample"] = ServerSample(consumed=50 * MS, exhaustions=0)
+        granted = controller.activate(200 * MS)
+        # 50 ms consumed over 100 ms with default 40 ms period: the law
+        # clearly reacted to consumption
+        assert granted.bandwidth > 0.2
+
+    def test_lfs_reads_exhaustions(self):
+        law = Lfs()
+        controller, _, state = make_controller(feedback=law)
+        controller.activate(40 * MS)
+        b0 = law.bandwidth
+        state["sample"] = ServerSample(consumed=0, exhaustions=5)
+        controller.activate(80 * MS)
+        assert law.bandwidth > b0
+
+    def test_granted_history(self):
+        controller, _, _ = make_controller()
+        controller.activate(100 * MS)
+        controller.activate(200 * MS)
+        assert [t for t, _ in controller.granted_history] == [100 * MS, 200 * MS]
+
+
+class _StubAnalyser(PeriodAnalyser):
+    """Analyser whose estimates are scripted."""
+
+    def __init__(self, script):
+        super().__init__(AnalyserConfig(spectrum=SpectrumConfig(), horizon_ns=SEC))
+        self._script = list(script)
+
+    def analyse(self, now=None):
+        period = self._script.pop(0) if self._script else None
+        if period is None:
+            return None
+        from repro.core.analyser import PeriodEstimate
+
+        return PeriodEstimate(frequency=1e9 / period, period_ns=period, n_events=100)
+
+
+class TestPeriodHysteresis:
+    def _controller(self, script, confirmations=3):
+        analyser = _StubAnalyser(script)
+        return make_controller(
+            analyser=analyser,
+            config=TaskControllerConfig(
+                use_period_estimate=True,
+                period_confirmations=confirmations,
+                period_tolerance=0.08,
+            ),
+        )
+
+    def test_period_not_actuated_before_confirmation(self):
+        controller, _, _ = self._controller([40 * MS, 40 * MS])
+        controller.activate(100 * MS)
+        controller.activate(200 * MS)
+        assert controller.current_period_estimate() is None
+
+    def test_period_confirmed_after_consistent_sightings(self):
+        controller, _, _ = self._controller([40 * MS] * 3)
+        for k in range(1, 4):
+            controller.activate(k * 100 * MS)
+        assert controller.current_period_estimate() == 40 * MS
+
+    def test_flapping_estimates_rejected(self):
+        controller, _, _ = self._controller([40 * MS, 80 * MS, 40 * MS, 120 * MS])
+        for k in range(1, 5):
+            controller.activate(k * 100 * MS)
+        assert controller.current_period_estimate() is None
+
+    def test_out_of_bounds_estimates_rejected(self):
+        controller, _, _ = self._controller([900 * MS] * 5)
+        for k in range(1, 6):
+            controller.activate(k * 100 * MS)
+        assert controller.current_period_estimate() is None
+
+    def test_confirmed_period_tracks_small_drift(self):
+        controller, _, _ = self._controller([40 * MS] * 3 + [41 * MS])
+        for k in range(1, 5):
+            controller.activate(k * 100 * MS)
+        assert controller.current_period_estimate() == 41 * MS
+
+    def test_new_period_needs_fresh_confirmation(self):
+        controller, _, _ = self._controller([40 * MS] * 3 + [80 * MS, 80 * MS, 80 * MS])
+        for k in range(1, 7):
+            controller.activate(k * 100 * MS)
+        # the jump to 80 ms is eventually confirmed, but only after three
+        # consistent sightings
+        assert controller.current_period_estimate() == 80 * MS
+
+    def test_detection_failure_resets_pending(self):
+        controller, _, _ = self._controller([80 * MS, 80 * MS, None, 80 * MS, 80 * MS])
+        for k in range(1, 6):
+            controller.activate(k * 100 * MS)
+        assert controller.current_period_estimate() is None
+
+    def test_confirmed_period_feeds_the_law(self):
+        law = LfsPlusPlus()
+        analyser = _StubAnalyser([40 * MS] * 10)
+        supervisor = Supervisor()
+        key = supervisor.register()
+        controller = TaskController(
+            "t",
+            feedback=law,
+            analyser=analyser,
+            supervisor=supervisor,
+            supervisor_key=key,
+            sensor=lambda: ServerSample(consumed=0, exhaustions=0),
+            actuate=lambda g: None,
+            config=TaskControllerConfig(use_period_estimate=True, period_confirmations=2),
+        )
+        for k in range(1, 5):
+            granted = controller.activate(k * 100 * MS)
+        assert granted.period == 40 * MS

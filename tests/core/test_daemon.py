@@ -1,0 +1,141 @@
+"""Tests for the autonomous self-tuning daemon."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.daemon import DaemonConfig, SelfTuningDaemon
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sim.time import MS, SEC
+from repro.workloads import FfmpegConfig, VideoPlayer, ffmpeg_transcode
+from repro.workloads.desktop import desktop_load, desktop_suite
+from repro.workloads.mplayer import VideoPlayerConfig
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+
+def make_daemon(runtime, **kwargs):
+    daemon = SelfTuningDaemon(
+        runtime,
+        analyser_config=ANALYSER,
+        controller_config=TaskControllerConfig(sampling_period=100 * MS),
+        **kwargs,
+    )
+    daemon.start()
+    return daemon
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs", [{"scan_period": 0}, {"probe_duration": 0}, {"confirmations": 0}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DaemonConfig(**kwargs)
+
+
+class TestAutonomousAdoption:
+    def test_periodic_process_adopted_batch_left_alone(self):
+        """A media player gets adopted within seconds; a batch transcoder
+        and the desktop mix do not."""
+        rt = SelfTuningRuntime()
+        player = VideoPlayer(VideoPlayerConfig(seed=21))
+        player_proc = rt.spawn("mplayer", player.program(600))
+        batch = rt.spawn("ffmpeg", ffmpeg_transcode(FfmpegConfig(n_frames=4000, seed=5)))
+        desktop_pids = []
+        for i, cfg in enumerate(desktop_suite(77)):
+            desktop_pids.append(rt.spawn(f"desktop{i}", desktop_load(cfg)).pid)
+
+        daemon = make_daemon(rt)
+        rt.run(15 * SEC)
+
+        adopted_pids = {t.proc.pid for t in daemon.adopted}
+        assert player_proc.pid in adopted_pids
+        assert batch.pid not in adopted_pids
+        assert not (adopted_pids & set(desktop_pids))
+        assert batch.pid in daemon.rejected or batch.pid in daemon._probes or not batch.alive
+
+    def test_adopted_player_reaches_nominal_quality(self):
+        rt = SelfTuningRuntime()
+        player = VideoPlayer(VideoPlayerConfig(seed=22))
+        proc = rt.spawn("mplayer", player.program(600))
+        probe = InterFrameProbe(pid=proc.pid)
+        probe.install(rt.kernel)
+
+        def hog():
+            from repro.sim.instructions import Compute
+
+            while True:
+                yield Compute(10 * MS)
+
+        rt.spawn("hog", hog())
+        daemon = make_daemon(rt)
+        rt.run(24 * SEC)
+        assert daemon.adopted, "the player was never adopted"
+        task = daemon.adopted[0]
+        assert task.server.params.period == pytest.approx(40 * MS, rel=0.05)
+        # after adoption the inter-frame times settle at the frame rate
+        tail = np.array(probe.inter_frame_times[-200:]) / MS
+        assert abs(tail.mean() - 40.0) < 2.0
+
+    def test_adoption_happens_within_a_few_probe_rounds(self):
+        rt = SelfTuningRuntime()
+        player = VideoPlayer(VideoPlayerConfig(seed=23))
+        rt.spawn("mplayer", player.program(400))
+        daemon = make_daemon(rt, config=DaemonConfig(scan_period=1 * SEC, probe_duration=3 * SEC))
+        rt.run(6 * SEC)
+        assert len(daemon.adopted) == 1
+
+    def test_excluded_pids_never_touched(self):
+        rt = SelfTuningRuntime()
+        player = VideoPlayer(VideoPlayerConfig(seed=24))
+        proc = rt.spawn("mplayer", player.program(400))
+        daemon = make_daemon(rt, exclude={proc.pid})
+        rt.run(10 * SEC)
+        assert daemon.adopted == []
+
+    def test_dead_probe_cleaned_up(self):
+        rt = SelfTuningRuntime()
+
+        def short():
+            from repro.sim.instructions import Compute
+
+            yield Compute(50 * MS)
+
+        proc = rt.spawn("short", short())
+        daemon = make_daemon(rt)
+        rt.run(5 * SEC)
+        assert proc.pid not in daemon._probes
+
+    def test_stop_cancels_scanning(self):
+        rt = SelfTuningRuntime()
+        daemon = make_daemon(rt)
+        daemon.stop()
+        player = VideoPlayer(VideoPlayerConfig(seed=25))
+        rt.spawn("mplayer", player.program(300))
+        rt.run(8 * SEC)
+        assert daemon.adopted == []
+
+    def test_start_idempotent(self):
+        rt = SelfTuningRuntime()
+        daemon = make_daemon(rt)
+        daemon.start()  # second call must not double the scan rate
+        player = VideoPlayer(VideoPlayerConfig(seed=26))
+        rt.spawn("mplayer", player.program(300))
+        rt.run(8 * SEC)
+        assert len(daemon.adopted) == 1
+
+    def test_rejected_process_gets_a_rest_then_reprobe(self):
+        rt = SelfTuningRuntime()
+        batch = rt.spawn("ffmpeg", ffmpeg_transcode(FfmpegConfig(n_frames=20000, seed=6)))
+        daemon = make_daemon(
+            rt, config=DaemonConfig(scan_period=1 * SEC, probe_duration=2 * SEC, retry_after=5 * SEC)
+        )
+        rt.run(14 * SEC)
+        # probed, rejected, rested, probed again -> at least two rejections
+        assert daemon.rejected.count(batch.pid) >= 2

@@ -1,0 +1,100 @@
+"""Tests for multi-threaded (group) adoption — §6 / §3.2 economics."""
+
+import numpy as np
+import pytest
+
+from repro.core import LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.spectrum import SpectrumConfig
+from repro.sim.time import MS, SEC
+from repro.workloads import PeriodicTaskConfig, periodic_task
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=15.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+
+def spawn_threads(rt, configs):
+    return [
+        rt.spawn(f"thread{i}", periodic_task(cfg)) for i, cfg in enumerate(configs)
+    ]
+
+
+class TestGroupAdoption:
+    CONFIGS = [
+        PeriodicTaskConfig(cost=3 * MS, period=40 * MS, seed=1, extra_syscalls=3),
+        PeriodicTaskConfig(cost=2 * MS, period=40 * MS, seed=2, phase=1 * MS, extra_syscalls=3),
+    ]
+
+    def _run(self, seconds=12):
+        rt = SelfTuningRuntime()
+        procs = spawn_threads(rt, self.CONFIGS)
+        task = rt.adopt_group(
+            procs,
+            feedback=LfsPlusPlus(),
+            controller_config=TaskControllerConfig(sampling_period=100 * MS),
+            analyser_config=ANALYSER,
+        )
+        rt.run(seconds * SEC)
+        return rt, procs, task
+
+    def test_single_server_for_all_threads(self):
+        rt, procs, task = self._run(seconds=3)
+        for proc in procs:
+            assert rt.scheduler.server_of(proc) is task.server
+            assert rt.tasks[proc.pid] is task
+
+    def test_group_period_detected(self):
+        rt, procs, task = self._run()
+        est = task.controller.current_period_estimate()
+        assert est == pytest.approx(40 * MS, rel=0.03)
+
+    def test_aggregate_bandwidth_covers_both_threads(self):
+        rt, procs, task = self._run()
+        demand = sum(c.utilisation for c in self.CONFIGS)  # 12.5%
+        final = task.server.params.bandwidth
+        assert final >= demand * 0.95
+
+    def test_both_threads_progress(self):
+        rt, procs, task = self._run()
+        for proc, cfg in zip(procs, self.CONFIGS):
+            expected = cfg.utilisation * 12 * SEC
+            assert proc.cpu_time >= 0.85 * expected
+
+    def test_empty_group_rejected(self):
+        rt = SelfTuningRuntime()
+        with pytest.raises(ValueError):
+            rt.adopt_group([])
+
+    def test_double_adoption_rejected(self):
+        rt = SelfTuningRuntime()
+        procs = spawn_threads(rt, self.CONFIGS)
+        rt.adopt_group(procs)
+        with pytest.raises(ValueError):
+            rt.adopt(procs[0])
+
+    def test_shared_reservation_costs_more_than_dedicated(self):
+        """The live version of the §3.2/Figure 2 economics: the same two
+        threads adopted separately converge to dedicated reservations
+        whose *sum* is no larger than the shared one needs (which must
+        absorb intra-server interference on top of the demand)."""
+        rt_shared, _, group = self._run()
+        shared_bw = group.server.params.bandwidth
+
+        rt_sep = SelfTuningRuntime()
+        procs = spawn_threads(rt_sep, self.CONFIGS)
+        tasks = [
+            rt_sep.adopt(
+                proc,
+                feedback=LfsPlusPlus(),
+                controller_config=TaskControllerConfig(sampling_period=100 * MS),
+                analyser_config=ANALYSER,
+            )
+            for proc in procs
+        ]
+        rt_sep.run(12 * SEC)
+        dedicated_bw = sum(t.server.params.bandwidth for t in tasks)
+        # both meet the demand; the shared server is not cheaper
+        assert shared_bw >= sum(c.utilisation for c in self.CONFIGS) * 0.95
+        assert dedicated_bw <= shared_bw * 1.35

@@ -1,0 +1,95 @@
+"""Tests for the original LFS baseline."""
+
+import pytest
+
+from repro.core.lfs import Lfs, LfsConfig
+from repro.sim.time import MS
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta_up": 0.0},
+            {"eta_down": -0.1},
+            {"min_bandwidth": 0.0},
+            {"min_bandwidth": 0.6, "max_bandwidth": 0.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            LfsConfig(**kwargs)
+
+
+class TestDynamics:
+    def test_saturation_increases_bandwidth(self):
+        lfs = Lfs()
+        b0 = lfs.bandwidth
+        lfs.update_binary(saturated=True, now=0)
+        assert lfs.bandwidth > b0
+
+    def test_slack_decreases_bandwidth(self):
+        lfs = Lfs(LfsConfig(initial_bandwidth=0.5))
+        lfs.update_binary(saturated=False, now=0)
+        assert lfs.bandwidth < 0.5
+
+    def test_growth_is_multiplicative(self):
+        cfg = LfsConfig(eta_up=0.1, initial_bandwidth=0.1)
+        lfs = Lfs(cfg)
+        for _ in range(10):
+            lfs.update_binary(saturated=True, now=0)
+        assert lfs.bandwidth == pytest.approx(0.1 * 1.1**10, rel=1e-6)
+
+    def test_bounds_respected(self):
+        lfs = Lfs(LfsConfig(min_bandwidth=0.05, max_bandwidth=0.6, initial_bandwidth=0.5))
+        for _ in range(200):
+            lfs.update_binary(saturated=True, now=0)
+        assert lfs.bandwidth == 0.6
+        for _ in range(5000):
+            lfs.update_binary(saturated=False, now=0)
+        assert lfs.bandwidth == pytest.approx(0.05)
+
+    def test_slow_convergence_from_cold_start(self):
+        """The Figure 13 behaviour: LFS needs on the order of a hundred
+        periods to travel from its initial 5% to a 30% demand."""
+        lfs = Lfs()
+        steps = 0
+        while lfs.bandwidth < 0.30 and steps < 1000:
+            lfs.update_binary(saturated=True, now=steps)
+            steps += 1
+        assert 80 <= steps <= 400
+
+    def test_fixed_period(self):
+        lfs = Lfs(LfsConfig(period=40 * MS))
+        req = lfs.update_binary(saturated=True, now=0)
+        assert req.period == 40 * MS
+
+    def test_period_estimate_ignored(self):
+        lfs = Lfs()
+        req = lfs.update(0, period_ns=77 * MS, now=0)
+        assert req.period == lfs.config.period
+
+
+class TestExhaustionCounterInterface:
+    def test_counter_delta_drives_binary_signal(self):
+        lfs = Lfs(LfsConfig(initial_bandwidth=0.2))
+        lfs.update(0, period_ns=None, now=0)
+        b0 = lfs.bandwidth
+        lfs.update(3, period_ns=None, now=40 * MS)  # saturated
+        assert lfs.bandwidth > b0
+        b1 = lfs.bandwidth
+        lfs.update(3, period_ns=None, now=80 * MS)  # no new exhaustion
+        assert lfs.bandwidth < b1
+
+    def test_history(self):
+        lfs = Lfs()
+        lfs.update(0, None, 0)
+        lfs.update(1, None, 40 * MS)
+        assert len(lfs.history) == 2
+
+    def test_sensor_attribute(self):
+        assert Lfs.SENSOR == "exhaustions"
+
+    def test_initial_request_ignores_hint(self):
+        lfs = Lfs()
+        assert lfs.initial_request(123 * MS).period == lfs.config.period

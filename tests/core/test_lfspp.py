@@ -1,0 +1,153 @@
+"""Tests for the LFS++ feedback law."""
+
+import pytest
+
+from repro.core.lfspp import BandwidthRequest, LfsPlusPlus, LfsPlusPlusConfig
+from repro.sim.time import MS, SEC
+
+
+class TestBandwidthRequest:
+    def test_bandwidth(self):
+        assert BandwidthRequest(budget=10 * MS, period=100 * MS).bandwidth == 0.1
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"spread": -0.1}, {"max_bandwidth": 0.0}, {"max_bandwidth": 1.5}, {"default_period": 0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            LfsPlusPlusConfig(**kwargs)
+
+
+class TestInitialRequest:
+    def test_uses_default_period(self):
+        law = LfsPlusPlus(LfsPlusPlusConfig(default_period=40 * MS, initial_bandwidth=0.05))
+        req = law.initial_request()
+        assert req.period == 40 * MS
+        assert req.bandwidth == pytest.approx(0.05, abs=0.01)
+
+    def test_period_hint_overrides(self):
+        law = LfsPlusPlus()
+        req = law.initial_request(30 * MS)
+        assert req.period == 30 * MS
+
+
+class TestControlLaw:
+    def test_first_update_bootstraps(self):
+        law = LfsPlusPlus()
+        req = law.update(consumed_total=0, period_ns=40 * MS, now=100 * MS)
+        assert req.bandwidth == pytest.approx(law.config.initial_bandwidth, abs=0.01)
+
+    def test_steady_consumption_yields_spread_budget(self):
+        """Q_req = (1+x) * P(W_k - W_{k-1}) * P / S."""
+        cfg = LfsPlusPlusConfig(spread=0.1)
+        law = LfsPlusPlus(cfg)
+        period = 40 * MS
+        # 10 ms consumed per 100 ms sample -> 4 ms per period
+        consumed = 0
+        for k in range(1, 20):
+            consumed += 10 * MS
+            req = law.update(consumed, period, k * 100 * MS)
+        expected = int(1.1 * 4 * MS)
+        assert req.budget == pytest.approx(expected, rel=0.01)
+        assert req.period == period
+
+    def test_quantile_keeps_the_peak(self):
+        law = LfsPlusPlus(LfsPlusPlusConfig(spread=0.0, predictor_window=16, quantile=1.0))
+        period = 40 * MS
+        consumed = 0
+        deltas = [4 * MS] * 5 + [20 * MS] + [4 * MS] * 5
+        req = None
+        for k, d in enumerate(deltas, start=1):
+            consumed += d
+            req = law.update(consumed, period, k * 100 * MS)
+        # the 20ms spike is still inside the window: prediction = its
+        # per-period translation 20ms * 40/100 = 8ms
+        assert req.budget == pytest.approx(8 * MS, rel=0.02)
+
+    def test_budget_floor(self):
+        cfg = LfsPlusPlusConfig(min_budget=500_000)
+        law = LfsPlusPlus(cfg)
+        law.update(0, 40 * MS, 100 * MS)
+        req = law.update(0, 40 * MS, 200 * MS)  # zero consumption
+        assert req.budget == 500_000
+
+    def test_bandwidth_cap(self):
+        cfg = LfsPlusPlusConfig(max_bandwidth=0.5, spread=0.0)
+        law = LfsPlusPlus(cfg)
+        period = 40 * MS
+        law.update(0, period, 100 * MS)
+        req = law.update(100 * MS, period, 200 * MS)  # consumed 100% of cpu
+        assert req.bandwidth <= 0.5 + 1e-9
+
+    def test_interval_uses_actual_elapsed_time(self):
+        law = LfsPlusPlus(LfsPlusPlusConfig(spread=0.0, quantile=1.0))
+        period = 40 * MS
+        law.update(0, period, 100 * MS)
+        # a late activation: 20 ms consumed over 200 ms
+        req = law.update(20 * MS, period, 300 * MS)
+        assert req.budget == pytest.approx(20 * MS * period // (200 * MS), rel=0.02)
+
+    def test_non_advancing_clock_resets_baseline(self):
+        law = LfsPlusPlus()
+        law.update(5 * MS, 40 * MS, 100 * MS)
+        req = law.update(6 * MS, 40 * MS, 100 * MS)  # same timestamp
+        assert req.bandwidth == pytest.approx(law.config.initial_bandwidth, abs=0.01)
+
+    def test_history_recorded(self):
+        law = LfsPlusPlus()
+        law.update(0, 40 * MS, 100 * MS)
+        law.update(5 * MS, 40 * MS, 200 * MS)
+        assert len(law.history) == 2
+        assert law.history[0][0] == 100 * MS
+
+    def test_sensor_attribute(self):
+        assert LfsPlusPlus.SENSOR == "consumed"
+
+
+class TestExhaustionBoost:
+    """The §4.4-remark-1 extension: cooperate with the scheduler on
+    budget exhaustion to cover workload peaks (I frames)."""
+
+    def _law(self, threshold):
+        cfg = LfsPlusPlusConfig(
+            spread=0.0,
+            quantile=1.0,
+            exhaustion_rate_threshold=threshold,
+            exhaustion_boost=0.5,
+        )
+        return LfsPlusPlus(cfg)
+
+    def test_boost_trips_on_frequent_exhaustions(self):
+        law = self._law(threshold=0.5)
+        period = 40 * MS
+        law.update(0, period, 100 * MS, exhaustions_total=0)
+        # 10 ms consumed, 5 exhaustions over 2.5 periods: rate 2/period
+        req = law.update(10 * MS, period, 200 * MS, exhaustions_total=5)
+        base = 10 * MS * period // (100 * MS)
+        assert req.budget == pytest.approx(int(1.5 * base), rel=0.02)
+        assert law.boosts == 1
+
+    def test_no_boost_below_threshold(self):
+        law = self._law(threshold=3.0)
+        period = 40 * MS
+        law.update(0, period, 100 * MS, exhaustions_total=0)
+        req = law.update(10 * MS, period, 200 * MS, exhaustions_total=2)
+        base = 10 * MS * period // (100 * MS)
+        assert req.budget == pytest.approx(base, rel=0.02)
+        assert law.boosts == 0
+
+    def test_disabled_by_default(self):
+        law = LfsPlusPlus()
+        assert law.config.exhaustion_rate_threshold is None
+        law.update(0, 40 * MS, 100 * MS, exhaustions_total=0)
+        law.update(10 * MS, 40 * MS, 200 * MS, exhaustions_total=50)
+        assert law.boosts == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LfsPlusPlusConfig(exhaustion_rate_threshold=-1.0)
+        with pytest.raises(ValueError):
+            LfsPlusPlusConfig(exhaustion_boost=-0.1)

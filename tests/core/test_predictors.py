@@ -1,0 +1,115 @@
+"""Tests for the LFS++ prediction functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictors import Ewma, MovingAverage, Predictor, QuantileEstimator
+
+
+class TestQuantileEstimator:
+    def test_empty_predicts_zero(self):
+        assert QuantileEstimator().predict() == 0.0
+
+    def test_p_one_takes_maximum(self):
+        q = QuantileEstimator(window=16, quantile=1.0)
+        for v in (3, 9, 1, 7):
+            q.observe(v)
+        assert q.predict() == 9
+
+    def test_paper_second_maximum(self):
+        # N = 16, p = 0.9375 -> second maximum
+        q = QuantileEstimator(window=16, quantile=0.9375)
+        for v in range(16):
+            q.observe(v)
+        assert q.predict() == 14
+
+    def test_third_maximum(self):
+        q = QuantileEstimator(window=16, quantile=0.875)
+        for v in range(16):
+            q.observe(v)
+        assert q.predict() == 13
+
+    def test_warming_window_is_conservative(self):
+        # with few samples the rank scales down: 2 samples -> maximum
+        q = QuantileEstimator(window=16, quantile=0.9375)
+        q.observe(10)
+        q.observe(2)
+        assert q.predict() == 10
+
+    def test_sliding_window_forgets(self):
+        q = QuantileEstimator(window=4, quantile=1.0)
+        for v in (100, 1, 1, 1, 1):
+            q.observe(v)
+        assert q.predict() == 1
+
+    def test_reset(self):
+        q = QuantileEstimator()
+        q.observe(5)
+        q.reset()
+        assert q.predict() == 0.0
+
+    @pytest.mark.parametrize("window,quantile", [(0, 0.5), (4, 0.0), (4, 1.5)])
+    def test_invalid(self, window, quantile):
+        with pytest.raises(ValueError):
+            QuantileEstimator(window=window, quantile=quantile)
+
+    @settings(max_examples=40)
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30),
+        quantile=st.sampled_from([1.0, 0.9375, 0.875, 0.75]),
+    )
+    def test_prediction_is_an_observed_value_below_max(self, values, quantile):
+        q = QuantileEstimator(window=16, quantile=quantile)
+        for v in values:
+            q.observe(v)
+        window = values[-16:]
+        assert q.predict() in window
+        assert q.predict() <= max(window)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(QuantileEstimator(), Predictor)
+
+
+class TestMovingAverage:
+    def test_mean_over_window(self):
+        m = MovingAverage(window=3)
+        for v in (1, 2, 3, 4):
+            m.observe(v)
+        assert m.predict() == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert MovingAverage().predict() == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=0)
+
+
+class TestEwma:
+    def test_first_sample_taken_verbatim(self):
+        e = Ewma(alpha=0.5)
+        e.observe(8.0)
+        assert e.predict() == 8.0
+
+    def test_converges_to_constant_input(self):
+        e = Ewma(alpha=0.5)
+        for _ in range(40):
+            e.observe(10.0)
+        assert e.predict() == pytest.approx(10.0)
+
+    def test_bias_up_reacts_faster_to_increases(self):
+        slow = Ewma(alpha=0.2, bias_up=0.0)
+        fast = Ewma(alpha=0.2, bias_up=1.0)
+        for e in (slow, fast):
+            e.observe(1.0)
+            e.observe(10.0)
+        assert fast.predict() > slow.predict()
+
+    @pytest.mark.parametrize("alpha,bias", [(0.0, 0), (1.5, 0), (0.5, -1)])
+    def test_invalid(self, alpha, bias):
+        with pytest.raises(ValueError):
+            Ewma(alpha=alpha, bias_up=bias)
+
+    def test_empty(self):
+        assert Ewma().predict() == 0.0

@@ -1,0 +1,124 @@
+"""Integration tests for the full self-tuning runtime (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lfs, LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sim.time import MS, SEC
+from repro.workloads import PeriodicTaskConfig, VideoPlayer, periodic_task
+from repro.workloads.mplayer import VideoPlayerConfig
+
+VIDEO_ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+
+def adaptive_playback(n_frames=400, feedback=None, load=None, seconds=None):
+    # run exactly to the end of playback: past it the controller decays
+    # (zero consumption) and final-state assertions would see the decay
+    if seconds is None:
+        seconds = n_frames * 40 // 1000
+    rt = SelfTuningRuntime()
+    player = VideoPlayer(VideoPlayerConfig(seed=7))
+    proc = rt.spawn("mplayer", player.program(n_frames))
+    probe = InterFrameProbe(pid=proc.pid)
+    probe.install(rt.kernel)
+    task = rt.adopt(
+        proc,
+        feedback=feedback or LfsPlusPlus(),
+        controller_config=TaskControllerConfig(sampling_period=100 * MS),
+        analyser_config=VIDEO_ANALYSER,
+    )
+    if load:
+        for i, cfg in enumerate(load):
+            lp = rt.spawn(f"load{i}", periodic_task(cfg))
+            rt.add_static_reservation(lp, budget=int(cfg.cost * 1.1), period=cfg.period)
+    rt.run(seconds * SEC)
+    return rt, task, player, probe
+
+
+class TestClosedLoop:
+    def test_period_inferred_and_actuated(self):
+        rt, task, player, probe = adaptive_playback()
+        assert task.controller.current_period_estimate() == pytest.approx(40 * MS, rel=0.02)
+        assert task.server.params.period == pytest.approx(40 * MS, rel=0.02)
+
+    def test_bandwidth_converges_to_demand(self):
+        rt, task, player, probe = adaptive_playback()
+        final_bw = task.server.params.bandwidth
+        util = player.config.utilisation
+        assert util <= final_bw <= util * 2.2
+
+    def test_playback_quality(self):
+        rt, task, player, probe = adaptive_playback()
+        ift = np.array(probe.inter_frame_times) / MS
+        assert abs(ift.mean() - 40.0) < 1.5
+        # converged tail is smooth
+        tail = ift[len(ift) // 2 :]
+        assert tail.std() < 15.0
+
+    def test_consumed_time_sensor_monotone(self):
+        rt, task, player, probe = adaptive_playback(n_frames=100, seconds=5)
+        assert task.server.consumed > 0
+        assert task.server.consumed == task.proc.cpu_time
+
+    def test_lfs_adapts_more_slowly_than_lfspp(self):
+        _, t_pp, _, probe_pp = adaptive_playback(feedback=LfsPlusPlus())
+        _, t_lfs, _, probe_lfs = adaptive_playback(
+            feedback=Lfs(),
+        )
+        ift_pp = np.array(probe_pp.inter_frame_times) / MS
+        ift_lfs = np.array(probe_lfs.inter_frame_times) / MS
+
+        def last_late(ift):
+            late = np.where(ift > 80.0)[0]
+            return int(late[-1]) if late.size else 0
+
+        assert last_late(ift_lfs) > last_late(ift_pp)
+
+    def test_supervisor_protects_against_overload(self):
+        load = [PeriodicTaskConfig(cost=7 * MS, period=10 * MS, seed=5)]
+        rt, task, player, probe = adaptive_playback(load=load, seconds=10)
+        total = rt.supervisor.total_granted_bandwidth()
+        assert total <= rt.supervisor.u_lub + 1e-6
+
+    def test_double_adoption_rejected(self):
+        rt = SelfTuningRuntime()
+        player = VideoPlayer()
+        proc = rt.spawn("p", player.program(10))
+        rt.adopt(proc)
+        with pytest.raises(ValueError):
+            rt.adopt(proc)
+
+    def test_static_reservation_isolates(self):
+        rt = SelfTuningRuntime()
+        cfg = PeriodicTaskConfig(cost=2 * MS, period=10 * MS, seed=3)
+        lp = rt.spawn("rt", periodic_task(cfg))
+        server = rt.add_static_reservation(lp, budget=2 * MS + 500_000, period=10 * MS)
+
+        def hog():
+            from repro.sim.instructions import Compute
+
+            while True:
+                yield Compute(10 * MS)
+
+        rt.spawn("hog", hog())
+        rt.run(1 * SEC)
+        # ~20% of the CPU went to the reserved periodic task
+        assert abs(lp.cpu_time - 200 * MS) < 30 * MS
+
+    def test_rate_detection_disabled(self):
+        rt = SelfTuningRuntime()
+        player = VideoPlayer()
+        proc = rt.spawn("p", player.program(50))
+        task = rt.adopt(
+            proc,
+            controller_config=TaskControllerConfig(use_period_estimate=False),
+        )
+        rt.run(3 * SEC)
+        assert task.analyser is None
+        assert task.controller.current_period_estimate() is None

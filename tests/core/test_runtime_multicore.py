@@ -1,0 +1,75 @@
+"""The closed loop on a globally scheduled multicore (gEDF over CBS)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sched.gedf import GlobalCbsScheduler
+from repro.sim.multicore import MultiCoreKernel
+from repro.sim.time import MS, SEC
+from repro.workloads import VideoPlayer
+from repro.workloads.mplayer import VideoPlayerConfig
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+
+def adopt_kwargs():
+    return dict(
+        feedback=LfsPlusPlus(),
+        controller_config=TaskControllerConfig(sampling_period=100 * MS),
+        analyser_config=ANALYSER,
+    )
+
+
+class TestGlobalMulticoreRuntime:
+    def test_constructor_wires_multicore(self):
+        rt = SelfTuningRuntime(n_cpus=2)
+        assert isinstance(rt.kernel, MultiCoreKernel)
+        assert isinstance(rt.scheduler, GlobalCbsScheduler)
+        assert rt.kernel.n_cpus == 2
+
+    def test_custom_kernel_requires_scheduler(self):
+        sched = GlobalCbsScheduler()
+        kernel = MultiCoreKernel(sched, 2)
+        with pytest.raises(ValueError):
+            SelfTuningRuntime(kernel=kernel)
+        rt = SelfTuningRuntime(scheduler=sched, kernel=kernel, n_cpus=2)
+        assert rt.kernel is kernel
+
+    def test_supervisor_capacity_scales_with_cpus(self):
+        rt = SelfTuningRuntime(n_cpus=2, u_lub=0.9)
+        assert rt.supervisor.u_lub == pytest.approx(1.8)
+
+    def test_four_players_fit_on_two_cpus_globally(self):
+        """The workload that overloads one CPU plays cleanly under global
+        CBS on two CPUs — without any explicit placement."""
+        rt = SelfTuningRuntime(n_cpus=2)
+        probes = []
+        players = []
+        for i in range(4):
+            player = VideoPlayer(VideoPlayerConfig(seed=40 + i, phase=i * 7 * MS))
+            proc = rt.spawn(f"player{i}", player.program(300))
+            probe = InterFrameProbe(pid=proc.pid)
+            probe.install(rt.kernel)
+            rt.adopt(proc, **adopt_kwargs())
+            probes.append(probe)
+            players.append(player)
+        rt.run(12 * SEC)
+        for player, probe in zip(players, probes):
+            assert player.frames_played == 300
+            ift = np.array(probe.inter_frame_times) / MS
+            assert abs(ift.mean() - 40.0) < 2.0
+
+    def test_periods_inferred_on_multicore(self):
+        rt = SelfTuningRuntime(n_cpus=2)
+        player = VideoPlayer(VideoPlayerConfig(seed=50))
+        proc = rt.spawn("p", player.program(250))
+        task = rt.adopt(proc, **adopt_kwargs())
+        rt.run(10 * SEC)
+        assert task.controller.current_period_estimate() == pytest.approx(40 * MS, rel=0.03)

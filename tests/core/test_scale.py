@@ -1,0 +1,83 @@
+"""Scale tests: many adopted tasks, many CPUs, long horizons."""
+
+import numpy as np
+
+from repro.core import LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.smp import SmpSelfTuningRuntime
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sim.time import MS, SEC
+from repro.workloads import PeriodicTaskConfig, VideoPlayer, periodic_task
+from repro.workloads.mplayer import VideoPlayerConfig
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.2), horizon_ns=2 * SEC
+)
+
+
+def adopt_kwargs():
+    return dict(
+        feedback=LfsPlusPlus(),
+        controller_config=TaskControllerConfig(sampling_period=200 * MS),
+        analyser_config=ANALYSER,
+    )
+
+
+class TestScale:
+    def test_twelve_players_on_four_cpus(self):
+        """12 adaptive players (3 per CPU, ~85% per-CPU demand) spread
+        over 4 partitioned CPUs and all converge."""
+        smp = SmpSelfTuningRuntime(4)
+        probes = []
+        for i in range(12):
+            # lighter streams (~18% demand) so three reservations plus
+            # their spread margins fit comfortably inside one CPU
+            player = VideoPlayer(
+                VideoPlayerConfig(
+                    seed=100 + i,
+                    phase=(i % 6) * 5 * MS,
+                    i_cost=10 * MS,
+                    p_cost=8 * MS,
+                    b_cost=6 * MS,
+                )
+            )
+            cpu, proc, _ = smp.place(f"p{i}", player.program(150), **adopt_kwargs())
+            probe = InterFrameProbe(pid=proc.pid)
+            probe.install(smp.cpus[cpu].kernel)
+            probes.append(probe)
+        smp.run(6 * SEC)
+        # placement spread every CPU evenly
+        per_cpu = [row["adopted_tasks"] for row in smp.load_report()]
+        assert per_cpu == [3, 3, 3, 3]
+        # nobody starves
+        good = sum(
+            1
+            for p in probes
+            if p.inter_frame_times and abs(np.mean(p.inter_frame_times) / MS - 40) < 3
+        )
+        assert good >= 11
+
+    def test_many_controllers_one_kernel(self):
+        """A dozen heterogeneous adaptive tasks coexist on one CPU within
+        the supervisor bound."""
+        rt = SelfTuningRuntime()
+        periods = [20, 25, 40, 50, 80, 100]
+        procs = []
+        for i, period_ms in enumerate(periods * 2):
+            cfg = PeriodicTaskConfig(
+                cost=period_ms * MS // 25,  # 4% each
+                period=period_ms * MS,
+                seed=200 + i,
+                phase=i * 3 * MS,
+                extra_syscalls=3,
+            )
+            proc = rt.spawn(f"t{i}", periodic_task(cfg))
+            rt.adopt(proc, **adopt_kwargs())
+            procs.append((proc, cfg))
+        rt.run(8 * SEC)
+        assert rt.supervisor.total_granted_bandwidth() <= 0.95 + 1e-6
+        for proc, cfg in procs:
+            expected = cfg.utilisation * 8 * SEC
+            assert proc.cpu_time >= 0.8 * expected, proc.name

@@ -1,0 +1,120 @@
+"""Tests for the partitioned multicore runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import LfsPlusPlus
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.smp import SmpSelfTuningRuntime
+from repro.core.spectrum import SpectrumConfig
+from repro.metrics import InterFrameProbe
+from repro.sim.time import MS, SEC
+from repro.workloads import VideoPlayer
+from repro.workloads.mplayer import VideoPlayerConfig
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+
+def adopt_kwargs():
+    return dict(
+        feedback=LfsPlusPlus(),
+        controller_config=TaskControllerConfig(sampling_period=100 * MS),
+        analyser_config=ANALYSER,
+    )
+
+
+class TestConstruction:
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            SmpSelfTuningRuntime(0)
+
+    def test_n_cpus(self):
+        assert SmpSelfTuningRuntime(3).n_cpus == 3
+
+
+class TestPlacement:
+    def test_worst_fit_spreads_tasks(self):
+        smp = SmpSelfTuningRuntime(2)
+        placements = []
+        for i in range(4):
+            player = VideoPlayer(VideoPlayerConfig(seed=i))
+            cpu, _, _ = smp.place(f"p{i}", player.program(100), **adopt_kwargs())
+            placements.append(cpu)
+        assert placements == [0, 1, 0, 1]
+
+    def test_pinned_placement(self):
+        smp = SmpSelfTuningRuntime(2)
+        player = VideoPlayer()
+        cpu, _, _ = smp.place("p", player.program(10), cpu=1, **adopt_kwargs())
+        assert cpu == 1
+
+    def test_invalid_pin_rejected(self):
+        smp = SmpSelfTuningRuntime(2)
+        player = VideoPlayer()
+        with pytest.raises(ValueError):
+            smp.place("p", player.program(10), cpu=5, **adopt_kwargs())
+
+    def test_background_round_robin(self):
+        smp = SmpSelfTuningRuntime(2)
+
+        def idle():
+            from repro.sim.instructions import Compute
+
+            yield Compute(1 * MS)
+
+        cpus = [smp.spawn_background(f"bg{i}", idle())[0] for i in range(4)]
+        assert cpus == [0, 1, 0, 1]
+
+
+class TestPartitionedExecution:
+    def test_two_players_per_cpu_meet_quality(self):
+        """Four 25%-utilisation players overload one CPU; two CPUs carry
+        them comfortably under partitioned adaptive reservations."""
+        smp = SmpSelfTuningRuntime(2)
+        probes = []
+        for i in range(4):
+            player = VideoPlayer(VideoPlayerConfig(seed=20 + i, phase=i * 7 * MS))
+            cpu, proc, task = smp.place(f"player{i}", player.program(300), **adopt_kwargs())
+            probe = InterFrameProbe(pid=proc.pid)
+            probe.install(smp.cpus[cpu].kernel)
+            probes.append(probe)
+        smp.run(12 * SEC)
+        for probe in probes:
+            ift = np.array(probe.inter_frame_times) / MS
+            assert abs(ift.mean() - 40.0) < 2.0
+            assert ift[50:].std() < 15.0
+
+    def test_load_report(self):
+        smp = SmpSelfTuningRuntime(2)
+        for i in range(2):
+            player = VideoPlayer(VideoPlayerConfig(seed=30 + i))
+            smp.place(f"p{i}", player.program(100), **adopt_kwargs())
+        smp.run(4 * SEC)
+        report = smp.load_report()
+        assert len(report) == 2
+        for row in report:
+            assert 0.0 <= row["busy_fraction"] <= 1.0
+            assert row["adopted_tasks"] == 1
+            assert row["granted_bandwidth"] > 0
+
+    def test_single_cpu_overloads_with_same_workload(self):
+        """The contrast case: the same four players on one CPU exceed the
+        supervisor bound and playback degrades."""
+        smp = SmpSelfTuningRuntime(1)
+        probes = []
+        for i in range(4):
+            player = VideoPlayer(VideoPlayerConfig(seed=20 + i, phase=i * 7 * MS))
+            cpu, proc, task = smp.place(f"player{i}", player.program(300), **adopt_kwargs())
+            probe = InterFrameProbe(pid=proc.pid)
+            probe.install(smp.cpus[cpu].kernel)
+            probes.append(probe)
+        smp.run(12 * SEC)
+        worst_mean = max(
+            np.mean(np.array(p.inter_frame_times) / MS) for p in probes if p.inter_frame_times
+        )
+        assert worst_mean > 42.0  # visibly degraded
+        # and the supervisor never over-committed the single CPU
+        assert smp.granted_bandwidth(0) <= 0.95 + 1e-6

@@ -1,0 +1,142 @@
+"""Tests for the sparse amplitude spectrum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spectrum import Spectrum, SpectrumConfig, expected_operations, sparse_amplitude_spectrum
+from repro.sim.time import MS, SEC
+
+
+class TestConfig:
+    def test_frequency_grid(self):
+        cfg = SpectrumConfig(f_min=1.0, f_max=2.0, df=0.5)
+        assert list(cfg.frequencies()) == [1.0, 1.5, 2.0]
+        assert cfg.n_samples == 3
+
+    @pytest.mark.parametrize("fmin,fmax,df", [(-1, 10, 0.1), (10, 5, 0.1), (1, 10, 0)])
+    def test_invalid(self, fmin, fmax, df):
+        with pytest.raises(ValueError):
+            SpectrumConfig(f_min=fmin, f_max=fmax, df=df)
+
+
+class TestOneShot:
+    def test_empty_events_all_zero(self):
+        freqs = np.array([1.0, 2.0])
+        assert np.all(sparse_amplitude_spectrum(np.array([]), freqs) == 0)
+
+    def test_single_event_flat_spectrum(self):
+        # one Dirac delta has |S(f)| = 1 at every frequency
+        freqs = np.linspace(1, 100, 200)
+        amp = sparse_amplitude_spectrum(np.array([123456789]), freqs)
+        assert np.allclose(amp, 1.0)
+
+    def test_n_coincident_events(self):
+        freqs = np.linspace(1, 50, 100)
+        amp = sparse_amplitude_spectrum(np.full(7, 10 * MS), freqs)
+        assert np.allclose(amp, 7.0)
+
+    def test_periodic_train_peaks_at_fundamental(self):
+        period = 40 * MS  # 25 Hz
+        times = np.arange(50, dtype=np.int64) * period
+        cfg = SpectrumConfig(f_min=5.0, f_max=100.0, df=0.1)
+        freqs = cfg.frequencies()
+        amp = sparse_amplitude_spectrum(times, freqs)
+        for f0 in (25.0, 50.0, 75.0, 100.0):
+            idx = int(round((f0 - 5.0) / 0.1))
+            assert amp[idx] == pytest.approx(50.0, rel=1e-6), f0
+        # off-harmonic amplitude is far below
+        idx = int(round((37.0 - 5.0) / 0.1))
+        assert amp[idx] < 10
+
+    def test_linearity(self):
+        freqs = np.linspace(1, 20, 40)
+        a = np.array([1 * MS, 5 * MS, 9 * MS], dtype=np.int64)
+        b = np.array([2 * MS, 7 * MS], dtype=np.int64)
+        # amplitudes are not additive, but the underlying transform is:
+        # verify via the parallelogram-ish bound |S_ab| <= |S_a| + |S_b|
+        amp_ab = sparse_amplitude_spectrum(np.concatenate([a, b]), freqs)
+        amp_a = sparse_amplitude_spectrum(a, freqs)
+        amp_b = sparse_amplitude_spectrum(b, freqs)
+        assert np.all(amp_ab <= amp_a + amp_b + 1e-9)
+
+    def test_amplitude_bounded_by_event_count(self):
+        rng = np.random.default_rng(1)
+        times = rng.integers(0, 2 * SEC, size=100)
+        freqs = np.linspace(1, 100, 500)
+        amp = sparse_amplitude_spectrum(times, freqs)
+        assert np.all(amp <= 100.0 + 1e-9)
+
+
+class TestIncremental:
+    def test_matches_one_shot(self):
+        cfg = SpectrumConfig(f_min=10.0, f_max=50.0, df=0.5)
+        times = [3 * MS, 43 * MS, 83 * MS, 123 * MS]
+        spec = Spectrum(cfg)
+        spec.add_events(times)
+        expected = sparse_amplitude_spectrum(np.array(times), cfg.frequencies())
+        assert np.allclose(spec.amplitude(), expected, atol=1e-6)
+
+    def test_slide_retires_old_events_exactly(self):
+        cfg = SpectrumConfig(f_min=10.0, f_max=50.0, df=0.5)
+        spec = Spectrum(cfg, horizon_ns=100 * MS)
+        spec.add_events([1 * MS, 50 * MS, 120 * MS, 180 * MS])
+        retired = spec.slide_to(200 * MS)
+        assert retired == 2
+        expected = sparse_amplitude_spectrum(
+            np.array([120 * MS, 180 * MS]), cfg.frequencies()
+        )
+        assert np.allclose(spec.amplitude(), expected, atol=1e-6)
+
+    def test_slide_without_horizon_is_noop(self):
+        spec = Spectrum(SpectrumConfig())
+        spec.add_events([1 * MS])
+        assert spec.slide_to(10 * SEC) == 0
+        assert len(spec) == 1
+
+    def test_reset(self):
+        spec = Spectrum(SpectrumConfig())
+        spec.add_events([1 * MS, 2 * MS])
+        spec.reset()
+        assert len(spec) == 0
+        assert np.all(spec.amplitude() == 0)
+
+    def test_operation_count_tracks_eq3(self):
+        cfg = SpectrumConfig(f_min=1.0, f_max=10.0, df=1.0)
+        spec = Spectrum(cfg)
+        spec.add_events([1, 2, 3])
+        assert spec.operations == 3 * cfg.n_samples
+        assert expected_operations(cfg, 3) == spec.operations
+
+    def test_normalized_amplitude_peaks_at_one(self):
+        spec = Spectrum(SpectrumConfig(f_min=10.0, f_max=50.0, df=0.5))
+        spec.add_events([j * 40 * MS for j in range(20)])
+        norm = spec.normalized_amplitude()
+        assert norm.max() == pytest.approx(1.0)
+
+    def test_empty_normalized(self):
+        spec = Spectrum(SpectrumConfig())
+        assert np.all(spec.normalized_amplitude() == 0)
+
+
+class TestRecoveryProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        period_ms=st.integers(min_value=15, max_value=45),
+        jitter_us=st.integers(min_value=0, max_value=900),
+    )
+    def test_fundamental_is_global_peak_in_band(self, period_ms, jitter_us):
+        """A jittered periodic train's in-band spectral peak sits at the
+        fundamental frequency (within grid resolution + jitter slack)."""
+        rng = np.random.default_rng(period_ms * 1000 + jitter_us)
+        period = period_ms * MS
+        f0 = SEC / period
+        times = np.array(
+            [j * period + rng.integers(-jitter_us * 1000, jitter_us * 1000 + 1) for j in range(1, 80)]
+        )
+        cfg = SpectrumConfig(f_min=f0 * 0.6, f_max=f0 * 1.4, df=0.1)
+        freqs = cfg.frequencies()
+        amp = sparse_amplitude_spectrum(times, freqs)
+        peak_f = freqs[int(np.argmax(amp))]
+        assert abs(peak_f - f0) <= 0.25

@@ -1,0 +1,65 @@
+"""Tests for the experiment result containers."""
+
+from repro.experiments.base import ExperimentResult, Series, mean_std
+
+
+class TestSeries:
+    def test_add_points(self):
+        s = Series(name="curve")
+        s.add(1, 10)
+        s.add(2, 20, yerr=0.5)
+        assert s.x == [1, 2]
+        assert s.y == [10, 20]
+        assert s.yerr == [0.5]
+
+
+class TestExperimentResult:
+    def test_add_row_sets_columns(self):
+        r = ExperimentResult(experiment="x", title="t")
+        r.add_row(a=1, b=2)
+        r.add_row(a=3, b=4)
+        assert r.columns == ["a", "b"]
+        assert len(r.rows) == 2
+
+    def test_series_by_name(self):
+        r = ExperimentResult(experiment="x", title="t")
+        s = Series(name="foo")
+        r.series.append(s)
+        assert r.series_by_name("foo") is s
+
+    def test_series_by_name_missing(self):
+        r = ExperimentResult(experiment="x", title="t")
+        import pytest
+
+        with pytest.raises(KeyError):
+            r.series_by_name("nope")
+
+    def test_to_text_contains_everything(self):
+        r = ExperimentResult(experiment="fig99", title="demo")
+        r.add_row(metric="alpha", value=0.25)
+        s = Series(name="curve", x=[1], y=[2.0], yerr=[0.1])
+        r.series.append(s)
+        r.notes.append("a remark")
+        text = r.to_text()
+        assert "fig99" in text
+        assert "alpha" in text and "0.25" in text
+        assert "curve" in text
+        assert "a remark" in text
+
+    def test_to_text_formats_none(self):
+        r = ExperimentResult(experiment="x", title="t")
+        r.add_row(a=None)
+        assert "-" in r.to_text()
+
+
+class TestMeanStd:
+    def test_known(self):
+        mean, std = mean_std([2.0, 4.0])
+        assert mean == 3.0
+        assert std == (2.0) ** 0.5
+
+    def test_single(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty(self):
+        assert mean_std([]) == (0.0, 0.0)

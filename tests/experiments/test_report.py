@@ -1,0 +1,47 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.report import generate_report, render_result
+
+
+class TestRenderResult:
+    def _result(self):
+        r = ExperimentResult(experiment="figX", title="demo experiment")
+        r.add_row(metric="alpha", value=0.25)
+        r.add_row(metric="beta", value=None)
+        r.series.append(Series(name="curve", x=[1, 2], y=[3.0, 4.0]))
+        r.notes.append("a caveat")
+        return r
+
+    def test_markdown_structure(self):
+        text = render_result(self._result(), elapsed_s=1.5)
+        assert text.startswith("## figX — demo experiment")
+        assert "| metric | value |" in text
+        assert "| alpha | 0.25 |" in text
+        assert "| beta | - |" in text
+        assert "`curve` (2 pts)" in text
+        assert "> a caveat" in text
+        assert "1.5 s" in text
+
+    def test_no_rows(self):
+        r = ExperimentResult(experiment="figY", title="empty")
+        assert "no tabular data" in render_result(r)
+
+
+class TestGenerateReport:
+    def test_runs_selected_experiments(self):
+        text = generate_report(
+            names=["fig01", "fig02"],
+            overrides={"fig01": {"t_step_ms": 20.0}, "fig02": {"t_step_ms": 10.0}},
+            title="mini report",
+        )
+        assert text.startswith("# mini report")
+        assert "## fig01" in text
+        assert "## fig02" in text
+        assert "0.2" in text  # the Figure 1 anchor value made it through
+
+    def test_unknown_experiment_rejected_early(self):
+        with pytest.raises(KeyError):
+            generate_report(names=["fig99"])

@@ -1,0 +1,54 @@
+"""Tests for the inter-frame-time probe."""
+
+from repro.metrics import InterFrameProbe
+from repro.sched import RoundRobinScheduler
+from repro.sim import Kernel, MS, SEC
+from repro.sim.instructions import Compute, Label, SleepUntil, Syscall
+from repro.sim.syscalls import SyscallNr
+
+
+def displayer(n, period):
+    def prog():
+        for j in range(n):
+            yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=100, block=SleepUntil(j * period))
+            yield Label("frame_displayed", {"frame": j})
+
+    return prog()
+
+
+class TestProbe:
+    def test_records_ift_series(self):
+        kernel = Kernel(RoundRobinScheduler())
+        probe = InterFrameProbe()
+        probe.install(kernel)
+        kernel.spawn("v", displayer(10, 40 * MS))
+        kernel.run(SEC)
+        assert len(probe.display_times) == 10
+        assert len(probe.inter_frame_times) == 9
+        assert abs(probe.mean_ms - 40.0) < 0.01
+
+    def test_frame_numbers(self):
+        kernel = Kernel(RoundRobinScheduler())
+        probe = InterFrameProbe()
+        probe.install(kernel)
+        kernel.spawn("v", displayer(5, 40 * MS))
+        kernel.run(SEC)
+        assert probe.frames == [0, 1, 2, 3, 4]
+
+    def test_pid_filter(self):
+        kernel = Kernel(RoundRobinScheduler())
+        a = kernel.spawn("a", displayer(5, 40 * MS))
+        b = kernel.spawn("b", displayer(5, 40 * MS))
+        probe = InterFrameProbe(pid=a.pid)
+        probe.install(kernel)
+        kernel.run(SEC)
+        assert len(probe.display_times) == 5
+
+    def test_stats_accumulated(self):
+        kernel = Kernel(RoundRobinScheduler())
+        probe = InterFrameProbe()
+        probe.install(kernel)
+        kernel.spawn("v", displayer(20, 40 * MS))
+        kernel.run(SEC)
+        assert probe.stats.n == 19
+        assert probe.std_ms < 1.0

@@ -1,0 +1,90 @@
+"""Tests for the statistics toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import RunningStats, cdf_points, pmf, quantile
+
+
+class TestRunningStats:
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        s.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert s.mean == pytest.approx(5.0)
+        assert s.variance == pytest.approx(np.var([2, 4, 4, 4, 5, 5, 7, 9], ddof=1))
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    def test_matches_numpy(self, xs):
+        s = RunningStats()
+        s.extend(xs)
+        assert s.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+        assert s.std == pytest.approx(float(np.std(xs, ddof=1)), rel=1e-6, abs=1e-6)
+        assert s.min == min(xs)
+        assert s.max == max(xs)
+
+    def test_empty(self):
+        s = RunningStats()
+        assert s.n == 0
+        assert s.variance == 0.0
+        assert math.isinf(s.min)
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        dist = pmf([1.0, 1.1, 2.0, 2.0], bin_width=0.5)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_binning(self):
+        dist = pmf([1.0, 1.1, 1.4], bin_width=1.0)
+        assert dist == {1.0: 1.0}
+
+    def test_empty(self):
+        assert pmf([], 0.5) == {}
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            pmf([1], 0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_mass_conserved(self, xs):
+        dist = pmf(xs, bin_width=2.0)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+
+class TestCdf:
+    def test_points(self):
+        xs, ps = cdf_points([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ps = cdf_points([])
+        assert xs.size == ps.size == 0
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_extremes(self):
+        assert quantile([4, 9, 2], 0.0) == 2
+        assert quantile([4, 9, 2], 1.0) == 9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)

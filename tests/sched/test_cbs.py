@@ -1,0 +1,244 @@
+"""Tests for the Constant Bandwidth Server scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import CbsScheduler, ServerParams
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr
+
+
+def make(cs_cost=0):
+    sched = CbsScheduler()
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=cs_cost))
+    return sched, kernel
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+def periodic(period, cost, n):
+    for j in range(n):
+        yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(j * period))
+        yield Compute(cost)
+
+
+class TestServerParams:
+    def test_bandwidth(self):
+        assert ServerParams(budget=20 * MS, period=100 * MS).bandwidth == 0.2
+
+    @pytest.mark.parametrize("budget,period", [(0, 100), (-5, 100), (10, 0), (110, 100)])
+    def test_invalid_params_rejected(self, budget, period):
+        with pytest.raises(ValueError):
+            ServerParams(budget=budget, period=period)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServerParams(budget=1, period=2, policy="wat")
+
+    def test_hard_property(self):
+        assert ServerParams(budget=1, period=2, policy="hard").hard
+        assert not ServerParams(budget=1, period=2, policy="soft").hard
+        assert not ServerParams(budget=1, period=2, policy="background").hard
+
+
+class TestIsolation:
+    def test_reserved_task_unaffected_by_background_hog(self):
+        sched, kernel = make()
+        responses = []
+
+        def prog():
+            for j in range(5):
+                yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(j * 100 * MS))
+                t = yield Compute(20 * MS)
+                responses.append(t - j * 100 * MS)
+
+        server = sched.create_server(ServerParams(budget=21 * MS, period=100 * MS))
+        p = kernel.spawn("rt", prog())
+        sched.attach(p, server)
+        kernel.spawn("hog", hog())
+        kernel.run(SEC)
+        assert all(r <= 25 * MS for r in responses)
+
+    def test_background_starves_while_server_runs(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+        p = kernel.spawn("rt", hog())
+        sched.attach(p, server)
+        b = kernel.spawn("bg", hog())
+        kernel.run(SEC)
+        # server gets its 50%, background the rest
+        assert abs(p.cpu_time - 500 * MS) <= 11 * MS
+        assert abs(b.cpu_time - 500 * MS) <= 11 * MS
+
+    def test_bandwidth_cap_enforced_hard(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS, policy="hard"))
+        p = kernel.spawn("greedy", hog())
+        sched.attach(p, server)
+        kernel.run(SEC)
+        assert p.cpu_time <= 105 * MS  # ~10% plus one quantum of slack
+
+    def test_two_servers_edf_share(self):
+        sched, kernel = make()
+        s1 = sched.create_server(ServerParams(budget=30 * MS, period=100 * MS))
+        s2 = sched.create_server(ServerParams(budget=60 * MS, period=200 * MS))
+        p1 = kernel.spawn("a", hog())
+        p2 = kernel.spawn("b", hog())
+        sched.attach(p1, s1)
+        sched.attach(p2, s2)
+        kernel.run(SEC)
+        assert abs(p1.cpu_time - 300 * MS) <= 35 * MS
+        assert abs(p2.cpu_time - 300 * MS) <= 65 * MS
+
+
+class TestExhaustionPolicies:
+    def _run_policy(self, policy):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS, policy=policy))
+        p = kernel.spawn("greedy", hog())
+        sched.attach(p, server)
+        bg = kernel.spawn("bg", hog())
+        kernel.run(SEC)
+        return p, bg, server
+
+    def test_hard_throttles(self):
+        p, bg, server = self._run_policy("hard")
+        assert p.cpu_time <= 105 * MS
+        assert server.exhaustions >= 9
+
+    def test_soft_postpones_and_shares_with_nobody(self):
+        # soft CBS keeps the task runnable: alone above background, it
+        # takes whatever it wants
+        p, bg, server = self._run_policy("soft")
+        assert p.cpu_time >= 900 * MS
+
+    def test_background_policy_competes_when_exhausted(self):
+        p, bg, server = self._run_policy("background")
+        # roughly: 10% guaranteed plus ~half of the remaining 90% (exact
+        # split depends on round-robin slice phasing)
+        assert 450 * MS <= p.cpu_time <= 600 * MS
+        assert p.cpu_time > 105 * MS  # clearly more than the hard policy
+        assert bg.cpu_time >= 400 * MS  # the hog is not starved
+
+    def test_consumed_counts_background_overflow(self):
+        p, bg, server = self._run_policy("background")
+        assert server.consumed == p.cpu_time
+
+
+class TestWakeupRule:
+    def test_deadline_reset_on_wakeup_after_idle(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=50 * MS))
+
+        def prog():
+            yield Compute(5 * MS)
+            yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepUntil(500 * MS))
+            yield Compute(5 * MS)
+
+        p = kernel.spawn("p", prog())
+        sched.attach(p, server)
+        kernel.run(SEC)
+        # after the long sleep the server deadline must have been reset
+        # to lie in the future, not inherited from the first activation
+        assert server.deadline >= 500 * MS
+
+    def test_budget_preserved_when_safe(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=20 * MS, period=100 * MS))
+
+        def prog():
+            yield Compute(5 * MS)
+            yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepUntil(10 * MS))
+            yield Compute(5 * MS)
+
+        p = kernel.spawn("p", prog())
+        sched.attach(p, server)
+        kernel.run(SEC)
+        # only one server period was ever needed
+        assert server.exhaustions == 0
+
+
+class TestQresApi:
+    def test_consumed_tracks_cpu(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+
+        def prog():
+            yield Compute(30 * MS)
+
+        p = kernel.spawn("p", prog())
+        sched.attach(p, server)
+        kernel.run(SEC)
+        assert server.consumed == p.cpu_time
+
+    def test_set_params_changes_bandwidth(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(300 * MS)
+        sched.set_params(server, ServerParams(budget=50 * MS, period=100 * MS))
+        before = p.cpu_time
+        kernel.run(1300 * MS)
+        # 50% over the last second (within actuation latency slack)
+        assert abs((p.cpu_time - before) - 500 * MS) <= 60 * MS
+
+    def test_set_params_clamps_current_budget(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(10 * MS)
+        sched.set_params(server, ServerParams(budget=5 * MS, period=100 * MS))
+        assert server.q <= 5 * MS
+
+    def test_attach_detach(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        assert sched.server_of(p) is server
+        sched.detach(p)
+        assert sched.server_of(p) is None
+        kernel.run(100 * MS)
+        assert p.cpu_time > 50 * MS  # running as plain background now
+
+    def test_destroy_server_falls_back_to_background(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(50 * MS)
+        sched.destroy_server(server)
+        assert sched.server_of(p) is None
+        assert server.sid not in sched.servers
+
+    def test_total_bandwidth(self):
+        sched, _ = make()
+        sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+        sched.create_server(ServerParams(budget=30 * MS, period=100 * MS))
+        assert sched.total_bandwidth() == pytest.approx(0.4)
+
+
+class TestBandwidthIsolationProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        bw_pct=st.integers(min_value=10, max_value=60),
+        period_ms=st.sampled_from([20, 50, 100]),
+    )
+    def test_reserved_share_is_delivered_under_load(self, bw_pct, period_ms):
+        """A hard CBS always delivers ~Q/T to a greedy task, whatever the
+        background load looks like."""
+        sched, kernel = make()
+        budget = bw_pct * period_ms * MS // 100
+        server = sched.create_server(ServerParams(budget=budget, period=period_ms * MS))
+        p = kernel.spawn("rt", hog())
+        sched.attach(p, server)
+        kernel.spawn("bg1", hog())
+        kernel.spawn("bg2", hog())
+        kernel.run(SEC)
+        expected = bw_pct * SEC // 100
+        assert abs(p.cpu_time - expected) <= budget + 11 * MS

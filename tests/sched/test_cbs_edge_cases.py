@@ -1,0 +1,137 @@
+"""Edge cases of the CBS scheduler the main suite does not reach."""
+
+import pytest
+
+from repro.sched import CbsScheduler, ServerParams
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr
+
+
+def make():
+    sched = CbsScheduler()
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+    return sched, kernel
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+class TestSetParamsWhileThrottled:
+    def test_new_budget_applies_at_replenishment(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=5 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(50 * MS)  # exhausted and throttled by now
+        assert server.throttled
+        sched.set_params(server, ServerParams(budget=50 * MS, period=100 * MS))
+        kernel.run(300 * MS)
+        # after the pending replenishment the new 50% rate applies
+        assert p.cpu_time >= 5 * MS + 50 * MS
+
+    def test_shrinking_budget_while_running(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=80 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(10 * MS)
+        sched.set_params(server, ServerParams(budget=20 * MS, period=100 * MS))
+        kernel.run(SEC)
+        # long-run rate settles at the new 20%
+        assert p.cpu_time <= 80 * MS + 0.2 * SEC
+
+
+class TestDetachEdgeCases:
+    def test_detach_blocked_process(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+
+        def sleeper():
+            yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepUntil(500 * MS))
+            yield Compute(5 * MS)
+
+        p = kernel.spawn("p", sleeper())
+        sched.attach(p, server)
+        kernel.run(100 * MS)
+        sched.detach(p)  # while blocked
+        kernel.run(SEC)
+        assert p.cpu_time >= 5 * MS  # finished as a background process
+
+    def test_detach_unattached_is_noop(self):
+        sched, kernel = make()
+        p = kernel.spawn("p", hog())
+        sched.detach(p)  # never attached
+        kernel.run(10 * MS)
+        assert p.cpu_time == 10 * MS
+
+    def test_reattach_to_other_server(self):
+        sched, kernel = make()
+        s1 = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS))
+        s2 = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, s1)
+        kernel.run(200 * MS)
+        sched.attach(p, s2)  # implicit detach from s1
+        assert sched.server_of(p) is s2
+        assert p.pid not in s1.members
+        before = p.cpu_time
+        kernel.run(1200 * MS)
+        assert (p.cpu_time - before) >= 0.45 * SEC
+
+
+class TestMultipleProcsPerServer:
+    def test_fifo_sharing_inside_server(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+        a = kernel.spawn("a", hog())
+        b = kernel.spawn("b", hog())
+        sched.attach(a, server)
+        sched.attach(b, server)
+        kernel.run(SEC)
+        total = a.cpu_time + b.cpu_time
+        assert abs(total - 500 * MS) <= 55 * MS  # the server's 50%
+        assert a.cpu_time > 0 and b.cpu_time > 0
+
+    def test_member_exit_keeps_server_working(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+
+        def short():
+            yield Compute(5 * MS)
+
+        a = kernel.spawn("a", short())
+        b = kernel.spawn("b", hog())
+        sched.attach(a, server)
+        sched.attach(b, server)
+        kernel.run(SEC)
+        assert not a.alive
+        assert b.cpu_time >= 400 * MS
+
+
+class TestBackgroundPolicyEdges:
+    def test_blocked_overflow_proc_removed_from_bg(self):
+        sched, kernel = make()
+        server = sched.create_server(
+            ServerParams(budget=2 * MS, period=100 * MS, policy="background")
+        )
+
+        def busy_then_sleep():
+            yield Compute(10 * MS)  # exhausts the 2ms budget -> bg overflow
+            yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepUntil(300 * MS))
+            yield Compute(1 * MS)
+
+        p = kernel.spawn("p", busy_then_sleep())
+        sched.attach(p, server)
+        other = kernel.spawn("bg", hog())
+        kernel.run(SEC)
+        assert not p.alive  # ran to completion without deadlock
+        assert other.cpu_time > 800 * MS
+
+    def test_soft_policy_exhaustion_count(self):
+        sched, kernel = make()
+        server = sched.create_server(ServerParams(budget=10 * MS, period=100 * MS, policy="soft"))
+        p = kernel.spawn("p", hog())
+        sched.attach(p, server)
+        kernel.run(SEC)
+        assert server.exhaustions >= 9  # one per recharge

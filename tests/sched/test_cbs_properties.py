@@ -1,0 +1,116 @@
+"""Deeper CBS properties: the guarantees resource reservations exist for.
+
+The isolation property (a reserved task always *receives* ~Q/T) is in
+``test_cbs.py``; here we pin the dual — a hard server never lets its
+tasks *take more* than the reserved rate, over any window and against
+adversarial wake/sleep patterns trying to game the wake-up rule.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import CbsScheduler, ServerParams
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepFor, Syscall, SyscallNr
+
+
+def adversary(spec):
+    """A program alternating compute bursts and sleeps per ``spec``,
+    trying to exploit wake-up-rule resets to overconsume."""
+
+    def prog():
+        while True:
+            for compute_ms, sleep_ms in spec:
+                yield Compute(compute_ms * MS)
+                if sleep_ms:
+                    yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepFor(sleep_ms * MS))
+
+    return prog()
+
+
+class TestBandwidthSafety:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bw_pct=st.integers(min_value=10, max_value=60),
+        period_ms=st.sampled_from([20, 50, 100]),
+        spec=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_hard_server_never_overconsumes(self, bw_pct, period_ms, spec):
+        """Over the whole run, a hard server's consumption never exceeds
+        the reserved rate by more than one budget (the carry-in)."""
+        sched = CbsScheduler()
+        kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+        period = period_ms * MS
+        budget = bw_pct * period // 100
+        server = sched.create_server(ServerParams(budget=budget, period=period))
+        proc = kernel.spawn("adv", adversary(spec))
+        sched.attach(proc, server)
+
+        # a competitor documents that the CPU was contended the whole time
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+
+        kernel.spawn("hog", hog())
+        kernel.run(SEC)
+        allowed = (SEC // period + 1) * budget
+        assert server.consumed <= allowed
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sleeps=st.lists(st.integers(min_value=1, max_value=40), min_size=2, max_size=6),
+    )
+    def test_wakeup_rule_blocks_budget_hoarding(self, sleeps):
+        """Sleep/wake cycles cannot stockpile budget: after each wake-up
+        the (q, d) pair is bandwidth-safe, so windowed consumption stays
+        bounded even with pathological sleep patterns."""
+        sched = CbsScheduler()
+        kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+        period = 50 * MS
+        budget = 10 * MS  # 20%
+        server = sched.create_server(ServerParams(budget=budget, period=period))
+
+        def cycler():
+            while True:
+                for s in sleeps:
+                    yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepFor(s * MS))
+                    yield Compute(30 * MS)
+
+        proc = kernel.spawn("cycler", cycler())
+        sched.attach(proc, server)
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+
+        kernel.spawn("hog", hog())
+        kernel.run(2 * SEC)
+        allowed = (2 * SEC // period + 1) * budget
+        assert server.consumed <= allowed
+
+
+class TestIsolationUnderChurn:
+    @settings(max_examples=10, deadline=None)
+    @given(n_competitors=st.integers(min_value=1, max_value=5))
+    def test_reserved_rate_independent_of_competitor_count(self, n_competitors):
+        sched = CbsScheduler()
+        kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+        server = sched.create_server(ServerParams(budget=20 * MS, period=100 * MS))
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+
+        rt = kernel.spawn("rt", hog())
+        sched.attach(rt, server)
+        for i in range(n_competitors):
+            kernel.spawn(f"bg{i}", hog())
+        kernel.run(SEC)
+        assert abs(rt.cpu_time - 200 * MS) <= 22 * MS

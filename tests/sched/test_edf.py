@@ -1,0 +1,115 @@
+"""Tests for the plain EDF scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import EdfScheduler
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr
+
+
+def make():
+    sched = EdfScheduler()
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+    return sched, kernel
+
+
+def periodic_recorder(period, cost, n, responses):
+    def prog():
+        for j in range(n):
+            yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=100, block=SleepUntil(j * period))
+            t = yield Compute(cost)
+            responses.append(t - j * period)
+
+    return prog()
+
+
+class TestEdfBasics:
+    def test_earlier_deadline_preempts(self):
+        sched, kernel = make()
+        order = []
+
+        def long_task():
+            t = yield Compute(50 * MS)
+            order.append(("long", t))
+
+        def short_task():
+            t = yield Compute(5 * MS)
+            order.append(("short", t))
+
+        p1 = kernel.spawn("long", long_task())
+        sched.attach(p1, rel_deadline=200 * MS)
+        p2 = kernel.spawn("short", short_task(), at=10 * MS)
+        sched.attach(p2, rel_deadline=20 * MS)
+        kernel.run(SEC)
+        # the short task (deadline 30ms) pre-empts the long one (200ms)
+        assert order[0][0] == "short"
+        assert order[0][1] == 15 * MS
+
+    def test_unattached_task_runs_last(self):
+        sched, kernel = make()
+
+        def prog(log, name):
+            t = yield Compute(10 * MS)
+            log.append((name, t))
+
+        log = []
+        rt = kernel.spawn("rt", prog(log, "rt"))
+        sched.attach(rt, rel_deadline=50 * MS)
+        kernel.spawn("be", prog(log, "be"))
+        kernel.run(SEC)
+        assert [name for name, _ in log] == ["rt", "be"]
+
+    def test_deadline_of(self):
+        sched, kernel = make()
+
+        def prog():
+            yield Compute(1 * MS)
+
+        p = kernel.spawn("p", prog())
+        sched.attach(p, rel_deadline=30 * MS)
+        kernel.run(2 * MS)
+        assert sched.deadline_of(p) == 30 * MS
+
+    def test_invalid_deadline_rejected(self):
+        sched, kernel = make()
+
+        def prog():
+            yield Compute(1)
+
+        p = kernel.spawn("p", prog())
+        import pytest
+
+        with pytest.raises(ValueError):
+            sched.attach(p, rel_deadline=0)
+
+
+class TestEdfOptimality:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        utils=st.lists(st.integers(min_value=5, max_value=30), min_size=2, max_size=4),
+        periods=st.lists(st.sampled_from([20, 25, 40, 50, 100]), min_size=2, max_size=4),
+    )
+    def test_feasible_periodic_sets_meet_deadlines(self, utils, periods):
+        """EDF schedules any implicit-deadline set with U <= 1."""
+        n = min(len(utils), len(periods))
+        utils, periods = utils[:n], periods[:n]
+        total = sum(utils)
+        if total > 95:  # keep a little headroom for syscall costs
+            scale = 95 / total
+            utils = [max(1, int(u * scale)) for u in utils]
+
+        sched, kernel = make()
+        all_responses = []
+        for i in range(n):
+            period = periods[i] * MS
+            cost = utils[i] * period // 100
+            if cost < 1 * MS:
+                cost = 1 * MS
+            responses = []
+            all_responses.append((period, responses))
+            p = kernel.spawn(f"t{i}", periodic_recorder(period, cost, 8, responses))
+            sched.attach(p, rel_deadline=period)
+        kernel.run(SEC)
+        for period, responses in all_responses:
+            assert responses, "task never completed a job"
+            assert all(r <= period for r in responses), (period, responses)

@@ -1,0 +1,94 @@
+"""Tests for the fixed-priority scheduler and the RM helper."""
+
+from repro.sched import FixedPriorityScheduler, rate_monotonic_priorities
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC
+
+
+def make():
+    sched = FixedPriorityScheduler()
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+    return sched, kernel
+
+
+class TestRateMonotonic:
+    def test_shorter_period_higher_priority(self):
+        assert rate_monotonic_priorities([30, 15, 20]) == [2, 0, 1]
+
+    def test_ties_keep_input_order(self):
+        assert rate_monotonic_priorities([10, 10, 5]) == [1, 2, 0]
+
+    def test_single_task(self):
+        assert rate_monotonic_priorities([100]) == [0]
+
+    def test_empty(self):
+        assert rate_monotonic_priorities([]) == []
+
+
+class TestPreemption:
+    def test_high_priority_runs_first(self):
+        sched, kernel = make()
+        log = []
+
+        def prog(name):
+            t = yield Compute(10 * MS)
+            log.append((name, t))
+
+        lo = kernel.spawn("lo", prog("lo"))
+        sched.attach(lo, priority=10)
+        hi = kernel.spawn("hi", prog("hi"))
+        sched.attach(hi, priority=1)
+        kernel.run(SEC)
+        assert log[0][0] == "hi"
+
+    def test_arriving_high_priority_preempts(self):
+        sched, kernel = make()
+        log = []
+
+        def prog(name, d):
+            t = yield Compute(d)
+            log.append((name, t))
+
+        lo = kernel.spawn("lo", prog("lo", 50 * MS))
+        sched.attach(lo, priority=10)
+        hi = kernel.spawn("hi", prog("hi", 5 * MS), at=10 * MS)
+        sched.attach(hi, priority=1)
+        kernel.run(SEC)
+        assert log[0] == ("hi", 15 * MS)
+        assert log[1] == ("lo", 55 * MS)
+
+    def test_unattached_runs_at_bottom(self):
+        sched, kernel = make()
+        log = []
+
+        def prog(name):
+            t = yield Compute(10 * MS)
+            log.append(name)
+
+        kernel.spawn("be", prog("be"))
+        rt = kernel.spawn("rt", prog("rt"))
+        sched.attach(rt, priority=0)
+        kernel.run(SEC)
+        assert log == ["rt", "be"]
+
+    def test_fifo_within_priority(self):
+        sched, kernel = make()
+        log = []
+
+        def prog(name):
+            yield Compute(10 * MS)
+            log.append(name)
+
+        for name in ("first", "second", "third"):
+            p = kernel.spawn(name, prog(name))
+            sched.attach(p, priority=5)
+        kernel.run(SEC)
+        assert log == ["first", "second", "third"]
+
+    def test_priority_of_unattached(self):
+        sched, kernel = make()
+
+        def prog():
+            yield Compute(1)
+
+        p = kernel.spawn("p", prog())
+        assert sched.priority_of(p) == 2**31

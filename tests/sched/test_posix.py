@@ -1,0 +1,59 @@
+"""Tests for the round-robin best-effort scheduler."""
+
+import pytest
+
+from repro.sched import RoundRobinScheduler
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepFor, Syscall, SyscallNr
+
+
+def make(timeslice=4 * MS):
+    sched = RoundRobinScheduler(timeslice=timeslice)
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+    return sched, kernel
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+class TestRoundRobin:
+    def test_fair_split_between_hogs(self):
+        sched, kernel = make()
+        a = kernel.spawn("a", hog())
+        b = kernel.spawn("b", hog())
+        kernel.run(SEC)
+        assert abs(a.cpu_time - b.cpu_time) <= 5 * MS
+
+    def test_three_way_split(self):
+        sched, kernel = make()
+        procs = [kernel.spawn(f"p{i}", hog()) for i in range(3)]
+        kernel.run(SEC)
+        for p in procs:
+            assert abs(p.cpu_time - SEC // 3) <= 10 * MS
+
+    def test_sleeper_gets_cpu_quickly(self):
+        sched, kernel = make()
+        kernel.spawn("hog", hog())
+        delays = []
+
+        def sleeper():
+            for j in range(10):
+                t0 = (j + 1) * 50 * MS
+                t = yield Syscall(SyscallNr.NANOSLEEP, cost=100, block=SleepFor(50 * MS))
+                t = yield Compute(1 * MS)
+                delays.append(t)
+
+        kernel.spawn("sleeper", sleeper())
+        kernel.run(SEC)
+        assert delays  # it does make progress against the hog
+
+    def test_invalid_timeslice(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(timeslice=0)
+
+    def test_single_process_no_slicing_overhead(self):
+        sched, kernel = make()
+        p = kernel.spawn("only", hog())
+        kernel.run(100 * MS)
+        assert p.cpu_time == 100 * MS

@@ -1,0 +1,88 @@
+"""Unit tests for the event calendar."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventQueue
+
+
+def collect(queue):
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        for t in (30, 10, 20):
+            q.push(t, lambda now, p: fired.append(now))
+        assert [ev.time for ev in collect(q)] == [10, 20, 30]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        a = q.push(5, lambda now, p: None, payload="a")
+        b = q.push(5, lambda now, p: None, payload="b")
+        events = collect(q)
+        assert [ev.payload for ev in events] == ["a", "b"]
+        assert a.seq < b.seq
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+    def test_always_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda now, p: None)
+        popped = [ev.time for ev in collect(q)]
+        assert popped == sorted(times)
+
+
+class TestCancel:
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(10, lambda now, p: None, payload="keep")
+        drop = q.push(5, lambda now, p: None, payload="drop")
+        drop.cancel()
+        assert q.pop() is keep
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1, lambda now, p: None)
+        q.push(2, lambda now, p: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1, lambda now, p: None)
+        q.push(7, lambda now, p: None)
+        ev.cancel()
+        assert q.peek_time() == 7
+
+
+class TestPopDue:
+    def test_pop_due_respects_now(self):
+        q = EventQueue()
+        q.push(10, lambda now, p: None)
+        assert q.pop_due(9) is None
+        assert q.pop_due(10) is not None
+        assert q.pop_due(10) is None
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert q.pop_due(100) is None
+        assert len(q) == 0
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1, lambda now, p: None)

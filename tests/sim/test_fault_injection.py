@@ -1,0 +1,160 @@
+"""Fault-injection tests: buggy programs, overflowing buffers, churn.
+
+A production scheduler substrate has to survive misbehaving tenants; these
+tests inject the classic failure modes and check the blast radius.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyserConfig, LfsPlusPlus, PeriodAnalyser, SelfTuningRuntime
+from repro.core.controller import TaskControllerConfig
+from repro.core.spectrum import SpectrumConfig
+from repro.sched import CbsScheduler, RoundRobinScheduler, ServerParams
+from repro.sim import Compute, Kernel, KernelConfig, MS, ProcState, SEC, SleepUntil, Syscall, SyscallNr
+from repro.tracer import QTraceConfig, QTracer
+from repro.workloads import AudioPlayer, VideoPlayer
+
+
+class TestCrashContainment:
+    def test_crashing_program_does_not_kill_the_machine(self):
+        kernel = Kernel(RoundRobinScheduler())
+
+        def buggy():
+            yield Compute(5 * MS)
+            raise RuntimeError("segfault")
+
+        def healthy():
+            yield Compute(20 * MS)
+
+        bad = kernel.spawn("bad", buggy())
+        good = kernel.spawn("good", healthy())
+        kernel.run(SEC)
+        assert bad.crashed
+        assert isinstance(bad.crash, RuntimeError)
+        assert bad.state is ProcState.EXITED
+        assert not good.crashed
+        assert good.cpu_time == 20 * MS
+
+    def test_crash_on_first_instruction(self):
+        kernel = Kernel(RoundRobinScheduler())
+
+        def broken():
+            raise ValueError("boom")
+            yield Compute(1)  # pragma: no cover
+
+        proc = kernel.spawn("broken", broken())
+        kernel.run(10 * MS)
+        assert proc.crashed
+        assert proc.exit_time is not None
+
+    def test_crashed_reserved_task_frees_the_server(self):
+        sched = CbsScheduler()
+        kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+        server = sched.create_server(ServerParams(budget=50 * MS, period=100 * MS))
+
+        def buggy():
+            yield Compute(5 * MS)
+            raise RuntimeError("oops")
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+
+        bad = kernel.spawn("bad", buggy())
+        sched.attach(bad, server)
+        bg = kernel.spawn("bg", hog())
+        kernel.run(SEC)
+        assert bad.crashed
+        # the background process reclaims the CPU the dead task never uses
+        assert bg.cpu_time >= 990 * MS
+
+    def test_adopted_task_crash_leaves_runtime_operational(self):
+        rt = SelfTuningRuntime()
+
+        def buggy():
+            yield Compute(50 * MS)
+            raise RuntimeError("codec bug")
+
+        bad = rt.spawn("bad-player", buggy())
+        rt.adopt(bad, controller_config=TaskControllerConfig(use_period_estimate=False))
+
+        player = VideoPlayer()
+        good = rt.spawn("good-player", player.program(100))
+        rt.adopt(
+            good,
+            feedback=LfsPlusPlus(),
+            controller_config=TaskControllerConfig(sampling_period=100 * MS),
+            analyser_config=AnalyserConfig(
+                spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+            ),
+        )
+        rt.run(5 * SEC)
+        assert bad.crashed
+        assert player.frames_played == 100
+
+
+class TestBufferOverflow:
+    def test_tiny_ring_buffer_drops_but_detection_survives(self):
+        """With an undersized trace buffer, whole chunks of events are
+        lost between downloads; detection still converges because the
+        surviving events keep the grid phase."""
+        sched = CbsScheduler()
+        kernel = Kernel(sched)
+        tracer = QTracer(QTraceConfig(buffer_capacity=64))
+        kernel.add_tracer(tracer)
+        player = AudioPlayer()
+        proc = kernel.spawn("mp3", player.program(140))
+        tracer.trace_pid(proc.pid)
+
+        analyser = PeriodAnalyser(
+            AnalyserConfig(
+                spectrum=SpectrumConfig(f_min=30.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+            )
+        )
+        tracer.add_sink(lambda batch, now: analyser.add_batch(batch, now))
+        kernel.every(100 * MS, lambda now: tracer.drain(now))
+        kernel.run(4 * SEC)
+        assert tracer.buffer.dropped > 0  # the injection worked
+        estimate = analyser.analyse(4 * SEC)
+        assert estimate is not None
+        assert estimate.frequency == pytest.approx(32.5, abs=0.5)
+
+    def test_overflow_without_downloads_loses_oldest(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = QTracer(QTraceConfig(buffer_capacity=16))
+        kernel.add_tracer(tracer)
+
+        def chatty():
+            for _ in range(100):
+                yield Compute(100_000)
+                yield Syscall(SyscallNr.WRITE)
+
+        proc = kernel.spawn("p", chatty())
+        tracer.trace_pid(proc.pid)
+        kernel.run(SEC)
+        events = tracer.buffer.drain()
+        assert len(events) == 16
+        assert tracer.buffer.dropped == 200 - 16  # entries + exits
+
+
+class TestControllerChurn:
+    def test_adopt_after_supervisor_pressure(self):
+        """Registering tasks until the supervisor is saturated keeps the
+        system functional — later requests are compressed, not refused."""
+        rt = SelfTuningRuntime(u_lub=0.5)
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+
+        tasks = []
+        for i in range(4):
+            proc = rt.spawn(f"greedy{i}", hog())
+            tasks.append(
+                rt.adopt(proc, controller_config=TaskControllerConfig(use_period_estimate=False))
+            )
+        rt.run(3 * SEC)
+        assert rt.supervisor.total_granted_bandwidth() <= 0.5 + 1e-6
+        for task in tasks:
+            assert task.server.consumed > 0  # everyone makes progress

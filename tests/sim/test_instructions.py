@@ -1,0 +1,56 @@
+"""Unit tests for program instructions."""
+
+import pytest
+
+from repro.sim.instructions import Compute, Fire, Label, SleepFor, SleepUntil, Syscall, WaitEvent
+from repro.sim.syscalls import SyscallNr, default_cost
+
+
+class TestCompute:
+    def test_positive_duration(self):
+        assert Compute(100).duration == 100
+
+    def test_zero_duration_allowed(self):
+        assert Compute(0).duration == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+
+class TestSyscall:
+    def test_default_cost_from_table(self):
+        call = Syscall(SyscallNr.READ)
+        assert call.cost == default_cost(SyscallNr.READ)
+
+    def test_explicit_cost(self):
+        assert Syscall(SyscallNr.READ, cost=42).cost == 42
+
+    def test_blocking_specs(self):
+        call = Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(1000))
+        assert call.block == SleepUntil(1000)
+        call = Syscall(SyscallNr.NANOSLEEP, block=SleepFor(500))
+        assert call.block.duration == 500
+        call = Syscall(SyscallNr.READ, block=WaitEvent("io"))
+        assert call.block.key == "io"
+
+    def test_negative_return_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Syscall(SyscallNr.READ, return_cost=-1)
+
+    def test_all_syscalls_have_default_costs(self):
+        for nr in SyscallNr:
+            assert default_cost(nr) > 0
+            assert Syscall(nr).cost == default_cost(nr)
+
+
+class TestZeroTimeInstructions:
+    def test_fire_carries_key(self):
+        assert Fire("pipe").key == "pipe"
+
+    def test_label_default_payload(self):
+        label = Label("frame_displayed")
+        assert label.payload == {}
+
+    def test_label_payload(self):
+        assert Label("x", {"frame": 3}).payload["frame"] == 3

@@ -1,0 +1,395 @@
+"""Unit and integration tests for the kernel main loop."""
+
+import pytest
+
+from repro.sched import RoundRobinScheduler
+from repro.sim import (
+    Compute,
+    Kernel,
+    KernelConfig,
+    MS,
+    ProcState,
+    SEC,
+    SleepFor,
+    SleepUntil,
+    Syscall,
+    SyscallNr,
+    US,
+    WaitEvent,
+)
+from repro.sim.instructions import Fire, Label
+
+
+def make_kernel(cs_cost=0):
+    return Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=cs_cost))
+
+
+class TestCompute:
+    def test_compute_consumes_exact_time(self):
+        k = make_kernel()
+        done = []
+
+        def prog():
+            t = yield Compute(5 * MS)
+            done.append(t)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert done == [5 * MS]
+
+    def test_cpu_time_accounted(self):
+        k = make_kernel()
+
+        def prog():
+            yield Compute(3 * MS)
+            yield Compute(4 * MS)
+
+        p = k.spawn("p", prog())
+        k.run(SEC)
+        assert p.cpu_time == 7 * MS
+        assert p.state is ProcState.EXITED
+        assert p.exit_time == 7 * MS
+
+    def test_zero_compute_is_a_free_clock_read(self):
+        k = make_kernel()
+        stamps = []
+
+        def prog():
+            t = yield Compute(0)
+            stamps.append(t)
+            t = yield Compute(1 * MS)
+            stamps.append(t)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        # Compute(0) consumes no time but still hands back the clock
+        assert stamps == [0, 1 * MS]
+
+    def test_two_processes_share_cpu(self):
+        k = make_kernel()
+
+        def prog():
+            yield Compute(10 * MS)
+
+        a = k.spawn("a", prog())
+        b = k.spawn("b", prog())
+        k.run(SEC)
+        assert a.cpu_time == b.cpu_time == 10 * MS
+        # serialized on one CPU: the later finisher exits at 20ms
+        assert max(a.exit_time, b.exit_time) == 20 * MS
+
+
+class TestBlocking:
+    def test_sleep_until_wakes_on_time(self):
+        k = make_kernel()
+        woke = []
+
+        def prog():
+            t = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(50 * MS))
+            woke.append(t)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        # exit path costs return_cost after the wake-up
+        assert 50 * MS <= woke[0] <= 50 * MS + 10 * US
+
+    def test_sleep_until_past_deadline_does_not_block(self):
+        k = make_kernel()
+        woke = []
+
+        def prog():
+            yield Compute(10 * MS)
+            t = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(5 * MS))
+            woke.append(t)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert woke[0] < 11 * MS
+
+    def test_sleep_for(self):
+        k = make_kernel()
+        woke = []
+
+        def prog():
+            yield Compute(1 * MS)
+            t = yield Syscall(SyscallNr.NANOSLEEP, cost=1000, block=SleepFor(20 * MS))
+            woke.append(t)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert 21 * MS <= woke[0] <= 21 * MS + 10 * US
+
+    def test_wait_event_and_fire(self):
+        k = make_kernel()
+        log = []
+
+        def consumer():
+            t = yield Syscall(SyscallNr.READ, cost=1000, block=WaitEvent("data"))
+            log.append(("consumed", t))
+
+        def producer():
+            yield Compute(30 * MS)
+            yield Fire("data")
+
+        k.spawn("c", consumer())
+        k.spawn("p", producer())
+        k.run(SEC)
+        assert log and log[0][0] == "consumed"
+        assert log[0][1] >= 30 * MS
+
+    def test_wait_event_never_fired_blocks_forever(self):
+        k = make_kernel()
+
+        def consumer():
+            yield Syscall(SyscallNr.READ, block=WaitEvent("never"))
+
+        p = k.spawn("c", consumer())
+        k.run(100 * MS)
+        assert p.state is ProcState.BLOCKED
+        assert k.clock == 100 * MS
+
+    def test_fire_event_returns_waiter_count(self):
+        k = make_kernel()
+
+        def consumer():
+            yield Syscall(SyscallNr.READ, block=WaitEvent("x"))
+
+        k.spawn("a", consumer())
+        k.spawn("b", consumer())
+        k.run(10 * MS)
+        assert k.fire_event("x") == 2
+        assert k.fire_event("x") == 0
+
+
+class TestLabelsAndProbes:
+    def test_label_probe_invoked_with_payload(self):
+        k = make_kernel()
+        seen = []
+
+        def prog():
+            yield Compute(2 * MS)
+            yield Label("mark", {"n": 7})
+
+        k.add_label_probe("mark", lambda proc, now, payload: seen.append((proc.name, now, payload)))
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert seen == [("p", 2 * MS, {"n": 7})]
+
+    def test_unprobed_label_is_noop(self):
+        k = make_kernel()
+
+        def prog():
+            yield Label("nobody-listens")
+            yield Compute(1 * MS)
+
+        p = k.spawn("p", prog())
+        k.run(SEC)
+        assert p.state is ProcState.EXITED
+
+
+class TestTimers:
+    def test_one_shot_at(self):
+        k = make_kernel()
+        fired = []
+        k.at(25 * MS, lambda now: fired.append(now))
+        k.run(SEC)
+        assert fired == [25 * MS]
+
+    def test_recurring_every(self):
+        k = make_kernel()
+        fired = []
+        k.every(10 * MS, lambda now: fired.append(now))
+        k.run(35 * MS)
+        assert fired == [10 * MS, 20 * MS, 30 * MS]
+
+    def test_every_with_custom_start(self):
+        k = make_kernel()
+        fired = []
+        k.every(10 * MS, lambda now: fired.append(now), start=5 * MS)
+        k.run(30 * MS)
+        assert fired == [5 * MS, 15 * MS, 25 * MS]
+
+    def test_timer_cancel(self):
+        k = make_kernel()
+        fired = []
+        timer = k.every(10 * MS, lambda now: fired.append(now))
+        k.run(15 * MS)
+        timer.cancel()
+        k.run(100 * MS)
+        assert fired == [10 * MS]
+
+    def test_invalid_period_rejected(self):
+        k = make_kernel()
+        with pytest.raises(ValueError):
+            k.every(0, lambda now: None)
+
+
+class TestContextSwitches:
+    def test_switch_cost_burns_wall_time(self):
+        k = make_kernel(cs_cost=1 * MS)
+
+        def prog():
+            yield Compute(10 * MS)
+
+        a = k.spawn("a", prog())
+        b = k.spawn("b", prog())
+        k.run(SEC)
+        # both finish, wall time includes switch costs
+        assert max(a.exit_time, b.exit_time) > 20 * MS
+        assert k.stats.context_switches >= 2
+
+    def test_no_switch_cost_for_single_process(self):
+        k = make_kernel(cs_cost=1 * MS)
+
+        def prog():
+            yield Compute(10 * MS)
+
+        a = k.spawn("a", prog())
+        k.run(SEC)
+        assert a.exit_time == 11 * MS  # exactly one switch-in
+
+
+class TestSpawnAndRun:
+    def test_spawn_at_future_time(self):
+        k = make_kernel()
+
+        def prog():
+            yield Compute(1 * MS)
+
+        p = k.spawn("late", prog(), at=40 * MS)
+        k.run(30 * MS)
+        assert p.state is ProcState.NEW or p.start_time is None
+        k.run(SEC)
+        assert p.start_time == 40 * MS
+        assert p.exit_time == 41 * MS
+
+    def test_run_backwards_rejected(self):
+        k = make_kernel()
+        k.run(10 * MS)
+        with pytest.raises(ValueError):
+            k.run(5 * MS)
+
+    def test_idle_time_accounted(self):
+        k = make_kernel()
+
+        def prog():
+            yield Compute(5 * MS)
+
+        k.spawn("p", prog())
+        k.run(100 * MS)
+        assert k.stats.idle_time == 95 * MS
+        assert k.stats.busy_time == 5 * MS
+
+    def test_run_until_exit(self):
+        k = make_kernel()
+
+        def prog(d):
+            yield Compute(d)
+
+        a = k.spawn("a", prog(5 * MS))
+        b = k.spawn("b", prog(10 * MS))
+        end = k.run_until_exit([a, b], hard_limit=SEC)
+        assert end == 15 * MS
+
+    def test_syscall_count(self):
+        k = make_kernel()
+
+        def prog():
+            for _ in range(5):
+                yield Syscall(SyscallNr.WRITE)
+
+        p = k.spawn("p", prog())
+        k.run(SEC)
+        assert p.syscall_count == 5
+        assert k.stats.syscalls == 5
+
+
+class TestTracerHooks:
+    class _CountingTracer:
+        def __init__(self, extra=0):
+            self.entries = []
+            self.exits = []
+            self.extra = extra
+
+        def traces(self, proc):
+            return True
+
+        def on_syscall_entry(self, proc, nr, now):
+            self.entries.append((proc.pid, nr, now))
+            return self.extra
+
+        def on_syscall_exit(self, proc, nr, now):
+            self.exits.append((proc.pid, nr, now))
+            return 0
+
+    def test_entry_and_exit_recorded(self):
+        k = make_kernel()
+        tracer = self._CountingTracer()
+        k.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.IOCTL, cost=2 * US)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert len(tracer.entries) == 1
+        assert len(tracer.exits) == 1
+        assert tracer.exits[0][2] - tracer.entries[0][2] == 2 * US
+
+    def test_tracer_extra_cost_charged(self):
+        k = make_kernel()
+        tracer = self._CountingTracer(extra=1 * MS)
+        k.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.IOCTL, cost=1 * US)
+
+        p = k.spawn("p", prog())
+        k.run(SEC)
+        assert p.cpu_time >= 1 * MS
+
+    def test_remove_tracer(self):
+        k = make_kernel()
+        tracer = self._CountingTracer()
+        k.add_tracer(tracer)
+        k.remove_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.IOCTL)
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert tracer.entries == []
+
+    def test_blocking_syscall_exit_after_wakeup(self):
+        k = make_kernel()
+        tracer = self._CountingTracer()
+        k.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(50 * MS))
+
+        k.spawn("p", prog())
+        k.run(SEC)
+        assert tracer.entries[0][2] == 0
+        assert tracer.exits[0][2] >= 50 * MS
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            k = make_kernel()
+            tracer = TestTracerHooks._CountingTracer()
+            k.add_tracer(tracer)
+
+            def prog(n):
+                for i in range(n):
+                    yield Compute((i % 3 + 1) * MS)
+                    yield Syscall(SyscallNr.WRITE)
+
+            k.spawn("a", prog(20))
+            k.spawn("b", prog(15))
+            k.run(SEC)
+            return tracer.entries
+
+        assert build() == build()

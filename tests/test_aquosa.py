@@ -1,0 +1,91 @@
+"""Tests for the AQuoSA qres facade."""
+
+import pytest
+
+from repro.aquosa import QresError, QresFacade
+from repro.sched import CbsScheduler
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC
+
+
+def make():
+    sched = CbsScheduler()
+    kernel = Kernel(sched, KernelConfig(context_switch_cost=0))
+    return QresFacade(sched), sched, kernel
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+class TestLifecycle:
+    def test_create_attach_and_throttle(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=20_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        kernel.run(SEC)
+        assert abs(proc.cpu_time - 200 * MS) <= 25 * MS
+
+    def test_invalid_params_raise_qres_error(self):
+        qres, _, _ = make()
+        with pytest.raises(QresError):
+            qres.qres_create_server(budget_us=0, period_us=1000)
+        with pytest.raises(QresError):
+            qres.qres_create_server(budget_us=2000, period_us=1000)
+
+    def test_unknown_sid(self):
+        qres, _, _ = make()
+        with pytest.raises(QresError):
+            qres.qres_get_params(99)
+
+    def test_destroy(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        qres.qres_destroy_server(sid)
+        with pytest.raises(QresError):
+            qres.qres_get_params(sid)
+        kernel.run(100 * MS)
+        assert proc.cpu_time > 50 * MS  # best-effort now
+
+    def test_detach_requires_membership(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        with pytest.raises(QresError):
+            qres.qres_detach_thread(sid, proc)
+
+
+class TestSensors:
+    def test_exec_time_in_microseconds(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=50_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        kernel.run(SEC)
+        assert qres.qres_get_exec_time(sid) == proc.cpu_time // 1000
+
+    def test_set_and_get_params(self):
+        qres, _, _ = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        qres.qres_set_params(sid, budget_us=30_000, period_us=50_000)
+        assert qres.qres_get_params(sid) == (30_000, 50_000)
+
+    def test_exhaustions_counter(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        kernel.run(SEC)
+        assert qres.qres_get_exhaustions(sid) >= 9
+
+    def test_budget_and_deadline_views(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=50_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        kernel.run(20 * MS)
+        assert qres.qres_get_curr_budget(sid) <= 50_000
+        assert qres.qres_get_deadline(sid) >= 100_000

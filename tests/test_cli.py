@@ -1,0 +1,53 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import _parse_overrides, main
+
+
+class TestOverrideParsing:
+    def test_literals(self):
+        assert _parse_overrides(["reps=10", "x=0.5"]) == {"reps": 10, "x": 0.5}
+
+    def test_tuples(self):
+        assert _parse_overrides(["horizons_s=(1.0,2.0)"]) == {"horizons_s": (1.0, 2.0)}
+
+    def test_strings_fall_through(self):
+        assert _parse_overrides(["name=qtrace"]) == {"name": "qtrace"}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "tab03" in out
+
+    def test_run_fig01(self, capsys):
+        assert main(["run", "fig01", "t_step_ms=20.0"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "min_bandwidth" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        out_path = tmp_path / "fig01.csv"
+        assert main(["run", "fig01", "t_step_ms=20.0", "--csv", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "server_period_ms" in text
+        assert "series,min_bandwidth" in text
+
+    def test_list_includes_ablations(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "abl-smp" in out and "abl-detector" in out
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,27 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.response
+import repro.sched.fp
+import repro.sim.time
+
+MODULES = [
+    repro.sim.time,
+    repro.sched.fp,
+    repro.analysis.response,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0  # the examples are really there
+
+
+def test_doctests_actually_exist():
+    total = sum(len(doctest.DocTestFinder().find(m)) for m in MODULES)
+    assert total > 0

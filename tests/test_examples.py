@@ -1,0 +1,75 @@
+"""Smoke-run every example script as a subprocess.
+
+The examples double as end-to-end acceptance tests of the public API:
+each must run to completion and print the findings it promises.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "inferred period" in out
+        assert "40.00 ms" in out
+        assert "inter-frame time" in out
+
+    def test_period_inference(self):
+        out = run_example("period_inference.py")
+        assert "32.50Hz" in out
+        assert "amplitude spectrum" in out
+        assert "#" in out  # the ASCII plot rendered
+
+    def test_adaptive_video_under_load(self):
+        out = run_example("adaptive_video_under_load.py")
+        assert "LFS++" in out and "LFS " in out
+
+    def test_reservation_sizing(self):
+        out = run_example("reservation_sizing.py")
+        assert "T = P (robust optimum)" in out
+        assert "61.7%" in out
+
+    def test_multicore_consolidation(self):
+        out = run_example("multicore_consolidation.py")
+        assert "4 players on 1 CPU(s)" in out
+        assert "4 players on 2 CPU(s)" in out
+
+    def test_offline_trace_analysis(self):
+        out = run_example("offline_trace_analysis.py")
+        assert "25.00 Hz" in out
+        assert "merged (group)" in out
+
+    def test_autonomous_daemon(self):
+        out = run_example("autonomous_daemon.py")
+        assert "ADOPTED  mplayer" in out
+        assert "rejected ffmpeg" in out
+
+    def test_every_example_is_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "period_inference.py",
+            "adaptive_video_under_load.py",
+            "reservation_sizing.py",
+            "multicore_consolidation.py",
+            "offline_trace_analysis.py",
+            "autonomous_daemon.py",
+        }
+        assert scripts == covered

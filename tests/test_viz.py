@@ -1,0 +1,68 @@
+"""Tests for the terminal visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_histogram, ascii_spectrum, ascii_timeline
+
+
+class TestSpectrum:
+    def test_peak_reaches_the_top_row(self):
+        freqs = np.linspace(10, 100, 200)
+        amp = np.ones(200)
+        amp[100] = 50.0
+        art = ascii_spectrum(freqs, amp, rows=8, cols=40)
+        lines = art.splitlines()
+        assert "#" in lines[0]  # the tallest column spans all rows
+        assert lines[-1].startswith("10 Hz")
+        assert lines[-1].rstrip().endswith("100 Hz")
+
+    def test_flat_spectrum_fills_uniformly(self):
+        freqs = np.linspace(1, 10, 50)
+        art = ascii_spectrum(freqs, np.ones(50), rows=4, cols=25)
+        top = art.splitlines()[0]
+        assert top.count("#") == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_spectrum([], [])
+        with pytest.raises(ValueError):
+            ascii_spectrum([1.0, 2.0], [1.0])
+
+
+class TestTimeline:
+    def test_extremes_marked(self):
+        xs = [0, 1, 2, 3]
+        ys = [0.0, 5.0, 2.0, 10.0]
+        art = ascii_timeline(xs, ys, rows=5, cols=20)
+        lines = art.splitlines()
+        assert "*" in lines[0]  # the max lands on the top row
+        assert "*" in lines[4]  # the min on the bottom row
+        assert "10" in lines[0]
+        assert "0" in lines[4]
+
+    def test_constant_series(self):
+        art = ascii_timeline([0, 1], [3.0, 3.0])
+        assert "*" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([], [])
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        art = ascii_histogram([1, 1, 1, 5], bins=2, width=10)
+        lines = art.splitlines()
+        assert lines[0].endswith("3")
+        assert lines[1].endswith("1")
+
+    def test_bar_lengths_proportional(self):
+        art = ascii_histogram([1] * 10 + [5] * 5, bins=2, width=20)
+        first, second = art.splitlines()
+        assert first.count("#") == 20
+        assert second.count("#") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])

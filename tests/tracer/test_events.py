@@ -1,0 +1,80 @@
+"""Tests for trace records and the circular buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.syscalls import SyscallNr
+from repro.tracer import EventKind, RingBuffer, TraceEvent
+
+
+def ev(t, pid=1):
+    return TraceEvent(t, pid, SyscallNr.IOCTL, EventKind.SYSCALL_ENTRY)
+
+
+class TestRingBuffer:
+    def test_push_and_drain_in_order(self):
+        rb = RingBuffer(8)
+        for t in (3, 1, 4):
+            rb.push(ev(t))
+        assert [e.time for e in rb.drain()] == [3, 1, 4]
+        assert len(rb) == 0
+
+    def test_overwrite_drops_oldest(self):
+        rb = RingBuffer(3)
+        for t in range(5):
+            rb.push(ev(t))
+        assert [e.time for e in rb.drain()] == [2, 3, 4]
+        assert rb.dropped == 2
+        assert rb.total == 5
+
+    def test_full_flag(self):
+        rb = RingBuffer(2)
+        assert not rb.full
+        rb.push(ev(1))
+        rb.push(ev(2))
+        assert rb.full
+
+    def test_peek_is_non_destructive(self):
+        rb = RingBuffer(4)
+        rb.push(ev(1))
+        rb.push(ev(2))
+        assert [e.time for e in rb.peek()] == [1, 2]
+        assert len(rb) == 2
+
+    def test_drain_empty(self):
+        rb = RingBuffer(4)
+        assert rb.drain() == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_drain_resets_positions(self):
+        rb = RingBuffer(3)
+        for t in range(3):
+            rb.push(ev(t))
+        rb.drain()
+        for t in (10, 11):
+            rb.push(ev(t))
+        assert [e.time for e in rb.drain()] == [10, 11]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=40), st.integers(min_value=1, max_value=10))
+    def test_drain_returns_last_capacity_events(self, times, capacity):
+        rb = RingBuffer(capacity)
+        for t in times:
+            rb.push(ev(t))
+        drained = [e.time for e in rb.drain()]
+        assert drained == times[-capacity:]
+        assert rb.dropped == max(0, len(times) - capacity)
+
+
+class TestTraceEvent:
+    def test_fields(self):
+        e = TraceEvent(5, 42, SyscallNr.READ, EventKind.SYSCALL_EXIT)
+        assert (e.time, e.pid, e.nr, e.kind) == (5, 42, SyscallNr.READ, EventKind.SYSCALL_EXIT)
+
+    def test_wakeup_event_has_no_syscall(self):
+        e = TraceEvent(5, 42, None, EventKind.WAKEUP)
+        assert e.nr is None
+        assert "wakeup" in repr(e)

@@ -1,0 +1,93 @@
+"""Tests for the ptrace-based tracer overhead models."""
+
+from repro.sched import RoundRobinScheduler
+from repro.sim import Compute, Kernel, KernelConfig, SEC, Syscall, SyscallNr, US
+from repro.tracer import PtraceTracer, qostrace, strace
+
+
+def run_with(tracer):
+    kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+    if tracer is not None:
+        kernel.add_tracer(tracer)
+
+    def prog():
+        for _ in range(100):
+            yield Compute(100 * US)
+            yield Syscall(SyscallNr.READ, cost=2 * US)
+
+    p = kernel.spawn("p", prog())
+    if tracer is not None:
+        tracer.trace_pid(p.pid)
+    end = kernel.run_until_exit([p], hard_limit=SEC)
+    return end
+
+
+class TestOverheadStructure:
+    def test_per_stop_cost_is_two_switches_plus_work(self):
+        t = PtraceTracer(name="x", context_switch_cost=1000, per_stop_work=500)
+        assert t._stop_cost() == 2500
+
+    def test_strace_slower_than_qostrace(self):
+        base = run_with(None)
+        with_strace = run_with(strace())
+        with_qostrace = run_with(qostrace())
+        assert base < with_qostrace < with_strace
+
+    def test_overhead_proportional_to_syscalls(self):
+        # doubling the syscall count roughly doubles the added time
+        def run_n(n, tracer):
+            kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+            if tracer:
+                kernel.add_tracer(tracer)
+
+            def prog():
+                for _ in range(n):
+                    yield Compute(100 * US)
+                    yield Syscall(SyscallNr.READ, cost=2 * US)
+
+            p = kernel.spawn("p", prog())
+            if tracer:
+                tracer.trace_pid(p.pid)
+            return kernel.run_until_exit([p], hard_limit=SEC)
+
+        oh1 = run_n(100, strace()) - run_n(100, None)
+        oh2 = run_n(200, strace()) - run_n(200, None)
+        assert 1.8 <= oh2 / oh1 <= 2.2
+
+    def test_untraced_process_pays_nothing(self):
+        tracer = strace()
+        kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+        kernel.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.READ, cost=2 * US)
+
+        p = kernel.spawn("p", prog())
+        end = kernel.run_until_exit([p], hard_limit=SEC)
+        assert end < 10 * US
+
+    def test_events_recorded_when_enabled(self):
+        tracer = qostrace()
+        kernel = Kernel(RoundRobinScheduler())
+        kernel.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.READ)
+
+        p = kernel.spawn("p", prog())
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        assert len(tracer.events) == 2  # entry + exit stop
+
+    def test_stop_on_exit_disabled(self):
+        tracer = PtraceTracer(name="entry-only", stop_on_exit=False)
+        kernel = Kernel(RoundRobinScheduler())
+        kernel.add_tracer(tracer)
+
+        def prog():
+            yield Syscall(SyscallNr.READ)
+
+        p = kernel.spawn("p", prog())
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        assert len(tracer.events) == 1

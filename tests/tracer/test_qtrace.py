@@ -1,0 +1,134 @@
+"""Tests for the qtrace kernel tracer."""
+
+from repro.sched import RoundRobinScheduler
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, Syscall, SyscallNr, US
+from repro.tracer import EventKind, QTraceConfig, QTracer
+
+
+def make():
+    kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+    tracer = QTracer()
+    kernel.add_tracer(tracer)
+    return kernel, tracer
+
+
+def chatty(n, nr=SyscallNr.IOCTL):
+    def prog():
+        for _ in range(n):
+            yield Compute(100 * US)
+            yield Syscall(nr)
+
+    return prog()
+
+
+class TestSelectivity:
+    def test_only_traced_pids_recorded(self):
+        kernel, tracer = make()
+        a = kernel.spawn("a", chatty(5))
+        kernel.spawn("b", chatty(7))
+        tracer.trace_pid(a.pid)
+        kernel.run(SEC)
+        events = tracer.buffer.drain()
+        assert events
+        assert all(e.pid == a.pid for e in events)
+
+    def test_untrace_pid(self):
+        kernel, tracer = make()
+        a = kernel.spawn("a", chatty(5))
+        tracer.trace_pid(a.pid)
+        tracer.untrace_pid(a.pid)
+        kernel.run(SEC)
+        assert tracer.buffer.drain() == []
+
+    def test_syscall_filter(self):
+        kernel, tracer = make()
+
+        def mixed():
+            for _ in range(3):
+                yield Syscall(SyscallNr.IOCTL)
+                yield Syscall(SyscallNr.READ)
+
+        p = kernel.spawn("p", mixed())
+        tracer.trace_pid(p.pid)
+        tracer.set_syscall_filter([SyscallNr.IOCTL])
+        kernel.run(SEC)
+        events = tracer.buffer.drain()
+        assert events
+        assert all(e.nr is SyscallNr.IOCTL for e in events)
+
+    def test_filter_reset(self):
+        kernel, tracer = make()
+        tracer.set_syscall_filter([SyscallNr.READ])
+        tracer.set_syscall_filter(None)
+
+        p = kernel.spawn("p", chatty(2))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        assert tracer.buffer.drain()
+
+
+class TestRecording:
+    def test_entry_and_exit_pairs(self):
+        kernel, tracer = make()
+        p = kernel.spawn("p", chatty(4))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        events = tracer.buffer.drain()
+        entries = [e for e in events if e.kind is EventKind.SYSCALL_ENTRY]
+        exits = [e for e in events if e.kind is EventKind.SYSCALL_EXIT]
+        assert len(entries) == len(exits) == 4
+        for en, ex in zip(entries, exits):
+            assert ex.time > en.time
+
+    def test_exits_can_be_disabled(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = QTracer(QTraceConfig(record_exits=False))
+        kernel.add_tracer(tracer)
+        p = kernel.spawn("p", chatty(4))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        events = tracer.buffer.drain()
+        assert all(e.kind is EventKind.SYSCALL_ENTRY for e in events)
+
+    def test_call_counts(self):
+        kernel, tracer = make()
+        p = kernel.spawn("p", chatty(6, SyscallNr.WRITE))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        assert tracer.call_counts[(p.pid, SyscallNr.WRITE)] == 6
+
+    def test_log_cost_charged_to_traced_process(self):
+        kernel, tracer = make()
+        traced = kernel.spawn("traced", chatty(10))
+        free = kernel.spawn("free", chatty(10))
+        tracer.trace_pid(traced.pid)
+        kernel.run(SEC)
+        assert traced.cpu_time > free.cpu_time
+
+
+class TestDownload:
+    def test_drain_feeds_sinks(self):
+        kernel, tracer = make()
+        got = []
+        tracer.add_sink(lambda batch, now: got.append((len(batch), now)))
+        p = kernel.spawn("p", chatty(3))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        tracer.drain(SEC)
+        assert got == [(6, SEC)]  # 3 entries + 3 exits
+
+    def test_download_agent_drains_periodically(self):
+        kernel, tracer = make()
+        batches = []
+        tracer.add_sink(lambda batch, now: batches.append(len(batch)))
+        p = kernel.spawn("p", chatty(50))
+        tracer.trace_pid(p.pid)
+        tracer.spawn_download_agent(kernel, period=10 * MS)
+        kernel.run(200 * MS)
+        assert len(batches) >= 2
+        assert sum(batches) == 100
+
+    def test_download_cost_model(self):
+        tracer = QTracer(QTraceConfig(download_fixed_cost=1000, download_per_event_cost=10))
+        assert tracer.download_cost(0) == 1000
+        assert tracer.download_cost(5) == 1050

@@ -1,0 +1,81 @@
+"""Tests for the blocked->ready transition tracer (future-work §6)."""
+
+from repro.core import AnalyserConfig, PeriodAnalyser
+from repro.core.spectrum import SpectrumConfig
+from repro.sched import RoundRobinScheduler
+from repro.sim import Compute, Kernel, MS, SEC, SleepUntil, Syscall, SyscallNr
+from repro.tracer import EventKind, WakeupTracer
+
+
+def periodic(period, cost, n):
+    def prog():
+        for j in range(n):
+            yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(j * period))
+            yield Compute(cost)
+
+    return prog()
+
+
+class TestWakeupTracer:
+    def test_one_wakeup_per_job(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = WakeupTracer()
+        tracer.install(kernel)
+        p = kernel.spawn("p", periodic(50 * MS, 5 * MS, 10))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        events = tracer.drain()
+        wakeups = [e for e in events if e.kind is EventKind.WAKEUP]
+        # admission + one wake-up per sleeping job
+        assert 9 <= len(wakeups) <= 11
+        assert all(e.pid == p.pid for e in events)
+
+    def test_untraced_pid_ignored(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = WakeupTracer()
+        tracer.install(kernel)
+        kernel.spawn("p", periodic(50 * MS, 5 * MS, 5))
+        kernel.run(SEC)
+        assert tracer.drain() == []
+
+    def test_install_idempotent(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = WakeupTracer()
+        tracer.install(kernel)
+        tracer.install(kernel)
+        p = kernel.spawn("p", periodic(50 * MS, 5 * MS, 3))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        wakeups = [e for e in tracer.drain() if e.kind is EventKind.WAKEUP]
+        assert len(wakeups) <= 4  # not doubled
+
+    def test_block_events_optional(self):
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = WakeupTracer(record_blocks=True)
+        tracer.install(kernel)
+        p = kernel.spawn("p", periodic(50 * MS, 5 * MS, 5))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        kinds = {e.kind for e in tracer.drain()}
+        assert EventKind.BLOCK in kinds
+
+    def test_wakeup_train_supports_period_detection(self):
+        """The §6 claim: wake-up events are a clean analyser input."""
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = WakeupTracer()
+        tracer.install(kernel)
+        period = 40 * MS  # 25 Hz
+        p = kernel.spawn("p", periodic(period, 5 * MS, 120))
+        tracer.trace_pid(p.pid)
+        kernel.run(4 * SEC)
+        analyser = PeriodAnalyser(
+            AnalyserConfig(
+                spectrum=SpectrumConfig(f_min=20.0, f_max=100.0, df=0.1),
+                horizon_ns=2 * SEC,
+                min_events=4,
+            )
+        )
+        analyser.add_times([e.time for e in tracer.drain()])
+        estimate = analyser.analyse(4 * SEC)
+        assert estimate is not None
+        assert abs(estimate.frequency - 25.0) < 0.3

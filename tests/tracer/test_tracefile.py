@@ -1,0 +1,136 @@
+"""Tests for trace persistence."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.syscalls import SyscallNr
+from repro.tracer import EventKind, TraceEvent, filter_trace, load_trace, save_trace
+from repro.tracer.tracefile import dump_trace, parse_trace
+
+
+def ev(t, pid=1, nr=SyscallNr.IOCTL, kind=EventKind.SYSCALL_ENTRY):
+    return TraceEvent(t, pid, nr, kind)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        events = [ev(10), ev(20, pid=2, nr=SyscallNr.READ, kind=EventKind.SYSCALL_EXIT)]
+        path = tmp_path / "trace.qt"
+        assert save_trace(path, events) == 2
+        assert load_trace(path) == events
+
+    def test_wakeup_events_have_no_syscall(self, tmp_path):
+        events = [TraceEvent(5, 3, None, EventKind.WAKEUP)]
+        path = tmp_path / "t.qt"
+        save_trace(path, events)
+        assert load_trace(path) == events
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "e.qt"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**12),
+                st.integers(min_value=1, max_value=9999),
+                st.sampled_from(list(SyscallNr)),
+                st.sampled_from([EventKind.SYSCALL_ENTRY, EventKind.SYSCALL_EXIT]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_round_trip_property(self, raw):
+        events = [TraceEvent(*fields) for fields in raw]
+        buf = io.StringIO()
+        dump_trace(events, buf)
+        buf.seek(0)
+        assert parse_trace(buf) == events
+
+
+class TestParsing:
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="not a qtrace"):
+            parse_trace(io.StringIO("10\t1\tioctl\tentry\n"))
+
+    def test_bad_field_count(self):
+        with pytest.raises(ValueError, match="4 fields"):
+            parse_trace(io.StringIO("# qtrace v1\n10\t1\tioctl\n"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            parse_trace(io.StringIO("# qtrace v1\n10\t1\tioctl\tzap\n"))
+
+    def test_unknown_syscall(self):
+        with pytest.raises(ValueError, match="unknown syscall"):
+            parse_trace(io.StringIO("# qtrace v1\n10\t1\tfrobnicate\tentry\n"))
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# qtrace v1\n\n# a remark\n10\t1\tioctl\tentry\n"
+        assert len(parse_trace(io.StringIO(text))) == 1
+
+
+class TestFilter:
+    EVENTS = [
+        ev(10, pid=1),
+        ev(20, pid=2),
+        ev(30, pid=1, kind=EventKind.SYSCALL_EXIT),
+        ev(40, pid=1),
+    ]
+
+    def test_by_pid(self):
+        assert len(filter_trace(self.EVENTS, pid=1)) == 3
+
+    def test_by_kind(self):
+        entries = filter_trace(self.EVENTS, kinds=[EventKind.SYSCALL_ENTRY])
+        assert len(entries) == 3
+
+    def test_by_window(self):
+        assert [e.time for e in filter_trace(self.EVENTS, start_ns=20, end_ns=40)] == [20, 30]
+
+    def test_combined(self):
+        got = filter_trace(self.EVENTS, pid=1, kinds=[EventKind.SYSCALL_ENTRY], start_ns=15)
+        assert [e.time for e in got] == [40]
+
+
+class TestCliAnalyze:
+    def test_end_to_end(self, tmp_path, capsys):
+        """Record a periodic trace, save it, analyse it through the CLI."""
+        from repro.cli import main
+        from repro.sched import RoundRobinScheduler
+        from repro.sim import Compute, Kernel, MS, SEC, SleepUntil, Syscall
+        from repro.tracer import QTracer
+
+        kernel = Kernel(RoundRobinScheduler())
+        tracer = QTracer()
+        kernel.add_tracer(tracer)
+
+        def prog():
+            for j in range(100):
+                yield Syscall(SyscallNr.CLOCK_NANOSLEEP, cost=1000, block=SleepUntil(j * 40 * MS))
+                yield Compute(3 * MS)
+                yield Syscall(SyscallNr.WRITE)
+
+        proc = kernel.spawn("p", prog())
+        tracer.trace_pid(proc.pid)
+        kernel.run(4 * SEC)
+
+        path = tmp_path / "run.qt"
+        save_trace(path, tracer.buffer.drain())
+
+        assert main(["analyze", str(path), "--fmin", "15", "--fmax", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "periodic at 25.00 Hz" in out
+
+    def test_empty_filter_errors(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "run.qt"
+        save_trace(path, [ev(10, pid=1)])
+        with pytest.raises(SystemExit):
+            main(["analyze", str(path), "--pid", "42"])

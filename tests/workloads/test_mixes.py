@@ -1,0 +1,39 @@
+"""Tests for the canonical system-call mixes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.syscalls import SyscallNr
+from repro.workloads.mixes import MPLAYER_CALL_MIX, sample_burst, sample_call
+
+
+class TestMix:
+    def test_normalised(self):
+        assert sum(MPLAYER_CALL_MIX.values()) == pytest.approx(1.0)
+
+    def test_ioctl_dominates(self):
+        top = max(MPLAYER_CALL_MIX, key=MPLAYER_CALL_MIX.get)
+        assert top is SyscallNr.IOCTL
+        assert MPLAYER_CALL_MIX[SyscallNr.IOCTL] > 0.5
+
+
+class TestSampling:
+    def test_sample_call_in_mix(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert sample_call(rng) in MPLAYER_CALL_MIX
+
+    def test_burst_length(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_burst(rng, 7)) == 7
+
+    def test_empirical_frequencies_track_mix(self):
+        rng = np.random.default_rng(42)
+        calls = sample_burst(rng, 20_000)
+        ioctl_frac = sum(1 for c in calls if c is SyscallNr.IOCTL) / len(calls)
+        assert abs(ioctl_frac - MPLAYER_CALL_MIX[SyscallNr.IOCTL]) < 0.02
+
+    def test_deterministic_given_generator_state(self):
+        a = sample_burst(np.random.default_rng(7), 10)
+        b = sample_burst(np.random.default_rng(7), 10)
+        assert a == b
