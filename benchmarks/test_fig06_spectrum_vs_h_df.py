@@ -9,11 +9,8 @@ Shape claims verified (Eq. 3):
 
 import pytest
 
-from repro.experiments import fig06
-
-
-def test_fig06_cost_scaling_and_precision(run_once):
-    result = run_once(fig06.run, reps=10)
+def test_fig06_cost_scaling_and_precision(cached_run):
+    result = cached_run("fig06", reps=10)
     rows = result.rows
 
     def cell(df, h):

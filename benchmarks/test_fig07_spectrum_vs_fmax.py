@@ -8,11 +8,9 @@ Shape claims verified:
 
 import pytest
 
-from repro.experiments import fig07
 
-
-def test_fig07_cost_grows_with_fmax(run_once):
-    result = run_once(fig07.run, reps=10)
+def test_fig07_cost_grows_with_fmax(cached_run):
+    result = cached_run("fig07", reps=10)
     rows = result.rows
 
     def cell(fmax, h):

@@ -6,11 +6,8 @@ Shape claims verified:
   periodicity becomes "indisputable" from ~1 s).
 """
 
-from repro.experiments import fig10
-
-
-def test_fig10_peak_family_emerges(run_once):
-    result = run_once(fig10.run)
+def test_fig10_peak_family_emerges(cached_run):
+    result = cached_run("fig10")
     rows = {r["tracing_s"]: r for r in result.rows}
 
     # "quite evident" peaks at 0.5 s, "indisputable" from 1 s (paper's

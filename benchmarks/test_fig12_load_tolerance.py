@@ -15,11 +15,9 @@ assertions pin down.  See EXPERIMENTS.md.
 
 import pytest
 
-from repro.experiments import fig12
 
-
-def test_fig12_detection_degrades_with_load(run_once):
-    result = run_once(fig12.run, reps=40, include_ablation=True)
+def test_fig12_detection_degrades_with_load(cached_run):
+    result = cached_run("fig12", reps=40, include_ablation=True)
     rows = {r["load_pct"]: r for r in result.rows}
 
     # unloaded: locked on the fundamental

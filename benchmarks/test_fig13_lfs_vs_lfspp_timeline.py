@@ -10,11 +10,9 @@ Shape claims verified (paper: LFS 39.99 +/- 11.29 ms converging only after
 
 import pytest
 
-from repro.experiments import fig13
 
-
-def test_fig13_lfs_vs_lfspp(run_once):
-    result = run_once(fig13.run, n_frames=1400)
+def test_fig13_lfs_vs_lfspp(cached_run):
+    result = cached_run("fig13", n_frames=1400)
     rows = {r["law"]: r for r in result.rows}
     lfs, lfspp = rows["LFS"], rows["LFS++"]
 

@@ -7,8 +7,6 @@ LFS++'s, and the fraction of frames beyond 80 ms is larger.
 
 import numpy as np
 
-from repro.experiments import fig13
-
 
 def _tail_value(series, prob):
     ps = np.array(series.y)
@@ -18,8 +16,8 @@ def _tail_value(series, prob):
     return xs[idx]
 
 
-def test_fig14_cdf_tails(run_once):
-    result = run_once(fig13.run, n_frames=1400, seed=14)
+def test_fig14_cdf_tails(cached_run):
+    result = cached_run("fig13", n_frames=1400, seed=14)
     lfs_cdf = result.series_by_name("ift_cdf[lfs]")
     lfspp_cdf = result.series_by_name("ift_cdf[lfs++]")
 

@@ -11,11 +11,9 @@ overloads the system):
 
 import pytest
 
-from repro.experiments import tab03
 
-
-def test_tab03_load_sweep(run_once):
-    result = run_once(tab03.run, n_frames=1000)
+def test_tab03_load_sweep(cached_run):
+    result = cached_run("tab03", n_frames=1000)
     rows = {r["periodic_workload_pct"]: r for r in result.rows}
 
     # controlled region: 20-60%

@@ -5,10 +5,16 @@
     repro-exp list                      # what can be reproduced
     repro-exp run fig01                 # one experiment, default params
     repro-exp run fig12 reps=100        # override keyword parameters
-    repro-exp all                       # everything (long)
+    repro-exp run fig06 --jobs 4        # shard inner repetitions
+    repro-exp all --jobs 4              # everything, registry sharded
+    repro-exp bench --output BENCH.json # timed sweep, machine-readable
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
+
+Results are cached on disk (``$REPRO_CACHE_DIR`` or ``./.repro-cache``)
+keyed on experiment + parameters + code digest; pass ``--no-cache`` to
+force recomputation or ``--cache-dir`` to relocate the store.
 """
 
 from __future__ import annotations
@@ -16,7 +22,6 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-import time
 
 from repro.experiments import REGISTRY
 
@@ -34,18 +39,51 @@ def _parse_overrides(pairs: list[str]) -> dict:
     return out
 
 
-def _run_one(name: str, overrides: dict, csv_path: str | None = None) -> None:
-    module = REGISTRY.get(name)
-    if module is None:
+def _make_cache(args):
+    """Build the ResultCache implied by --no-cache/--cache-dir."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
+def _add_exec_flags(subparser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="process-pool width (default: 1, serial)"
+    )
+    subparser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the on-disk result cache"
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+
+
+def _run_one(
+    name: str,
+    overrides: dict,
+    csv_path: str | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> None:
+    from repro.experiments.runner import run_experiment
+
+    if name not in REGISTRY:
         raise SystemExit(f"unknown experiment {name!r}; try 'repro-exp list'")
-    start = time.perf_counter()
-    result = module.run(**overrides)
-    elapsed = time.perf_counter() - start
-    print(result.to_text())
-    print(f"[{name} completed in {elapsed:.1f}s]")
+    outcome = run_experiment(name, overrides, jobs=jobs, cache=cache)
+    print(outcome.result.to_text())
+    if outcome.cached:
+        print(f"[{name} served from cache]")
+    else:
+        print(f"[{name} completed in {outcome.elapsed_s:.1f}s]")
     if csv_path:
         with open(csv_path, "w", encoding="utf-8") as fh:
-            fh.write(result.to_csv())
+            fh.write(outcome.result.to_csv())
         print(f"[csv written to {csv_path}]")
 
 
@@ -62,8 +100,25 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("experiment", help="experiment name (e.g. fig01)")
     run_p.add_argument("overrides", nargs="*", help="key=value parameter overrides")
     run_p.add_argument("--csv", default=None, help="also write the result as CSV to this path")
+    _add_exec_flags(run_p)
     all_p = sub.add_parser("all", help="run every experiment with defaults")
     all_p.add_argument("--skip", nargs="*", default=[], help="experiments to skip")
+    _add_exec_flags(all_p)
+    bench_p = sub.add_parser(
+        "bench", help="timed sweep with a machine-readable BENCH_*.json report"
+    )
+    bench_p.add_argument(
+        "experiments", nargs="*", help="experiments to benchmark (default: the whole registry)"
+    )
+    bench_p.add_argument(
+        "--output", default=None, metavar="PATH", help="report path (default: BENCH_<utc>.json)"
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down parameters for the expensive sweeps (CI smoke setting)",
+    )
+    _add_exec_flags(bench_p)
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -79,19 +134,53 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:8s} {doc}")
         return 0
     if args.command == "run":
-        _run_one(args.experiment, _parse_overrides(args.overrides), csv_path=args.csv)
+        _run_one(
+            args.experiment,
+            _parse_overrides(args.overrides),
+            csv_path=args.csv,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
         return 0
     if args.command == "all":
-        for name in REGISTRY:
-            if name in args.skip:
-                continue
-            _run_one(name, {})
+        from repro.experiments.runner import run_many
+
+        names = [name for name in REGISTRY if name not in args.skip]
+        outcomes = run_many(names, jobs=args.jobs, cache=_make_cache(args))
+        for outcome in outcomes:
+            print(outcome.result.to_text())
+            status = "served from cache" if outcome.cached else f"{outcome.elapsed_s:.1f}s"
+            print(f"[{outcome.name}: {status}]")
             print()
         return 0
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
     return 1  # pragma: no cover
+
+
+def _bench(args) -> int:
+    """Timed registry sweep; writes the machine-readable BENCH report."""
+    import time
+
+    from repro.experiments.report import BENCH_QUICK_OVERRIDES, write_bench_json
+    from repro.experiments.runner import run_many
+
+    names = args.experiments or list(REGISTRY)
+    for name in names:
+        if name not in REGISTRY:
+            raise SystemExit(f"unknown experiment {name!r}; try 'repro-exp list'")
+    overrides = {n: dict(BENCH_QUICK_OVERRIDES.get(n, {})) for n in names} if args.quick else {}
+    outcomes = run_many(names, overrides, jobs=args.jobs, cache=_make_cache(args))
+    for outcome in outcomes:
+        status = "cache" if outcome.cached else f"{outcome.elapsed_s:6.1f}s"
+        print(f"{outcome.name:16s} {status}")
+    path = args.output or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
+    write_bench_json(path, outcomes, overrides=overrides)
+    print(f"[bench report written to {path}]")
+    return 0
 
 
 def _analyze(args) -> None:

@@ -6,6 +6,16 @@ counts keep the default runs minutes-fast; pass ``reps``/``duration``
 overrides for full-fidelity runs).  The benchmark suite, the CLI and the
 examples all call into these functions, so there is exactly one
 implementation of every experiment.
+
+Execution goes through two sibling layers (see
+``docs/running-experiments.md``):
+
+- :mod:`repro.experiments.runner` — process-pool fan-out over the
+  registry and over the expensive sweeps' inner repetitions (their
+  ``run()`` accepts an order-preserving ``map_fn``), bit-identical to
+  serial execution;
+- :mod:`repro.experiments.cache` — content-addressed on-disk memoisation
+  of results, keyed on name + canonical kwargs + code digest.
 """
 
 from types import SimpleNamespace

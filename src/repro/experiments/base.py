@@ -104,6 +104,56 @@ class ExperimentResult:
         return buf.getvalue()
 
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON view of the result (numpy scalars coerced).
+
+        This is what the cache metadata, the ``BENCH_*.json`` emitter and
+        the serial-vs-parallel equality checks operate on: two runs are
+        considered equal when their jsonable views are equal.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{k: _jsonable(v) for k, v in row.items()} for row in self.rows],
+            "series": [
+                {
+                    "name": s.name,
+                    "x": [_jsonable(v) for v in s.x],
+                    "y": [_jsonable(v) for v in s.y],
+                    "yerr": None if s.yerr is None else [_jsonable(v) for v in s.yerr],
+                }
+                for s in self.series
+            ],
+            "notes": list(self.notes),
+        }
+
+    def comparable(self, *, ignore_columns: tuple[str, ...] = ()) -> dict:
+        """Like :meth:`to_jsonable` but with wall-clock columns dropped.
+
+        Experiments that measure host wall-clock time (fig06/fig07 declare
+        theirs in a module-level ``TIMING_COLUMNS``) can never be
+        bit-identical across runs; everything else must be.
+        """
+        d = self.to_jsonable()
+        if ignore_columns:
+            drop = set(ignore_columns)
+            d["columns"] = [c for c in d["columns"] if c not in drop]
+            d["rows"] = [{k: v for k, v in row.items() if k not in drop} for row in d["rows"]]
+        return d
+
+
+def _jsonable(v):
+    """Coerce numpy scalars (and anything float/int-like) to plain Python."""
+    if v is None or isinstance(v, (bool, int, str)):
+        return v
+    if isinstance(v, float):
+        return v
+    if hasattr(v, "item"):  # numpy scalar
+        return v.item()
+    return str(v)
+
+
 def _fmt(v) -> str:
     if v is None:
         return "-"

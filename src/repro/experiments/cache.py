@@ -1,0 +1,214 @@
+"""Content-addressed on-disk cache for :class:`ExperimentResult`.
+
+Every cache entry is keyed on the experiment *name*, the canonicalised
+``run()`` keyword arguments and a digest of the experiment module's source
+(plus the shared ``base``/``common`` modules it builds on), so
+
+- re-running with the same parameters is a hit,
+- changing any parameter is a miss,
+- editing the experiment's code is a miss (stale results can never be
+  served after the implementation changed).
+
+Entries live under ``<cache_dir>/<experiment>/<key>.pkl`` (a pickled
+:class:`ExperimentResult`) next to a human-readable ``<key>.json`` with
+the key's provenance.  Writes are atomic (tmp file + ``os.replace``) so a
+crashed run never leaves a truncated entry behind; a corrupted entry is
+evicted on read and simply recomputed.
+
+The default cache directory is ``$REPRO_CACHE_DIR`` when set, else
+``.repro-cache/`` under the current working directory (gitignored).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult
+
+#: environment variable overriding the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default cache directory name (relative to the current working directory)
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+def canonical_kwargs(kwargs: dict) -> str:
+    """A stable text form of ``run()`` kwargs, independent of dict order.
+
+    Sequences are normalised (tuple vs list does not change the key),
+    floats go through ``repr`` (shortest round-trip form), and
+    non-literal values (callables such as a ``map_fn`` injected by the
+    runner) are rejected so execution strategy never leaks into the key.
+    """
+    return json.dumps(
+        {k: _canon(v) for k, v in sorted(kwargs.items())},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _canon(v):
+    if v is None or isinstance(v, (bool, int, str)):
+        return v
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, (tuple, list)):
+        return [_canon(x) for x in v]
+    if isinstance(v, dict):
+        return {str(k): _canon(x) for k, x in sorted(v.items())}
+    if hasattr(v, "item"):  # numpy scalar
+        return _canon(v.item())
+    raise TypeError(f"kwarg value {v!r} is not cacheable (not a literal)")
+
+
+def code_digest(*modules) -> str:
+    """SHA-256 over the source files backing ``modules``.
+
+    Accepts module objects or anything with a resolvable ``__file__``;
+    entries without a source file (e.g. namespaces) are skipped.  The
+    shared ``base``/``common`` modules are digested alongside each
+    experiment module by :meth:`ResultCache.key_for`, so edits to the
+    result containers or the scenario builders also invalidate entries.
+    """
+    h = hashlib.sha256()
+    seen: set[str] = set()
+    for mod in modules:
+        path = getattr(mod, "__file__", None)
+        if not path or path in seen:
+            continue
+        seen.add(path)
+        h.update(path.encode())
+        try:
+            h.update(Path(path).read_bytes())
+        except OSError:
+            h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """What :meth:`ResultCache.get` hands back on a hit."""
+
+    result: ExperimentResult
+    created: float
+    elapsed_s: float | None
+
+
+class ResultCache:
+    """On-disk pickle store for experiment results, keyed by content."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------
+
+    def key(self, name: str, kwargs: dict, digest: str) -> str:
+        """The content hash for (experiment, kwargs, code digest)."""
+        h = hashlib.sha256()
+        h.update(name.encode())
+        h.update(b"\x00")
+        h.update(canonical_kwargs(kwargs).encode())
+        h.update(b"\x00")
+        h.update(digest.encode())
+        return h.hexdigest()[:32]
+
+    def key_for(self, name: str, kwargs: dict) -> str:
+        """Key for a registered experiment, digesting its backing code."""
+        from repro.experiments import REGISTRY
+        from repro.experiments import base as base_mod
+        from repro.experiments import common as common_mod
+
+        entry = REGISTRY[name]
+        run = getattr(entry, "run", None)
+        mod = sys.modules.get(getattr(run, "__module__", "")) or entry
+        return self.key(name, kwargs, code_digest(mod, base_mod, common_mod))
+
+    # -- storage ------------------------------------------------------
+
+    def _paths(self, name: str, key: str) -> tuple[Path, Path]:
+        d = self.root / name
+        return d / f"{key}.pkl", d / f"{key}.json"
+
+    def get(self, name: str, key: str) -> CacheEntry | None:
+        """Load an entry; evicts and misses on any corruption."""
+        pkl, meta = self._paths(name, key)
+        if not pkl.exists():
+            self.misses += 1
+            return None
+        try:
+            with open(pkl, "rb") as fh:
+                result = pickle.load(fh)
+            if not isinstance(result, ExperimentResult):
+                raise TypeError(f"cache entry holds {type(result).__name__}")
+            info = {}
+            if meta.exists():
+                info = json.loads(meta.read_text(encoding="utf-8"))
+        except Exception:
+            # corrupted / stale-format entry: evict and recompute
+            for p in (pkl, meta):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CacheEntry(
+            result=result,
+            created=float(info.get("created", 0.0)),
+            elapsed_s=info.get("elapsed_s"),
+        )
+
+    def put(
+        self,
+        name: str,
+        key: str,
+        result: ExperimentResult,
+        *,
+        kwargs: dict | None = None,
+        elapsed_s: float | None = None,
+    ) -> None:
+        """Store an entry atomically (never leaves partial files)."""
+        pkl, meta = self._paths(name, key)
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        tmp = pkl.with_suffix(".pkl.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, pkl)
+        info = {
+            "experiment": name,
+            "key": key,
+            "kwargs": canonical_kwargs(kwargs or {}),
+            "created": time.time(),
+            "elapsed_s": elapsed_s,
+        }
+        tmp_meta = meta.with_suffix(".json.tmp")
+        tmp_meta.write_text(json.dumps(info, indent=2), encoding="utf-8")
+        os.replace(tmp_meta, meta)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        n = 0
+        if self.root.exists():
+            for p in sorted(self.root.rglob("*")):
+                if p.is_file():
+                    p.unlink()
+                    n += 1
+        return n

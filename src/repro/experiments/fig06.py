@@ -24,18 +24,38 @@ from repro.experiments.common import build_mp3_scenario, trace_mp3
 from repro.sim.time import SEC
 
 
-def collect_traces(reps: int, duration_ns: int, *, seed0: int = 600, clean: bool = True):
-    """Record ``reps`` independent mp3 event traces."""
-    traces = []
-    for r in range(reps):
-        scenario = build_mp3_scenario(
-            seed=seed0 + r,
-            n_frames=int(duration_ns / SEC * 33) + 10,
-            with_desktop=not clean,
-            with_disk=not clean,
+#: wall-clock columns that legitimately differ between two runs
+TIMING_COLUMNS = ("transform_ms", "transform_ms_std")
+
+
+def _record_trace(seed: int, duration_ns: int, clean: bool) -> np.ndarray:
+    """One independent mp3 event trace (a parallelisable work unit)."""
+    scenario = build_mp3_scenario(
+        seed=seed,
+        n_frames=int(duration_ns / SEC * 33) + 10,
+        with_desktop=not clean,
+        with_disk=not clean,
+    )
+    return np.array(trace_mp3(scenario, duration_ns), dtype=np.int64)
+
+
+def collect_traces(
+    reps: int, duration_ns: int, *, seed0: int = 600, clean: bool = True, map_fn=map
+):
+    """Record ``reps`` independent mp3 event traces.
+
+    Each trace is seeded ``seed0 + r`` from its repetition index alone, so
+    any order-preserving ``map_fn`` (the builtin, or a process-pool map
+    injected by :mod:`repro.experiments.runner`) yields the same traces.
+    """
+    return list(
+        map_fn(
+            _record_trace,
+            [seed0 + r for r in range(reps)],
+            [duration_ns] * reps,
+            [clean] * reps,
         )
-        traces.append(np.array(trace_mp3(scenario, duration_ns), dtype=np.int64))
-    return traces
+    )
 
 
 def window(trace: np.ndarray, horizon_ns: int, end_ns: int) -> np.ndarray:
@@ -50,14 +70,20 @@ def run(
     df_values: tuple[float, ...] = (0.1, 0.2, 0.5),
     horizons_s: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0),
     epsilon: float = 0.5,
+    map_fn=map,
 ) -> ExperimentResult:
-    """Sweep (H, δf) and measure transform time + detected frequency."""
+    """Sweep (H, δf) and measure transform time + detected frequency.
+
+    ``map_fn`` shards trace collection (the expensive simulation part);
+    the timed spectrum transforms stay serial so the measured wall-clock
+    costs are not perturbed by sibling workers.
+    """
     result = ExperimentResult(
         experiment="fig06",
         title="Spectrum computation time and detection precision vs H and δf (fmax=100Hz)",
     )
     duration = int(max(horizons_s) * SEC) + SEC
-    traces = collect_traces(reps, duration)
+    traces = collect_traces(reps, duration, map_fn=map_fn)
     detector = PeakDetector()
 
     for df in df_values:

@@ -16,6 +16,9 @@ from repro.experiments.base import ExperimentResult, mean_std
 from repro.experiments.fig06 import collect_traces, window
 from repro.sim.time import SEC
 
+#: wall-clock columns that legitimately differ between two runs
+TIMING_COLUMNS = ("transform_ms", "transform_ms_std")
+
 
 def run(
     *,
@@ -23,15 +26,20 @@ def run(
     df: float = 0.5,
     fmax_values: tuple[float, ...] = (100.0, 200.0, 300.0, 400.0),
     horizons_s: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0),
+    map_fn=map,
 ) -> ExperimentResult:
-    """Sweep (H, f_max) and measure transform time + detected frequency."""
+    """Sweep (H, f_max) and measure transform time + detected frequency.
+
+    ``map_fn`` shards trace collection across workers (see fig06); the
+    timed transforms stay serial.
+    """
     result = ExperimentResult(
         experiment="fig07",
         title="Spectrum computation time and detection precision vs H and fmax (df=0.5Hz)",
     )
     duration = int(max(horizons_s) * SEC) + SEC
     # lightly loaded traces so the wider band has spurious peaks to find
-    traces = collect_traces(reps, duration, seed0=700, clean=False)
+    traces = collect_traces(reps, duration, seed0=700, clean=False, map_fn=map_fn)
     detector = PeakDetector()
 
     for f_max in fmax_values:

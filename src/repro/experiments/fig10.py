@@ -16,12 +16,50 @@ from repro.experiments.common import build_mp3_scenario, trace_mp3
 from repro.sim.time import SEC
 
 
+def _spectrum_unit(
+    trace: np.ndarray, t_s: float, f_min: float, f_max: float, df: float, fundamental: float
+) -> tuple[Series, dict]:
+    """Spectrum + peak-family row for one tracing time (one work unit)."""
+    config = SpectrumConfig(f_min=f_min, f_max=f_max, df=df)
+    freqs = config.frequencies()
+    upto = int(t_s * SEC)
+    w = trace[trace < upto]
+    amp = sparse_amplitude_spectrum(w, freqs)
+    peak = amp.max() if amp.size else 1.0
+    norm = amp / peak if peak > 0 else amp
+    curve = Series(name=f"tracing_{t_s}s")
+    for f, a in zip(freqs, norm):
+        curve.add(float(f), float(a))
+
+    # peak-family visibility: normalised amplitude at the harmonics
+    def at(f0: float) -> float:
+        i = int(round((f0 - config.f_min) / config.df))
+        lo, hi = max(0, i - 5), min(len(norm), i + 6)
+        return float(norm[lo:hi].max())
+
+    row = dict(
+        tracing_s=t_s,
+        n_events=int(w.size),
+        peak_32_5=at(fundamental),
+        peak_65=at(2 * fundamental),
+        peak_97_5=at(3 * fundamental),
+        noise_floor=float(np.median(norm)),
+    )
+    return curve, row
+
+
 def run(
     *,
     seed: int = 10,
     tracing_times_s: tuple[float, ...] = (0.2, 0.5, 1.0, 2.0, 4.0),
+    map_fn=map,
 ) -> ExperimentResult:
-    """Compute normalised spectra for each tracing time."""
+    """Compute normalised spectra for each tracing time.
+
+    The single trace is recorded once; ``map_fn`` shards the per-tracing-
+    time spectrum computations (each is an independent work unit over the
+    shared trace, so any order-preserving map reproduces the serial run).
+    """
     result = ExperimentResult(
         experiment="fig10",
         title="Normalised event spectrum vs tracing time (mp3 playback)",
@@ -29,36 +67,21 @@ def run(
     duration = int(max(tracing_times_s) * SEC)
     scenario = build_mp3_scenario(seed=seed, n_frames=int(duration / SEC * 33) + 10)
     trace = np.array(trace_mp3(scenario, duration), dtype=np.int64)
-    config = SpectrumConfig(f_min=30.0, f_max=100.0, df=0.1)
-    freqs = config.frequencies()
 
     fundamental = scenario.player.config.frequency
-    for t_s in tracing_times_s:
-        upto = int(t_s * SEC)
-        w = trace[trace < upto]
-        amp = sparse_amplitude_spectrum(w, freqs)
-        peak = amp.max() if amp.size else 1.0
-        norm = amp / peak if peak > 0 else amp
-        curve = Series(name=f"tracing_{t_s}s")
-        for f, a in zip(freqs, norm):
-            curve.add(float(f), float(a))
+    n = len(tracing_times_s)
+    units = map_fn(
+        _spectrum_unit,
+        [trace] * n,
+        list(tracing_times_s),
+        [30.0] * n,
+        [100.0] * n,
+        [0.1] * n,
+        [fundamental] * n,
+    )
+    for curve, row in units:
         result.series.append(curve)
-
-        # peak-family visibility: normalised amplitude at the harmonics
-        def at(f0: float) -> float:
-            i = int(round((f0 - config.f_min) / config.df))
-            lo, hi = max(0, i - 5), min(len(norm), i + 6)
-            return float(norm[lo:hi].max())
-
-        noise = float(np.median(norm))
-        result.add_row(
-            tracing_s=t_s,
-            n_events=int(w.size),
-            peak_32_5=at(fundamental),
-            peak_65=at(2 * fundamental),
-            peak_97_5=at(3 * fundamental),
-            noise_floor=noise,
-        )
+        result.add_row(**row)
     result.notes.append(
         "peaks at 32.5/65/97.5 Hz should be visible from 0.5s and sharpen "
         "with tracing time while the noise floor drops"

@@ -31,6 +31,27 @@ from repro.experiments.common import TABLE2_RESERVATIONS, build_mp3_scenario, de
 from repro.sim.time import SEC
 
 
+def _one_rep(
+    n_load: int, seed: int, duration_s: float, horizon: int, duration: int
+) -> tuple[float | None, float | None, float]:
+    """One traced playback under ``n_load`` reservations (one work unit).
+
+    Returns ``(detected_hz_or_None, phase_concentration_or_None,
+    player_latency_ms)``; seeded purely by ``seed`` so any
+    order-preserving ``map_fn`` reproduces the serial sweep.
+    """
+    scenario = build_mp3_scenario(seed=seed, n_load=n_load, n_frames=int(duration_s * 33) + 10)
+    times = trace_mp3(scenario, duration)
+    period = scenario.player.config.period
+    latency = scenario.player_proc.sched_latency.mean / 1e6
+    concentration = None
+    if times:
+        phases = np.exp(2j * np.pi * np.asarray(times, dtype=np.float64) / period)
+        concentration = float(abs(phases.mean()))
+    f = detect_frequency(times, horizon_ns=horizon, now=duration)
+    return f, concentration, latency
+
+
 def run(
     *,
     reps: int = 40,
@@ -38,8 +59,13 @@ def run(
     duration_s: float = 4.0,
     seed0: int = 1200,
     include_ablation: bool = False,
+    map_fn=map,
 ) -> ExperimentResult:
-    """Sweep the load levels of Table 2 and record detection statistics."""
+    """Sweep the load levels of Table 2 and record detection statistics.
+
+    ``map_fn`` shards the full (load level x repetition) grid — every
+    repetition is an independent simulation seeded ``seed0 + r``.
+    """
     result = ExperimentResult(
         experiment="fig12",
         title="Period-detection precision vs background real-time load (Table 2)",
@@ -48,27 +74,27 @@ def run(
     duration = int(duration_s * SEC)
     curve = Series(name="detected_hz_vs_load")
 
-    for n_load in range(len(TABLE2_RESERVATIONS) + 1):
+    n_levels = len(TABLE2_RESERVATIONS) + 1
+    grid = [(n_load, seed0 + r) for n_load in range(n_levels) for r in range(reps)]
+    n_units = len(grid)
+    units = list(
+        map_fn(
+            _one_rep,
+            [g[0] for g in grid],
+            [g[1] for g in grid],
+            [duration_s] * n_units,
+            [horizon] * n_units,
+            [duration] * n_units,
+        )
+    )
+
+    for n_load in range(n_levels):
         load = sum(b / p for b, p in TABLE2_RESERVATIONS[:n_load])
-        detections: list[float] = []
-        concentrations: list[float] = []
-        latencies: list[float] = []
-        failures = 0
-        for r in range(reps):
-            scenario = build_mp3_scenario(
-                seed=seed0 + r, n_load=n_load, n_frames=int(duration_s * 33) + 10
-            )
-            times = trace_mp3(scenario, duration)
-            period = scenario.player.config.period
-            latencies.append(scenario.player_proc.sched_latency.mean / 1e6)
-            if times:
-                phases = np.exp(2j * np.pi * np.asarray(times, dtype=np.float64) / period)
-                concentrations.append(float(abs(phases.mean())))
-            f = detect_frequency(times, horizon_ns=horizon, now=duration)
-            if f is None:
-                failures += 1
-            else:
-                detections.append(f)
+        level_units = units[n_load * reps : (n_load + 1) * reps]
+        detections = [f for f, _, _ in level_units if f is not None]
+        concentrations = [c for _, c, _ in level_units if c is not None]
+        latencies = [lat for _, _, lat in level_units]
+        failures = sum(1 for f, _, _ in level_units if f is None)
         arr = np.array(detections)
         mean = float(arr.mean()) if arr.size else float("nan")
         std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0

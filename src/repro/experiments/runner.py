@@ -1,0 +1,183 @@
+"""Process-pool fan-out layer over the experiment :data:`REGISTRY`.
+
+Two levels of parallelism, both with results bit-identical to a serial
+run:
+
+**Registry sharding** (:func:`run_many`) — independent experiments are
+submitted to a :class:`~concurrent.futures.ProcessPoolExecutor`; each one
+runs serially inside its worker.  This is what ``repro-exp all --jobs N``
+and ``repro-exp bench --jobs N`` use.
+
+**Repetition sharding** (:func:`run_experiment` with ``jobs > 1``) — the
+expensive sweeps (fig06/fig07/fig10/fig12/tab03) expose a ``map_fn``
+keyword: their per-repetition inner loops are written against the builtin
+``map`` protocol, and the runner swaps in an order-preserving process-pool
+map.  Every work unit derives its seed deterministically from the unit
+*index* (``seed0 + r``), never from worker identity or execution order, so
+``--jobs 1`` and ``--jobs 8`` produce the same
+:class:`~repro.experiments.base.ExperimentResult` — only wall-clock
+timing columns (declared per-module in ``TIMING_COLUMNS``) may differ,
+exactly as they differ between two serial runs.
+
+Both paths consult an optional on-disk :class:`~repro.experiments.cache.
+ResultCache`; cached entries are keyed on name + canonicalised kwargs +
+code digest, so parallel and serial invocations share hits.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import ResultCache
+
+
+@dataclass
+class RunOutcome:
+    """One experiment execution: the result plus how it was obtained."""
+
+    name: str
+    result: ExperimentResult
+    elapsed_s: float
+    cached: bool = False
+    jobs: int = 1
+    key: str | None = None
+
+
+class _PoolMap:
+    """Order-preserving ``map`` over a process pool (the sharding hook).
+
+    Wraps ``ProcessPoolExecutor.map`` with ``chunksize=1`` so work units
+    fan out one-per-task; ``executor.map`` already yields results in
+    submission order, which is what keeps parallel runs bit-identical to
+    serial ones.
+    """
+
+    def __init__(self, executor: ProcessPoolExecutor):
+        self._executor = executor
+
+    def __call__(self, fn, *iterables):
+        return self._executor.map(fn, *iterables, chunksize=1)
+
+
+def _supports_map_fn(run_fn) -> bool:
+    try:
+        return "map_fn" in inspect.signature(run_fn).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+
+
+def _resolve(name: str):
+    from repro.experiments import REGISTRY
+
+    entry = REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(f"unknown experiment {name!r}")
+    return entry
+
+
+def run_experiment(
+    name: str,
+    overrides: dict | None = None,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> RunOutcome:
+    """Run one experiment, optionally sharding its inner loops.
+
+    ``overrides`` are the user-facing ``run()`` kwargs and are the only
+    thing that enters the cache key — the execution strategy (``jobs``)
+    never does, because it cannot change the result.
+    """
+    entry = _resolve(name)
+    overrides = dict(overrides or {})
+
+    key = None
+    if cache is not None:
+        key = cache.key_for(name, overrides)
+        hit = cache.get(name, key)
+        if hit is not None:
+            return RunOutcome(
+                name=name, result=hit.result, elapsed_s=0.0, cached=True, jobs=jobs, key=key
+            )
+
+    start = time.perf_counter()
+    if jobs > 1 and _supports_map_fn(entry.run):
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            result = entry.run(**overrides, map_fn=_PoolMap(executor))
+    else:
+        result = entry.run(**overrides)
+    elapsed = time.perf_counter() - start
+
+    if cache is not None and key is not None:
+        cache.put(name, key, result, kwargs=overrides, elapsed_s=elapsed)
+    return RunOutcome(name=name, result=result, elapsed_s=elapsed, jobs=jobs, key=key)
+
+
+def _run_entry(name: str, overrides: dict) -> tuple[ExperimentResult, float]:
+    """Worker-side body for :func:`run_many` (must stay picklable)."""
+    entry = _resolve(name)
+    start = time.perf_counter()
+    result = entry.run(**overrides)
+    return result, time.perf_counter() - start
+
+
+def run_many(
+    names: list[str],
+    overrides_map: dict[str, dict] | None = None,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[RunOutcome]:
+    """Shard a list of experiments across a process pool.
+
+    Results come back in the order of ``names`` regardless of which
+    worker finished first.  Cache lookups happen up front in the parent
+    process, so only the misses are submitted to the pool.
+    """
+    overrides_map = dict(overrides_map or {})
+    for name in names:
+        _resolve(name)  # fail fast on unknown names
+
+    outcomes: dict[str, RunOutcome] = {}
+    pending: list[str] = []
+    keys: dict[str, str] = {}
+    for name in names:
+        overrides = dict(overrides_map.get(name, {}))
+        if cache is not None:
+            key = cache.key_for(name, overrides)
+            keys[name] = key
+            hit = cache.get(name, key)
+            if hit is not None:
+                outcomes[name] = RunOutcome(
+                    name=name, result=hit.result, elapsed_s=0.0, cached=True, jobs=jobs, key=key
+                )
+                continue
+        pending.append(name)
+
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                futures = {
+                    name: executor.submit(_run_entry, name, dict(overrides_map.get(name, {})))
+                    for name in pending
+                }
+                computed = {name: fut.result() for name, fut in futures.items()}
+        else:
+            computed = {
+                name: _run_entry(name, dict(overrides_map.get(name, {}))) for name in pending
+            }
+        for name, (result, elapsed) in computed.items():
+            key = keys.get(name)
+            if cache is not None and key is not None:
+                cache.put(
+                    name, key, result, kwargs=dict(overrides_map.get(name, {})), elapsed_s=elapsed
+                )
+            outcomes[name] = RunOutcome(
+                name=name, result=result, elapsed_s=elapsed, jobs=jobs, key=key
+            )
+
+    return [outcomes[name] for name in names]

@@ -27,7 +27,7 @@ from repro.workloads.mplayer import VideoPlayerConfig
 from repro.workloads.periodic import load_set
 
 
-def run_one(load: float, *, n_frames: int, seed: int) -> tuple[float, float]:
+def run_one(load: float, n_frames: int = 1000, seed: int = 3000) -> tuple[float, float]:
     """One adaptive playback under ``load``; returns (mean, std) IFT ms."""
     rt = SelfTuningRuntime()
     player = VideoPlayer(VideoPlayerConfig(seed=seed))
@@ -58,14 +58,21 @@ def run(
     loads: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
     n_frames: int = 1000,
     seed: int = 3000,
+    map_fn=map,
 ) -> ExperimentResult:
-    """Sweep the periodic workload levels of Table 3."""
+    """Sweep the periodic workload levels of Table 3.
+
+    ``map_fn`` shards the load levels — each :func:`run_one` is a fully
+    deterministic end-to-end simulation seeded independently of execution
+    order, so parallel sweeps are bit-identical to serial ones.
+    """
     result = ExperimentResult(
         experiment="tab03",
         title="Inter-frame times with LFS++ under periodic real-time load (Table 3)",
     )
-    for load in loads:
-        mean, std = run_one(load, n_frames=n_frames, seed=seed)
+    n = len(loads)
+    stats = map_fn(run_one, list(loads), [n_frames] * n, [seed] * n)
+    for load, (mean, std) in zip(loads, stats):
         result.add_row(
             periodic_workload_pct=round(load * 100),
             avg_ift_ms=mean,

@@ -1,6 +1,5 @@
 """Tests for the sliding-window period analyser."""
 
-import numpy as np
 import pytest
 
 from repro.core.analyser import AnalyserConfig, PeriodAnalyser

@@ -5,7 +5,7 @@ import pytest
 from repro.core.analyser import AnalyserConfig, PeriodAnalyser
 from repro.core.controller import ServerSample, TaskController, TaskControllerConfig
 from repro.core.lfs import Lfs
-from repro.core.lfspp import BandwidthRequest, LfsPlusPlus
+from repro.core.lfspp import LfsPlusPlus
 from repro.core.spectrum import SpectrumConfig
 from repro.core.supervisor import Supervisor
 from repro.sim.time import MS, SEC

@@ -1,6 +1,5 @@
 """Tests for multi-threaded (group) adoption — §6 / §3.2 economics."""
 
-import numpy as np
 import pytest
 
 from repro.core import LfsPlusPlus, SelfTuningRuntime

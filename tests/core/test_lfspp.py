@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.lfspp import BandwidthRequest, LfsPlusPlus, LfsPlusPlusConfig
-from repro.sim.time import MS, SEC
+from repro.sim.time import MS
 
 
 class TestBandwidthRequest:

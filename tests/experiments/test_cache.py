@@ -1,0 +1,157 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import importlib.util
+import json
+import pickle
+import sys
+import textwrap
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import ResultCache, canonical_kwargs, code_digest
+
+
+def _result(**rows) -> ExperimentResult:
+    r = ExperimentResult(experiment="x", title="X")
+    if rows:
+        r.add_row(**rows)
+    return r
+
+
+class TestCanonicalKwargs:
+    def test_dict_order_insensitive(self):
+        assert canonical_kwargs({"a": 1, "b": 2}) == canonical_kwargs({"b": 2, "a": 1})
+
+    def test_tuple_and_list_normalise(self):
+        assert canonical_kwargs({"h": (1.0, 2.0)}) == canonical_kwargs({"h": [1.0, 2.0]})
+
+    def test_value_changes_change_the_form(self):
+        assert canonical_kwargs({"reps": 10}) != canonical_kwargs({"reps": 11})
+
+    def test_non_literals_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_kwargs({"map_fn": map})
+
+
+class TestKeys:
+    def test_kwarg_change_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1 = cache.key("fig06", {"reps": 10}, "digest")
+        k2 = cache.key("fig06", {"reps": 11}, "digest")
+        assert k1 != k2
+
+    def test_code_digest_change_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1 = cache.key("fig06", {"reps": 10}, "digest-a")
+        k2 = cache.key("fig06", {"reps": 10}, "digest-b")
+        assert k1 != k2
+
+    def test_name_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("fig06", {}, "d") != cache.key("fig07", {}, "d")
+
+    def test_key_for_tracks_module_source(self, tmp_path, monkeypatch):
+        mod_path = tmp_path / "exp_mod.py"
+        mod_path.write_text(
+            textwrap.dedent(
+                """
+                from repro.experiments.base import ExperimentResult
+
+                def run():
+                    return ExperimentResult(experiment="tmp", title="v1")
+                """
+            )
+        )
+        spec = importlib.util.spec_from_file_location("exp_mod_under_test", mod_path)
+        mod = importlib.util.module_from_spec(spec)
+        monkeypatch.setitem(sys.modules, "exp_mod_under_test", mod)
+        spec.loader.exec_module(mod)
+        monkeypatch.setitem(REGISTRY, "tmpexp", mod)
+
+        cache = ResultCache(tmp_path / "cache")
+        key_v1 = cache.key_for("tmpexp", {})
+        mod_path.write_text(mod_path.read_text().replace("v1", "v2"))
+        key_v2 = cache.key_for("tmpexp", {})
+        assert key_v1 != key_v2
+
+    def test_digest_of_registry_entries_resolves(self):
+        cache = ResultCache()
+        # a module entry and a SimpleNamespace ablation entry both key
+        assert cache.key_for("fig06", {}) != cache.key_for("abl-spread", {})
+
+
+class TestStorage:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result(a=1, b=2.5)
+        cache.put("fig06", "k1", result, kwargs={"reps": 2}, elapsed_s=1.25)
+        hit = cache.get("fig06", "k1")
+        assert hit is not None
+        assert hit.result == result
+        assert hit.elapsed_s == 1.25
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("fig06", "nope") is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_is_evicted_and_recovered(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", "k1", _result(a=1))
+        pkl = tmp_path / "fig06" / "k1.pkl"
+        pkl.write_bytes(b"this is not a pickle")
+        assert cache.get("fig06", "k1") is None
+        assert not pkl.exists()  # evicted
+        # a fresh put over the evicted slot works
+        cache.put("fig06", "k1", _result(a=2))
+        assert cache.get("fig06", "k1").result.rows == [{"a": 2}]
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", "k1", _result(a=1))
+        pkl = tmp_path / "fig06" / "k1.pkl"
+        pkl.write_bytes(pkl.read_bytes()[:10])  # simulate a crashed writer
+        assert cache.get("fig06", "k1") is None
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "fig06").mkdir(parents=True)
+        (tmp_path / "fig06" / "k1.pkl").write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get("fig06", "k1") is None
+
+    def test_meta_sidecar_is_human_readable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", "k1", _result(a=1), kwargs={"reps": 2})
+        meta = json.loads((tmp_path / "fig06" / "k1.json").read_text())
+        assert meta["experiment"] == "fig06"
+        assert meta["key"] == "k1"
+        assert "reps" in meta["kwargs"]
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", "k1", _result(a=1))
+        cache.put("fig07", "k2", _result(a=2))
+        assert cache.clear() == 4  # 2 pickles + 2 meta files
+        assert cache.get("fig06", "k1") is None
+
+
+class TestCodeDigest:
+    def test_stable_for_same_modules(self):
+        from repro.experiments import fig06
+
+        assert code_digest(fig06) == code_digest(fig06)
+
+    def test_differs_across_modules(self):
+        from repro.experiments import fig06, fig07
+
+        assert code_digest(fig06) != code_digest(fig07)
+
+    def test_skips_sourceless_entries(self):
+        ns = SimpleNamespace()  # no __file__
+        from repro.experiments import fig06
+
+        assert code_digest(fig06, ns) == code_digest(fig06)

@@ -3,7 +3,7 @@
 from repro.metrics import InterFrameProbe
 from repro.sched import RoundRobinScheduler
 from repro.sim import Kernel, MS, SEC
-from repro.sim.instructions import Compute, Label, SleepUntil, Syscall
+from repro.sim.instructions import Label, SleepUntil, Syscall
 from repro.sim.syscalls import SyscallNr
 
 

@@ -1,6 +1,5 @@
 """Edge cases of the CBS scheduler the main suite does not reach."""
 
-import pytest
 
 from repro.sched import CbsScheduler, ServerParams
 from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr

@@ -6,7 +6,6 @@ tasks *take more* than the reserved rate, over any window and against
 adversarial wake/sleep patterns trying to game the wake-up rule.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

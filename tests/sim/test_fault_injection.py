@@ -4,14 +4,13 @@ A production scheduler substrate has to survive misbehaving tenants; these
 tests inject the classic failure modes and check the blast radius.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import AnalyserConfig, LfsPlusPlus, PeriodAnalyser, SelfTuningRuntime
 from repro.core.controller import TaskControllerConfig
 from repro.core.spectrum import SpectrumConfig
 from repro.sched import CbsScheduler, RoundRobinScheduler, ServerParams
-from repro.sim import Compute, Kernel, KernelConfig, MS, ProcState, SEC, SleepUntil, Syscall, SyscallNr
+from repro.sim import Compute, Kernel, KernelConfig, MS, ProcState, SEC, Syscall, SyscallNr
 from repro.tracer import QTraceConfig, QTracer
 from repro.workloads import AudioPlayer, VideoPlayer
 

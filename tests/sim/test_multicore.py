@@ -4,7 +4,7 @@ import pytest
 
 from repro.sched import ServerParams
 from repro.sched.gedf import GlobalCbsScheduler, GlobalEdfScheduler
-from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr
+from repro.sim import Compute, KernelConfig, MS, SEC, SleepUntil, Syscall, SyscallNr
 from repro.sim.multicore import MultiCoreKernel
 
 

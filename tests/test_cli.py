@@ -1,8 +1,16 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_overrides, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI invocations from touching the repo-local result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
 
 class TestOverrideParsing:
@@ -51,3 +59,58 @@ class TestCommands:
     def test_no_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_second_run_served_from_cache(self, capsys):
+        assert main(["run", "fig01", "t_step_ms=20.0"]) == 0
+        first = capsys.readouterr().out
+        assert "completed in" in first
+        assert main(["run", "fig01", "t_step_ms=20.0"]) == 0
+        second = capsys.readouterr().out
+        assert "served from cache" in second
+
+    def test_no_cache_flag_recomputes(self, capsys):
+        assert main(["run", "fig01", "t_step_ms=20.0", "--no-cache"]) == 0
+        assert main(["run", "fig01", "t_step_ms=20.0", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "served from cache" not in out
+
+    def test_run_with_jobs(self, capsys):
+        assert main(["run", "fig10", "tracing_times_s=(0.2,0.5)", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "elsewhere"
+        args = ["run", "fig01", "t_step_ms=20.0", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert cache_dir.is_dir()
+        assert main(args) == 0
+        assert "served from cache" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_test.json"
+        assert main(["bench", "fig01", "fig10", "--quick", "--output", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        names = [r["experiment"] for r in payload["results"]]
+        assert names == ["fig01", "fig10"]
+        for record in payload["results"]:
+            assert record["result"]["rows"]
+            json.dumps(record)  # every record is pure JSON
+
+    def test_bench_warm_run_is_fully_cached(self, tmp_path, capsys):
+        out1, out2 = tmp_path / "b1.json", tmp_path / "b2.json"
+        assert main(["bench", "fig01", "--quick", "--output", str(out1)]) == 0
+        assert main(["bench", "fig01", "--quick", "--output", str(out2)]) == 0
+        cold = json.loads(out1.read_text())["results"]
+        warm = json.loads(out2.read_text())["results"]
+        assert not any(r["cached"] for r in cold)
+        assert all(r["cached"] for r in warm)
+        assert cold[0]["result"] == warm[0]["result"]
+
+    def test_bench_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])

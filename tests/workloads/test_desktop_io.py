@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sched import RoundRobinScheduler
-from repro.sim import Compute, Kernel, KernelConfig, MS, SEC, SyscallNr
+from repro.sim import Compute, Kernel, KernelConfig, MS, SEC
 from repro.workloads.desktop import DesktopLoadConfig, desktop_load, desktop_suite
 from repro.workloads.io import Disk, DiskConfig
 
