@@ -1,19 +1,31 @@
 """Content-addressed on-disk cache for :class:`ExperimentResult`.
 
 Every cache entry is keyed on the experiment *name*, the canonicalised
-``run()`` keyword arguments and a digest of the experiment module's source
-(plus the shared ``base``/``common`` modules it builds on), so
+``run()`` keyword arguments and a code digest covering the **entire**
+``repro`` package source tree (experiments depend on ``repro.sim``,
+``repro.core``, ``repro.workloads`` and on sibling experiment modules,
+e.g. fig07/fig08/fig09 reuse ``collect_traces`` from fig06 — so only the
+whole-tree digest makes invalidation sound), plus the experiment's own
+module when it lives outside the package (dynamically registered
+entries).  Therefore
 
 - re-running with the same parameters is a hit,
 - changing any parameter is a miss,
-- editing the experiment's code is a miss (stale results can never be
-  served after the implementation changed).
+- editing *any* ``repro`` source file is a miss (stale results can never
+  be served after the implementation — simulator, workloads or
+  experiment code — changed).
+
+The tree digest is computed once per process and memoised; editing
+sources *while* a process is running is not detected until the next
+invocation, which is the granularity that matters for the CLI and CI.
 
 Entries live under ``<cache_dir>/<experiment>/<key>.pkl`` (a pickled
 :class:`ExperimentResult`) next to a human-readable ``<key>.json`` with
-the key's provenance.  Writes are atomic (tmp file + ``os.replace``) so a
-crashed run never leaves a truncated entry behind; a corrupted entry is
-evicted on read and simply recomputed.
+the key's provenance.  Writes go to a uniquely named temporary file in
+the same directory followed by ``os.replace``, so a crashed run never
+leaves a truncated entry behind and concurrent writers of the same key
+cannot interleave; a corrupted entry is evicted on read and simply
+recomputed.
 
 The default cache directory is ``$REPRO_CACHE_DIR`` when set, else
 ``.repro-cache/`` under the current working directory (gitignored).
@@ -26,6 +38,7 @@ import json
 import os
 import pickle
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -80,10 +93,10 @@ def code_digest(*modules) -> str:
     """SHA-256 over the source files backing ``modules``.
 
     Accepts module objects or anything with a resolvable ``__file__``;
-    entries without a source file (e.g. namespaces) are skipped.  The
-    shared ``base``/``common`` modules are digested alongside each
-    experiment module by :meth:`ResultCache.key_for`, so edits to the
-    result containers or the scenario builders also invalidate entries.
+    entries without a source file (e.g. namespaces) are skipped.
+    :meth:`ResultCache.key_for` combines this with :func:`package_digest`
+    so the key also covers dynamically registered experiment modules that
+    live outside the ``repro`` package tree (test fixtures, plugins).
     """
     h = hashlib.sha256()
     seen: set[str] = set()
@@ -98,6 +111,41 @@ def code_digest(*modules) -> str:
         except OSError:
             h.update(b"<unreadable>")
     return h.hexdigest()
+
+
+def tree_digest(root: Path | str) -> str:
+    """SHA-256 over every ``*.py`` file under ``root`` (sorted, path-salted).
+
+    This is the invalidation backbone: experiments transitively import
+    the simulator, the workload models and each other, so the only sound
+    code digest is one over the whole source tree — a per-module digest
+    would silently serve stale results after an edit to a dependency.
+    """
+    root = Path(root)
+    h = hashlib.sha256()
+    for p in sorted(root.rglob("*.py")):
+        h.update(str(p.relative_to(root)).encode())
+        h.update(b"\x00")
+        try:
+            h.update(p.read_bytes())
+        except OSError:
+            h.update(b"<unreadable>")
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+#: per-process memo for :func:`package_digest` (root path -> digest)
+_PACKAGE_DIGESTS: dict[str, str] = {}
+
+
+def package_digest() -> str:
+    """:func:`tree_digest` of the installed ``repro`` package, memoised."""
+    import repro
+
+    root = str(Path(repro.__file__).resolve().parent)
+    if root not in _PACKAGE_DIGESTS:
+        _PACKAGE_DIGESTS[root] = tree_digest(root)
+    return _PACKAGE_DIGESTS[root]
 
 
 @dataclass
@@ -130,15 +178,21 @@ class ResultCache:
         return h.hexdigest()[:32]
 
     def key_for(self, name: str, kwargs: dict) -> str:
-        """Key for a registered experiment, digesting its backing code."""
+        """Key for a registered experiment, digesting its backing code.
+
+        The digest combines the whole-``repro``-tree :func:`package_digest`
+        (experiments depend on the simulator, the workloads and each
+        other) with a :func:`code_digest` of the entry's own module, which
+        covers dynamically registered experiments living outside the
+        package tree.
+        """
         from repro.experiments import REGISTRY
-        from repro.experiments import base as base_mod
-        from repro.experiments import common as common_mod
 
         entry = REGISTRY[name]
         run = getattr(entry, "run", None)
         mod = sys.modules.get(getattr(run, "__module__", "")) or entry
-        return self.key(name, kwargs, code_digest(mod, base_mod, common_mod))
+        digest = f"{package_digest()}:{code_digest(mod)}"
+        return self.key(name, kwargs, digest)
 
     # -- storage ------------------------------------------------------
 
@@ -185,13 +239,15 @@ class ResultCache:
         kwargs: dict | None = None,
         elapsed_s: float | None = None,
     ) -> None:
-        """Store an entry atomically (never leaves partial files)."""
+        """Store an entry atomically (never leaves partial files).
+
+        Each writer gets its own uniquely named temporary file (via
+        ``tempfile.mkstemp`` in the destination directory), so concurrent
+        processes computing the same key cannot interleave writes; the
+        last ``os.replace`` wins with a complete entry either way.
+        """
         pkl, meta = self._paths(name, key)
         pkl.parent.mkdir(parents=True, exist_ok=True)
-        tmp = pkl.with_suffix(".pkl.tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, pkl)
         info = {
             "experiment": name,
             "key": key,
@@ -199,9 +255,24 @@ class ResultCache:
             "created": time.time(),
             "elapsed_s": elapsed_s,
         }
-        tmp_meta = meta.with_suffix(".json.tmp")
-        tmp_meta.write_text(json.dumps(info, indent=2), encoding="utf-8")
-        os.replace(tmp_meta, meta)
+        self._atomic_write(
+            pkl, lambda fh: pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._atomic_write(meta, lambda fh: fh.write(json.dumps(info, indent=2).encode("utf-8")))
+
+    @staticmethod
+    def _atomic_write(dest: Path, write) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(dest.parent), prefix=f"{dest.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                write(fh)
+            os.replace(tmp, dest)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""

@@ -8,6 +8,8 @@ at 32.5 / 65 / 97.5 Hz is visible; from 1 s on the periodicity is
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.spectrum import SpectrumConfig, sparse_amplitude_spectrum
@@ -16,10 +18,35 @@ from repro.experiments.common import build_mp3_scenario, trace_mp3
 from repro.sim.time import SEC
 
 
+@lru_cache(maxsize=1)
+def _shared_trace(seed: int, n_frames: int, duration: int) -> np.ndarray:
+    """The single event trace every work unit truncates (per-process memo).
+
+    Work units receive only the scenario *parameters* and rebuild the
+    trace here — pickling scalars instead of shipping the full int64
+    trace once per tracing time, whose serialisation cost would rival the
+    spectrum computation for long durations.  The simulation is
+    deterministic in ``seed``, so every process reconstructs the
+    identical trace (and builds it at most once, thanks to the memo).
+    """
+    scenario = build_mp3_scenario(seed=seed, n_frames=n_frames)
+    trace = np.array(trace_mp3(scenario, duration), dtype=np.int64)
+    trace.setflags(write=False)
+    return trace
+
+
 def _spectrum_unit(
-    trace: np.ndarray, t_s: float, f_min: float, f_max: float, df: float, fundamental: float
+    seed: int,
+    n_frames: int,
+    duration: int,
+    t_s: float,
+    f_min: float,
+    f_max: float,
+    df: float,
+    fundamental: float,
 ) -> tuple[Series, dict]:
     """Spectrum + peak-family row for one tracing time (one work unit)."""
+    trace = _shared_trace(seed, n_frames, duration)
     config = SpectrumConfig(f_min=f_min, f_max=f_max, df=df)
     freqs = config.frequencies()
     upto = int(t_s * SEC)
@@ -56,23 +83,27 @@ def run(
 ) -> ExperimentResult:
     """Compute normalised spectra for each tracing time.
 
-    The single trace is recorded once; ``map_fn`` shards the per-tracing-
-    time spectrum computations (each is an independent work unit over the
-    shared trace, so any order-preserving map reproduces the serial run).
+    ``map_fn`` shards the per-tracing-time spectrum computations; each
+    work unit carries only the scenario parameters (scalars) and rebuilds
+    the shared trace through :func:`_shared_trace`, so any
+    order-preserving map — serial or process-pool — reproduces the
+    serial run without pickling the trace per unit.
     """
     result = ExperimentResult(
         experiment="fig10",
         title="Normalised event spectrum vs tracing time (mp3 playback)",
     )
     duration = int(max(tracing_times_s) * SEC)
-    scenario = build_mp3_scenario(seed=seed, n_frames=int(duration / SEC * 33) + 10)
-    trace = np.array(trace_mp3(scenario, duration), dtype=np.int64)
+    n_frames = int(duration / SEC * 33) + 10
+    scenario = build_mp3_scenario(seed=seed, n_frames=n_frames)
 
     fundamental = scenario.player.config.frequency
     n = len(tracing_times_s)
     units = map_fn(
         _spectrum_unit,
-        [trace] * n,
+        [seed] * n,
+        [n_frames] * n,
+        [duration] * n,
         list(tracing_times_s),
         [30.0] * n,
         [100.0] * n,

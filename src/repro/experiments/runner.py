@@ -85,12 +85,16 @@ def run_experiment(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    mp_context=None,
 ) -> RunOutcome:
     """Run one experiment, optionally sharding its inner loops.
 
     ``overrides`` are the user-facing ``run()`` kwargs and are the only
-    thing that enters the cache key — the execution strategy (``jobs``)
-    never does, because it cannot change the result.
+    thing that enters the cache key — the execution strategy (``jobs``,
+    ``mp_context``) never does, because it cannot change the result.
+    ``mp_context`` is forwarded to the executor; workers only receive
+    picklable module-level callables, so every start method
+    (fork/spawn/forkserver) produces identical results.
     """
     entry = _resolve(name)
     overrides = dict(overrides or {})
@@ -106,7 +110,7 @@ def run_experiment(
 
     start = time.perf_counter()
     if jobs > 1 and _supports_map_fn(entry.run):
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context) as executor:
             result = entry.run(**overrides, map_fn=_PoolMap(executor))
     else:
         result = entry.run(**overrides)
@@ -117,11 +121,18 @@ def run_experiment(
     return RunOutcome(name=name, result=result, elapsed_s=elapsed, jobs=jobs, key=key)
 
 
-def _run_entry(name: str, overrides: dict) -> tuple[ExperimentResult, float]:
-    """Worker-side body for :func:`run_many` (must stay picklable)."""
-    entry = _resolve(name)
+def _run_entry(run_fn, overrides: dict) -> tuple[ExperimentResult, float]:
+    """Worker-side body for :func:`run_many`.
+
+    Receives the experiment's ``run`` callable directly (module-level
+    functions pickle by reference) rather than re-resolving the name from
+    ``REGISTRY`` in the worker: under the ``spawn``/``forkserver`` start
+    methods a fresh interpreter only sees statically registered entries,
+    so dynamically registered ones would vanish.  Shipping the callable
+    works under every start method.
+    """
     start = time.perf_counter()
-    result = entry.run(**overrides)
+    result = run_fn(**overrides)
     return result, time.perf_counter() - start
 
 
@@ -131,16 +142,19 @@ def run_many(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    mp_context=None,
 ) -> list[RunOutcome]:
     """Shard a list of experiments across a process pool.
 
     Results come back in the order of ``names`` regardless of which
     worker finished first.  Cache lookups happen up front in the parent
-    process, so only the misses are submitted to the pool.
+    process, so only the misses are submitted to the pool — and each
+    miss is submitted as its *run callable*, never as a registry name,
+    so any multiprocessing start method (``mp_context``) works even for
+    dynamically registered experiments.
     """
     overrides_map = dict(overrides_map or {})
-    for name in names:
-        _resolve(name)  # fail fast on unknown names
+    entries = {name: _resolve(name) for name in names}  # fail fast on unknown names
 
     outcomes: dict[str, RunOutcome] = {}
     pending: list[str] = []
@@ -160,15 +174,18 @@ def run_many(
 
     if pending:
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as executor:
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context) as executor:
                 futures = {
-                    name: executor.submit(_run_entry, name, dict(overrides_map.get(name, {})))
+                    name: executor.submit(
+                        _run_entry, entries[name].run, dict(overrides_map.get(name, {}))
+                    )
                     for name in pending
                 }
                 computed = {name: fut.result() for name, fut in futures.items()}
         else:
             computed = {
-                name: _run_entry(name, dict(overrides_map.get(name, {}))) for name in pending
+                name: _run_entry(entries[name].run, dict(overrides_map.get(name, {})))
+                for name in pending
             }
         for name, (result, elapsed) in computed.items():
             key = keys.get(name)

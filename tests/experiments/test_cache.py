@@ -9,9 +9,15 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.experiments import REGISTRY
+from repro.experiments import REGISTRY, cache as cache_mod
 from repro.experiments.base import ExperimentResult
-from repro.experiments.cache import ResultCache, canonical_kwargs, code_digest
+from repro.experiments.cache import (
+    ResultCache,
+    canonical_kwargs,
+    code_digest,
+    package_digest,
+    tree_digest,
+)
 
 
 def _result(**rows) -> ExperimentResult:
@@ -82,6 +88,20 @@ class TestKeys:
         # a module entry and a SimpleNamespace ablation entry both key
         assert cache.key_for("fig06", {}) != cache.key_for("abl-spread", {})
 
+    def test_key_for_tracks_whole_package_digest(self, monkeypatch):
+        """Editing *any* repro source (simulator, workloads, a sibling
+        experiment module) must invalidate every experiment's key."""
+        import repro
+        from pathlib import Path
+
+        root = str(Path(repro.__file__).resolve().parent)
+        cache = ResultCache()
+        before = cache.key_for("fig06", {})
+        # simulate an edit anywhere in the repro tree by swapping the
+        # memoised package digest
+        monkeypatch.setitem(cache_mod._PACKAGE_DIGESTS, root, "edited-tree")
+        assert cache.key_for("fig06", {}) != before
+
 
 class TestStorage:
     def test_roundtrip(self, tmp_path):
@@ -131,12 +151,47 @@ class TestStorage:
         assert meta["key"] == "k1"
         assert "reps" in meta["kwargs"]
 
+    def test_put_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", "k1", _result(a=1))
+        cache.put("fig06", "k1", _result(a=2))  # overwrite same key
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert cache.get("fig06", "k1").result.rows == [{"a": 2}]
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("fig06", "k1", _result(a=1))
         cache.put("fig07", "k2", _result(a=2))
         assert cache.clear() == 4  # 2 pickles + 2 meta files
         assert cache.get("fig06", "k1") is None
+
+
+class TestTreeDigest:
+    def _tree(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "a.py").write_text("A = 1\n")
+        (tmp_path / "pkg" / "sub" / "b.py").write_text("B = 2\n")
+        return tmp_path / "pkg"
+
+    def test_stable_for_unchanged_tree(self, tmp_path):
+        root = self._tree(tmp_path)
+        assert tree_digest(root) == tree_digest(root)
+
+    def test_edit_anywhere_changes_digest(self, tmp_path):
+        root = self._tree(tmp_path)
+        before = tree_digest(root)
+        (root / "sub" / "b.py").write_text("B = 3\n")
+        assert tree_digest(root) != before
+
+    def test_new_file_changes_digest(self, tmp_path):
+        root = self._tree(tmp_path)
+        before = tree_digest(root)
+        (root / "c.py").write_text("C = 1\n")
+        assert tree_digest(root) != before
+
+    def test_package_digest_is_memoised(self):
+        assert package_digest() == package_digest()
+        assert len(package_digest()) == 64
 
 
 class TestCodeDigest:

@@ -1,9 +1,12 @@
-"""Tests for the markdown report generator."""
+"""Tests for the markdown report generator and the bench JSON emitter."""
+
+import json
 
 import pytest
 
 from repro.experiments.base import ExperimentResult, Series
-from repro.experiments.report import generate_report, render_result
+from repro.experiments.report import bench_payload, generate_report, render_result, write_bench_json
+from repro.experiments.runner import RunOutcome
 
 
 class TestRenderResult:
@@ -45,3 +48,29 @@ class TestGenerateReport:
     def test_unknown_experiment_rejected_early(self):
         with pytest.raises(KeyError):
             generate_report(names=["fig99"])
+
+
+class TestBenchJson:
+    def _nan_outcome(self):
+        # fig12 legitimately reports nan when no repetition detects a
+        # frequency (plausible under --quick reps); the artifact must
+        # still be strict JSON
+        r = ExperimentResult(experiment="figN", title="with non-finite values")
+        r.add_row(avg_hz=float("nan"), max_hz=float("inf"), ok=1.5)
+        r.series.append(Series(name="s", x=[0.0, 1.0], y=[float("nan"), 2.0]))
+        return RunOutcome(name="figN", result=r, elapsed_s=0.1)
+
+    def test_non_finite_floats_coerced_to_null(self):
+        payload = bench_payload([self._nan_outcome()])
+        row = payload["results"][0]["result"]["rows"][0]
+        assert row["avg_hz"] is None
+        assert row["max_hz"] is None
+        assert row["ok"] == 1.5
+        assert payload["results"][0]["result"]["series"][0]["y"] == [None, 2.0]
+
+    def test_artifact_is_strict_json(self, tmp_path):
+        path = tmp_path / "BENCH_nan.json"
+        write_bench_json(path, [self._nan_outcome()])
+        text = path.read_text(encoding="utf-8")
+        assert "NaN" not in text and "Infinity" not in text
+        json.loads(text)  # the strict parser downstream consumers use

@@ -7,6 +7,7 @@ identity or completion order.  (CI's bench-smoke job runs exactly these
 via ``pytest -k determinism``.)
 """
 
+import multiprocessing
 import random
 from types import SimpleNamespace
 
@@ -15,7 +16,7 @@ import pytest
 from repro.experiments import REGISTRY
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache
-from repro.experiments.runner import RunOutcome, run_experiment, run_many
+from repro.experiments.runner import RunOutcome, _run_entry, run_experiment, run_many
 
 #: in-process call counter for cache tests (jobs=1 runs in this process)
 CALLS: list[str] = []
@@ -115,6 +116,23 @@ class TestRunMany:
         parallel = run_many(["dummy", "plain"], {"dummy": {"reps": 6}}, jobs=2)
         for s, p in zip(serial, parallel):
             assert s.result.to_jsonable() == p.result.to_jsonable()
+
+    def test_parallel_matches_serial_under_spawn(self):
+        """Workers receive the run callable, not a registry name, so even
+        dynamically registered experiments survive a ``spawn`` start
+        method (where a fresh interpreter never sees the monkeypatched
+        ``REGISTRY``)."""
+        ctx = multiprocessing.get_context("spawn")
+        serial = run_many(["dummy"], {"dummy": {"reps": 4}}, jobs=1)
+        parallel = run_many(["dummy"], {"dummy": {"reps": 4}}, jobs=2, mp_context=ctx)
+        assert serial[0].result.to_jsonable() == parallel[0].result.to_jsonable()
+
+    def test_worker_body_never_touches_registry(self, monkeypatch):
+        # simulate a spawn worker: the dynamic entry is absent over there
+        monkeypatch.delitem(REGISTRY, "dummy")
+        result, elapsed = _run_entry(_dummy_run, {"reps": 2})
+        assert [r["rep"] for r in result.rows] == [0, 1]
+        assert elapsed >= 0.0
 
     def test_unknown_name_fails_fast(self):
         with pytest.raises(KeyError):
