@@ -1,0 +1,35 @@
+"""Regenerate the golden-trace digest table.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_golden.py
+
+Prints the ``GOLDEN_DIGESTS`` dict literal to paste into
+``src/repro/bench/golden.py``.  Only do this for a change that
+*intentionally* alters simulation results — the whole point of the table
+is that optimisation PRs reproduce it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.golden import golden_digest
+from repro.bench.scenarios import GOLDEN_SCENARIOS
+
+
+def main() -> int:
+    print("GOLDEN_DIGESTS: dict[str, str] = {")
+    for name in GOLDEN_SCENARIOS:
+        t0 = time.perf_counter()
+        digest = golden_digest(name)
+        elapsed = time.perf_counter() - t0
+        print(f'    "{name}": "{digest}",')
+        print(f"    # ^ {elapsed:.2f}s", file=sys.stderr)
+    print("}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Microbenchmarks of the simulator and analyser hot paths.
+
+Four throughput metrics, one per hot path the profile concentrates in:
+
+- ``calendar`` — :class:`repro.sim.engine.EventQueue` push/peek/cancel/pop
+  operations per second on a deterministic mixed workload;
+- ``sim`` — simulated nanoseconds per wall-clock second on the canonical
+  mplayer + disturbance mix (the ``cbs-background`` golden scenario);
+- ``spectrum`` — events folded per second through
+  :meth:`repro.core.spectrum.Spectrum.add_events` with periodic
+  :meth:`~repro.core.spectrum.Spectrum.slide_to` retirement;
+- ``detector`` — pairwise intervals examined per second by
+  :meth:`repro.core.autocorr.IntervalHistogramDetector.interval_histogram`.
+
+``repro-exp bench --micro`` runs them and emits the numbers into the
+``BENCH_*.json`` report (schema ``repro-bench/1``, ``micro`` key), so the
+single-run performance trajectory is tracked PR over PR alongside the
+experiment wall-clock sweep.  The workloads are seeded and fixed; only
+the wall-clock denominator varies between hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.time import SEC
+
+
+@dataclass
+class MicroResult:
+    """Outcome of one microbenchmark run."""
+
+    name: str
+    #: headline throughput (work units per wall-clock second)
+    value: float
+    #: unit of ``value``, e.g. ``"ops/s"``
+    unit: str
+    #: wall-clock duration of the timed section, seconds
+    elapsed_s: float
+    #: total work units performed in the timed section
+    work: int
+    #: benchmark parameters (for the JSON report)
+    params: dict = field(default_factory=dict)
+    #: auxiliary measurements (counters, cross-checks)
+    extra: dict = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        """Strict-JSON-friendly record for the bench report."""
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "work": self.work,
+            "params": dict(self.params),
+            "extra": dict(self.extra),
+        }
+
+
+def bench_calendar(n_rounds: int = 60_000) -> MicroResult:
+    """EventQueue throughput on a mixed push/peek/cancel/pop workload.
+
+    Each round pushes three events at pseudorandom times (deterministic
+    LCG), cancels one, peeks, and pops one — so the heap carries a
+    steady ~50% tombstone load, the worst case the calendar's lazy
+    cancellation must absorb.  One round = 6 queue operations.
+    """
+    from repro.sim.engine import EventQueue
+
+    q = EventQueue()
+    sink = []
+
+    def cb(now, payload):  # pragma: no cover - never fired
+        sink.append(now)
+
+    x = 123456789
+    t0 = time.perf_counter()
+    for _ in range(n_rounds):
+        x = (1103515245 * x + 12345) % (1 << 31)
+        a = q.push(x, cb)
+        x = (1103515245 * x + 12345) % (1 << 31)
+        q.push(x, cb)
+        x = (1103515245 * x + 12345) % (1 << 31)
+        q.push(x, cb)
+        a.cancel()
+        q.peek_time()
+        q.pop()
+    elapsed = time.perf_counter() - t0
+    ops = n_rounds * 6
+    return MicroResult(
+        name="calendar",
+        value=ops / elapsed,
+        unit="ops/s",
+        elapsed_s=elapsed,
+        work=ops,
+        params={"n_rounds": n_rounds},
+        extra={"leftover": len(q)},
+    )
+
+
+def bench_sim(duration_s: float = 2.0, repeats: int = 4) -> MicroResult:
+    """Simulated-ns/sec on the canonical mplayer + disturbance mix.
+
+    Runs the ``cbs-background`` golden scenario (AudioPlayer under a
+    tight CBS reservation, jittery reserved periodic task, best-effort
+    disturbance) for ``duration_s`` simulated seconds, ``repeats`` times
+    over fresh kernels (one run is only tens of wall milliseconds; the
+    repeats push the timed section out of timer-noise territory).
+    """
+    from repro.bench.scenarios import build_scenario
+
+    duration_ns = int(duration_s * SEC)
+    kernel = None
+    t0 = time.perf_counter()
+    for _ in range(max(repeats, 1)):
+        kernel = build_scenario("cbs-background")
+        kernel.run(duration_ns)
+    elapsed = time.perf_counter() - t0
+    total_ns = duration_ns * max(repeats, 1)
+    return MicroResult(
+        name="sim",
+        value=total_ns / elapsed,
+        unit="sim-ns/s",
+        elapsed_s=elapsed,
+        work=total_ns,
+        params={"scenario": "cbs-background", "duration_s": duration_s, "repeats": repeats},
+        extra={
+            "context_switches": kernel.stats.context_switches,
+            "dispatched_events": kernel.stats.dispatched_events,
+            "syscalls": kernel.stats.syscalls,
+        },
+    )
+
+
+def bench_spectrum(n_events: int = 12_000, batch: int = 200) -> MicroResult:
+    """Events/sec folded into the incremental sparse spectrum.
+
+    Feeds a jittered 32.5 Hz event train (plus the 3-per-period device
+    grid, like the mp3 workload) through ``add_events`` in download-agent
+    sized batches, sliding a 2 s window as it goes — the exact access
+    pattern of the online analyser.
+    """
+    import numpy as np
+
+    from repro.core.spectrum import Spectrum, SpectrumConfig
+
+    rng = np.random.default_rng(42)
+    period = round(1e9 / 32.5)
+    base = np.arange(n_events, dtype=np.int64) * (period // 3)
+    times = base + rng.integers(0, 200_000, size=n_events)
+    spec = Spectrum(SpectrumConfig(f_min=30.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC)
+    t0 = time.perf_counter()
+    for start in range(0, n_events, batch):
+        chunk = times[start : start + batch]
+        spec.add_events(chunk)
+        spec.slide_to(int(chunk[-1]))
+    amplitude_peak = float(spec.amplitude().max())
+    elapsed = time.perf_counter() - t0
+    return MicroResult(
+        name="spectrum",
+        value=n_events / elapsed,
+        unit="events/s",
+        elapsed_s=elapsed,
+        work=n_events,
+        params={"n_events": n_events, "batch": batch},
+        extra={"operations": spec.operations, "amplitude_peak": amplitude_peak},
+    )
+
+
+def bench_detector(n_events: int = 30_000) -> MicroResult:
+    """Pairwise intervals/sec through the time-domain histogram detector."""
+    import numpy as np
+
+    from repro.core.autocorr import IntervalDetectorConfig, IntervalHistogramDetector
+
+    rng = np.random.default_rng(7)
+    period = 30_770_000
+    times = np.arange(n_events, dtype=np.int64) * (period // 3)
+    times = times + rng.integers(0, 500_000, size=n_events)
+    det = IntervalHistogramDetector(IntervalDetectorConfig())
+    t0 = time.perf_counter()
+    _lags, counts, pairs = det.interval_histogram(times)
+    elapsed = time.perf_counter() - t0
+    return MicroResult(
+        name="detector",
+        value=pairs / elapsed,
+        unit="pairs/s",
+        elapsed_s=elapsed,
+        work=pairs,
+        params={"n_events": n_events},
+        extra={"histogram_mass": int(counts.sum())},
+    )
+
+
+#: name -> zero-argument benchmark callable (defaults are the canonical
+#: sizes the trajectory is tracked at)
+MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
+    "calendar": bench_calendar,
+    "sim": bench_sim,
+    "spectrum": bench_spectrum,
+    "detector": bench_detector,
+}
+
+
+def run_micro(names: list[str] | None = None) -> list[MicroResult]:
+    """Run the selected microbenchmarks (default: all, registry order)."""
+    selected = list(MICRO_REGISTRY) if not names else list(names)
+    for name in selected:
+        if name not in MICRO_REGISTRY:
+            raise KeyError(f"unknown microbenchmark {name!r}; known: {sorted(MICRO_REGISTRY)}")
+    return [MICRO_REGISTRY[name]() for name in selected]

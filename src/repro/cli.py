@@ -8,6 +8,7 @@
     repro-exp run fig06 --jobs 4        # shard inner repetitions
     repro-exp all --jobs 4              # everything, registry sharded
     repro-exp bench --output BENCH.json # timed sweep, machine-readable
+    repro-exp bench --micro             # hot-path microbenchmarks
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
@@ -118,6 +119,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="scaled-down parameters for the expensive sweeps (CI smoke setting)",
     )
+    bench_p.add_argument(
+        "--micro",
+        action="store_true",
+        help="run the hot-path microbenchmarks instead of the experiment "
+        "sweep (positional args then select metrics: calendar, sim, "
+        "spectrum, detector)",
+    )
     _add_exec_flags(bench_p)
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
@@ -168,6 +176,8 @@ def _bench(args) -> int:
     from repro.experiments.report import BENCH_QUICK_OVERRIDES, write_bench_json
     from repro.experiments.runner import run_many
 
+    if args.micro:
+        return _bench_micro(args)
     names = args.experiments or list(REGISTRY)
     for name in names:
         if name not in REGISTRY:
@@ -179,6 +189,28 @@ def _bench(args) -> int:
         print(f"{outcome.name:16s} {status}")
     path = args.output or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
     write_bench_json(path, outcomes, overrides=overrides)
+    print(f"[bench report written to {path}]")
+    return 0
+
+
+def _bench_micro(args) -> int:
+    """Hot-path microbenchmark sweep; same BENCH_*.json schema, ``micro`` key."""
+    import time
+
+    from repro.bench.micro import MICRO_REGISTRY, run_micro
+    from repro.experiments.report import write_bench_json
+
+    names = args.experiments or list(MICRO_REGISTRY)
+    for name in names:
+        if name not in MICRO_REGISTRY:
+            raise SystemExit(
+                f"unknown microbenchmark {name!r}; known: {', '.join(MICRO_REGISTRY)}"
+            )
+    results = run_micro(names)
+    for r in results:
+        print(f"{r.name:10s} {r.value:18,.0f} {r.unit:10s} ({r.elapsed_s:.2f}s)")
+    path = args.output or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
+    write_bench_json(path, [], micro=results)
     print(f"[bench report written to {path}]")
     return 0
 

@@ -256,8 +256,12 @@ class CbsScheduler(Scheduler):
         wake_at = max(server.deadline, now + 1)
         assert self.kernel is not None
         server._replenish_handle = self.kernel.events.push(
-            wake_at, lambda t, _payload, s=server: self._replenish(s, t)
+            wake_at, self._replenish_event, server
         )
+
+    def _replenish_event(self, now: int, server: Server) -> None:
+        """Calendar payload trampoline for the replenishment timer."""
+        self._replenish(server, now)
 
     def _replenish(self, server: Server, now: int) -> None:
         server.throttled = False
@@ -301,9 +305,18 @@ class CbsScheduler(Scheduler):
         ]
 
     def pick(self, now: int) -> Optional[Process]:
-        eligible = self._eligible_servers()
-        if eligible:
-            best = min(eligible, key=lambda s: (s.deadline, s.sid))
+        # manual argmin over (deadline, sid) — equivalent to
+        # min(self._eligible_servers(), key=...) without building the list
+        # or a key tuple per server; pick() runs once per kernel iteration
+        best: Server | None = None
+        best_d = 0
+        for s in self.servers.values():
+            if s.ready and not s.throttled and s.q > 0:
+                d = s.deadline
+                if best is None or d < best_d or (d == best_d and s.sid < best.sid):
+                    best = s
+                    best_d = d
+        if best is not None:
             return best.ready[0]
         if self._bg:
             return self._bg[0]
@@ -317,7 +330,9 @@ class CbsScheduler(Scheduler):
                 self._bg.rotate(-1)
 
     def charge(self, proc: Process, delta: int, now: int) -> None:
-        server = self._proc_server.get(proc.pid)
+        # hot path: ``proc.sched_data`` mirrors ``_proc_server`` (attach
+        # and detach keep both in sync) without the pid hash lookup
+        server: Server | None = proc.sched_data  # type: ignore[assignment]
         if server is None:
             self._charge_background(proc, delta)
             return
@@ -340,14 +355,19 @@ class CbsScheduler(Scheduler):
             self._on_exhaustion(server, now)
 
     def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
-        server = self._proc_server.get(proc.pid)
+        server: Server | None = proc.sched_data  # type: ignore[assignment]
         if server is not None and not server.throttled:
-            bound = max(server.q, 0)
+            bound = server.q
+            if bound < 0:
+                bound = 0
             if len(server.ready) > 1:
-                if server.slice_left <= 0:
-                    server.slice_left = self._intra_slice
-                bound = min(bound, server.slice_left)
-            return max(bound, 1)
+                slice_left = server.slice_left
+                if slice_left <= 0:
+                    slice_left = server.slice_left = self._intra_slice
+                if slice_left < bound:
+                    bound = slice_left
+            return bound if bound > 1 else 1
         if len(self._bg) > 1:
-            return max(self._bg_slice_left, 1)
+            left = self._bg_slice_left
+            return left if left > 1 else 1
         return None

@@ -3,74 +3,150 @@
 A minimal, deterministic priority queue of timestamped events.  Ties are
 broken by insertion order (a monotonically increasing sequence number), so a
 run never depends on heap internals or hash ordering.
+
+The heap stores plain ``(time, seq, entry)`` tuples: comparisons resolve on
+the ``(time, seq)`` prefix at C speed (``seq`` is unique, so the entry
+object itself is never compared).  Cancellation stays O(1) and lazy — a
+cancelled entry becomes a tombstone that is dropped when it surfaces — but
+the queue now keeps live/tombstone counters, so ``len()`` is O(1) and the
+heap is compacted whenever tombstones outnumber live entries (bounding the
+memory a cancel-heavy workload, e.g. a timer wheel under churn, can pin).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """An entry in the calendar.
 
-    Ordering is ``(time, seq)``; ``callback`` and ``payload`` do not
-    participate in comparisons.
+    Returned by :meth:`EventQueue.push` as a cancellation handle.
+    ``callback`` and ``payload`` do not participate in ordering; the owning
+    queue orders the heap on ``(time, seq)``.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[int, Any], None] = field(compare=False)
-    payload: Any = field(compare=False, default=None)
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "payload", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[int, Any], None],
+        payload: Any = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = cancelled
+        #: owning queue while the entry sits in the heap (None once popped)
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._on_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduledEvent(time={self.time}, seq={self.seq}, "
+            f"payload={self.payload!r}, cancelled={self.cancelled})"
+        )
 
 
 class EventQueue:
     """Deterministic min-heap of :class:`ScheduledEvent`.
 
-    Cancellation is lazy: cancelled events stay in the heap and are skipped
-    when popped, which keeps :meth:`cancel` O(1).
+    Cancellation is lazy (tombstones are skipped when popped, keeping
+    :meth:`ScheduledEvent.cancel` O(1)), ``len()`` reads a live counter,
+    and the heap compacts itself when more than half of it is tombstones.
     """
 
+    #: below this heap size compaction is never worth the heapify
+    _COMPACT_MIN = 64
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead")
+
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[int, int, ScheduledEvent]] = []
         self._seq = 0
+        self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live
 
-    def push(self, time: int, callback: Callable[[int, Any], None], payload: Any = None) -> ScheduledEvent:
+    def push(
+        self, time: int, callback: Callable[[int, Any], None], payload: Any = None
+    ) -> ScheduledEvent:
         """Schedule ``callback(time, payload)`` at ``time``; return a handle."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        ev = ScheduledEvent(time=time, seq=self._seq, callback=callback, payload=payload)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, callback, payload)
+        ev._queue = self
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
         return ev
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+    def _on_cancel(self) -> None:
+        """A live in-heap entry was just cancelled: retag and maybe compact."""
+        self._live -= 1
+        self._dead += 1
+        heap = self._heap
+        if self._dead >= self._COMPACT_MIN and self._dead * 2 > len(heap):
+            self._heap = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0
 
     def peek_time(self) -> int | None:
         """Timestamp of the earliest pending event, or ``None`` if empty."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+            else:
+                return entry[0]
+        return None
 
     def pop(self) -> ScheduledEvent | None:
         """Remove and return the earliest pending event, or ``None``."""
-        self._drop_cancelled()
-        return heapq.heappop(self._heap) if self._heap else None
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
+            if ev.cancelled:
+                self._dead -= 1
+            else:
+                ev._queue = None
+                self._live -= 1
+                return ev
+        return None
 
     def pop_due(self, now: int) -> ScheduledEvent | None:
         """Pop the earliest event if it is due at or before ``now``."""
-        when = self.peek_time()
-        if when is None or when > now:
-            return None
-        return heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if entry[0] > now:
+                return None
+            heapq.heappop(heap)
+            ev._queue = None
+            self._live -= 1
+            return ev
+        return None

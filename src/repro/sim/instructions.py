@@ -18,9 +18,10 @@ event fires) only after the process has been woken and scheduled again.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.sim.syscalls import SyscallNr, default_cost
+from repro.sim.syscalls import DEFAULT_COST_NS as _DEFAULT_COST
+from repro.sim.syscalls import SyscallNr, default_cost  # noqa: F401 - re-export
 
 
 class BlockSpec:
@@ -57,18 +58,31 @@ class Instruction:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class Compute(Instruction):
-    """Consume ``duration`` ns of user-mode CPU time."""
+    """Consume ``duration`` ns of user-mode CPU time.
 
-    duration: int
+    Plain ``__slots__`` class (not a dataclass): workload generators yield
+    one of these per compute slab, so construction is on the simulator's
+    hottest path.
+    """
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"compute duration must be >= 0, got {self.duration}")
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise ValueError(f"compute duration must be >= 0, got {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Compute(duration={self.duration})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Compute and other.duration == self.duration
+
+    def __hash__(self) -> int:
+        return hash((Compute, self.duration))
 
 
-@dataclass(frozen=True)
 class Syscall(Instruction):
     """Invoke system call ``nr``.
 
@@ -86,20 +100,43 @@ class Syscall(Instruction):
         blocking calls); the syscall-exit trace event fires when it is done.
     """
 
-    nr: SyscallNr
-    cost: int = -1
-    block: BlockSpec | None = None
-    return_cost: int = 500
+    __slots__ = ("nr", "cost", "block", "return_cost")
 
-    # dataclass(frozen=True) + computed default: resolve in __post_init__
-    def __post_init__(self) -> None:
-        if self.cost < 0:
-            object.__setattr__(self, "cost", default_cost(self.nr))
-        if self.return_cost < 0:
+    def __init__(
+        self,
+        nr: SyscallNr,
+        cost: int = -1,
+        block: BlockSpec | None = None,
+        return_cost: int = 500,
+    ) -> None:
+        if return_cost < 0:
             raise ValueError("return_cost must be >= 0")
+        self.nr = nr
+        # dict hit instead of the default_cost() wrapper: one Syscall is
+        # built per call a workload issues
+        self.cost = _DEFAULT_COST[nr] if cost < 0 else cost
+        self.block = block
+        self.return_cost = return_cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Syscall(nr={self.nr}, cost={self.cost}, block={self.block!r}, "
+            f"return_cost={self.return_cost})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Syscall
+            and other.nr == self.nr
+            and other.cost == self.cost
+            and other.block == self.block
+            and other.return_cost == self.return_cost
+        )
+
+    def __hash__(self) -> int:
+        return hash((Syscall, self.nr, self.cost, self.block, self.return_cost))
 
 
-@dataclass(frozen=True)
 class Fire(Instruction):
     """Wake any processes blocked on ``WaitEvent(key)``; costs no time.
 
@@ -107,10 +144,21 @@ class Fire(Instruction):
     feeding an output thread).
     """
 
-    key: str
+    __slots__ = ("key",)
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fire(key={self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Fire and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash((Fire, self.key))
 
 
-@dataclass(frozen=True)
 class Label(Instruction):
     """Zero-time annotation; the kernel invokes registered probes.
 
@@ -119,5 +167,14 @@ class Label(Instruction):
     the paper's inter-frame-time series without perturbing the simulation.
     """
 
-    name: str
-    payload: dict = field(default_factory=dict)
+    __slots__ = ("name", "payload")
+
+    def __init__(self, name: str, payload: dict | None = None) -> None:
+        self.name = name
+        self.payload = {} if payload is None else payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Label(name={self.name!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Label and other.name == self.name and other.payload == self.payload

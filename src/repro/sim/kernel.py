@@ -110,6 +110,23 @@ class Kernel:
         self._current: Process | None = None
         self._waiters: dict[str, list[Process]] = {}
         self._label_probes: dict[str, list[LabelProbe]] = {}
+        #: optional observer called as ``switch_hook(proc, now)`` right
+        #: after a context switch completes (switch cost already burned);
+        #: the golden-trace digests are built on this
+        self.switch_hook: Callable[[Process, int], None] | None = None
+        #: exact-class instruction dispatch (hot path of ``_fetch_next``);
+        #: instruction subclasses are resolved lazily via the isinstance
+        #: ladder in ``_resolve_instr`` and then cached here
+        self._instr_dispatch: dict[type, Callable[[Process, Instruction, int], None]] = {
+            Compute: self._do_compute,
+            Syscall: self._do_syscall,
+            Fire: self._do_fire,
+            Label: self._do_label,
+        }
+        #: pids ``run_until_exit`` is waiting on (None outside of it)
+        self._exit_watch: set[int] | None = None
+        #: set by ``_exit`` when the watch set drains; makes ``run`` stop
+        self._stop_run = False
 
     # ------------------------------------------------------------------
     # process management
@@ -126,8 +143,12 @@ class Kernel:
         if at is None or at <= self.clock:
             self._admit(proc, self.clock)
         else:
-            self.events.push(at, lambda now, _payload, p=proc: self._admit(p, now))
+            self.events.push(at, self._admit_event, proc)
         return proc
+
+    def _admit_event(self, now: int, proc: Process) -> None:
+        """Calendar payload trampoline for a deferred :meth:`spawn`."""
+        self._admit(proc, now)
 
     def _admit(self, proc: Process, now: int) -> None:
         proc.state = ProcState.READY
@@ -146,6 +167,11 @@ class Kernel:
         proc.segment = None
         self._unassign(proc)
         self.scheduler.on_exit(proc, now)
+        watch = self._exit_watch
+        if watch is not None:
+            watch.discard(proc.pid)
+            if not watch:
+                self._stop_run = True
 
     # ------------------------------------------------------------------
     # tracers, probes, events
@@ -173,7 +199,12 @@ class Kernel:
 
     def at(self, when: int, callback: Callable[[int], None]) -> ScheduledEvent:
         """One-shot kernel callback at absolute time ``when``."""
-        return self.events.push(when, lambda now, _payload, _cb=callback: _cb(now))
+        return self.events.push(when, self._call_event, callback)
+
+    @staticmethod
+    def _call_event(now: int, callback: Callable[[int], None]) -> None:
+        """Calendar payload trampoline for :meth:`at`."""
+        callback(now)
 
     def every(self, period: int, callback: Callable[[int], None], *, start: int | None = None) -> _Timer:
         """Recurring kernel callback every ``period`` ns (first at ``start``,
@@ -181,17 +212,17 @@ class Kernel:
         if period <= 0:
             raise ValueError("timer period must be positive")
         timer = _Timer(period=period, callback=callback)
-
-        def fire(now: int, _payload: object = None) -> None:
-            if timer.cancelled:
-                return
-            timer.callback(now)
-            if not timer.cancelled:
-                timer.event = self.events.push(now + timer.period, fire)
-
         first = (self.clock + period) if start is None else start
-        timer.event = self.events.push(first, fire)
+        timer.event = self.events.push(first, self._timer_event, timer)
         return timer
+
+    def _timer_event(self, now: int, timer: _Timer) -> None:
+        """Fire a recurring timer and re-arm it (payload carries the handle)."""
+        if timer.cancelled:
+            return
+        timer.callback(now)
+        if not timer.cancelled:
+            timer.event = self.events.push(now + timer.period, self._timer_event, timer)
 
     # ------------------------------------------------------------------
     # blocking / wake-up
@@ -226,98 +257,133 @@ class Kernel:
         proc.state = ProcState.BLOCKED
         self._unassign(proc)
         self.scheduler.on_block(proc, now)
-        proc.wakeup_handle = self.events.push(wake_at, lambda t, _payload, p=proc: self._wake(p, t))
+        proc.wakeup_handle = self.events.push(wake_at, self._wake_event, proc)
         return True
+
+    def _wake_event(self, now: int, proc: Process) -> None:
+        """Calendar payload trampoline for a sleep wake-up."""
+        self._wake(proc, now)
 
     # ------------------------------------------------------------------
     # program advancement
     # ------------------------------------------------------------------
-    def _trace_entry(self, proc: Process, nr: SyscallNr, now: int) -> int:
-        extra = 0
-        for tracer in self.tracers:
-            extra += tracer.on_syscall_entry(proc, nr, now)
-        return extra
+    def _do_compute(self, proc: Process, instr: Compute, now: int) -> None:
+        if instr.duration > 0:
+            proc.segment = Segment(SegmentKind.USER, instr.duration)
 
-    def _trace_exit(self, proc: Process, nr: SyscallNr, now: int) -> int:
-        extra = 0
-        for tracer in self.tracers:
-            extra += tracer.on_syscall_exit(proc, nr, now)
-        return extra
+    def _do_syscall(self, proc: Process, instr: Syscall, now: int) -> None:
+        cost = instr.cost
+        tracers = self.tracers
+        if tracers:
+            nr = instr.nr
+            for tracer in tracers:
+                # skip the (potentially costly) hook for tracers that are
+                # not attached to this process at all; attached tracers
+                # self-filter identically, so behaviour is unchanged
+                if tracer.traces(proc):
+                    cost += tracer.on_syscall_entry(proc, nr, now)
+        proc.segment = Segment(
+            SegmentKind.SYSCALL, cost if cost > 1 else 1, instr, instr.block, now
+        )
+
+    def _do_fire(self, proc: Process, instr: Fire, now: int) -> None:
+        self.fire_event(instr.key)
+
+    def _do_label(self, proc: Process, instr: Label, now: int) -> None:
+        probes = self._label_probes.get(instr.name)
+        if probes:
+            for probe in probes:
+                probe(proc, now, instr.payload)
+
+    def _resolve_instr(self, proc: Process, instr: Instruction):
+        """Slow path of the instruction dispatch: accept subclasses of the
+        known instructions (cached per concrete class afterwards)."""
+        for cls, handler in (
+            (Compute, self._do_compute),
+            (Syscall, self._do_syscall),
+            (Fire, self._do_fire),
+            (Label, self._do_label),
+        ):
+            if isinstance(instr, cls):
+                self._instr_dispatch[instr.__class__] = handler
+                return handler
+        raise TypeError(f"program of {proc.name} yielded {instr!r}")
 
     def _fetch_next(self, proc: Process) -> None:
         """Pull instructions from the program until one produces a CPU
         segment (zero-time instructions are executed inline)."""
-        while proc.alive and proc.segment is None:
+        # the clock cannot advance while fetching: zero-time instructions
+        # (Fire, Label) only mutate scheduler/waiter state
+        clock = self.clock
+        dispatch = self._instr_dispatch
+        program = proc.program
+        send = program.send
+        exited = ProcState.EXITED
+        # proc.state check instead of the ``alive`` property: this loop
+        # runs once per yielded instruction
+        while proc.state is not exited and proc.segment is None:
             try:
                 if proc.started:
-                    instr: Instruction = proc.program.send(self.clock)
+                    instr: Instruction = send(clock)
                 else:
-                    instr = next(proc.program)
+                    instr = next(program)
                     proc.started = True
             except StopIteration:
-                self._exit(proc, self.clock)
+                self._exit(proc, clock)
                 return
             except Exception as exc:  # noqa: BLE001 - crash containment
                 # a buggy program must not take the machine down: the
                 # process dies (as on a real segfault) and everything
                 # else keeps running; the exception is kept for autopsy
                 proc.crash = exc
-                self._exit(proc, self.clock)
+                self._exit(proc, clock)
                 return
-            if isinstance(instr, Compute):
-                if instr.duration > 0:
-                    proc.segment = Segment(SegmentKind.USER, instr.duration)
-            elif isinstance(instr, Syscall):
-                extra = self._trace_entry(proc, instr.nr, self.clock)
-                proc.segment = Segment(
-                    SegmentKind.SYSCALL,
-                    max(1, instr.cost + extra),
-                    syscall=instr,
-                    block=instr.block,
-                    entry_time=self.clock,
-                )
-            elif isinstance(instr, Fire):
-                self.fire_event(instr.key)
-            elif isinstance(instr, Label):
-                for probe in self._label_probes.get(instr.name, []):
-                    probe(proc, self.clock, instr.payload)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"program of {proc.name} yielded {instr!r}")
+            handler = dispatch.get(instr.__class__)
+            if handler is None:
+                handler = self._resolve_instr(proc, instr)
+            handler(proc, instr, clock)
 
     def _complete_segment(self, proc: Process) -> None:
         seg = proc.segment
         assert seg is not None and seg.remaining == 0
         proc.segment = None
-        now = self.clock
-        if seg.kind is SegmentKind.USER:
+        kind = seg.kind
+        if kind is SegmentKind.USER:
             self._fetch_next(proc)
             return
-        if seg.kind is SegmentKind.SYSCALL:
-            call = seg.syscall
-            assert call is not None
+        now = self.clock
+        call = seg.syscall
+        assert call is not None
+        if kind is SegmentKind.SYSCALL:
             if seg.block is not None and self._block(proc, seg.block, now):
                 # blocking call: exit path runs after the wake-up
+                ret = call.return_cost
                 proc.segment = Segment(
                     SegmentKind.SYSCALL_RETURN,
-                    max(1, call.return_cost),
-                    syscall=call,
-                    entry_time=seg.entry_time,
+                    ret if ret > 1 else 1,
+                    call,
+                    None,
+                    seg.entry_time,
                 )
                 return
             # non-blocking (or already-expired sleep): exit now
             self._finish_syscall(proc, call, now)
             return
-        if seg.kind is SegmentKind.SYSCALL_RETURN:
-            call = seg.syscall
-            assert call is not None
+        if kind is SegmentKind.SYSCALL_RETURN:
             self._finish_syscall(proc, call, now)
             return
-        raise AssertionError(f"unexpected segment kind {seg.kind}")  # pragma: no cover
+        raise AssertionError(f"unexpected segment kind {kind}")  # pragma: no cover
 
     def _finish_syscall(self, proc: Process, call: Syscall, now: int) -> None:
         proc.syscall_count += 1
         self.stats.syscalls += 1
-        extra = self._trace_exit(proc, call.nr, now)
+        extra = 0
+        tracers = self.tracers
+        if tracers:
+            nr = call.nr
+            for tracer in tracers:
+                if tracer.traces(proc):
+                    extra += tracer.on_syscall_exit(proc, nr, now)
         if extra > 0:
             # tracing cost on the exit path: burn it before the next
             # instruction is fetched
@@ -337,70 +403,105 @@ class Kernel:
             ev.callback(self.clock, ev.payload)
 
     def run(self, until: int) -> None:
-        """Advance virtual time to ``until`` (absolute ns)."""
+        """Advance virtual time to ``until`` (absolute ns).
+
+        This is the hottest loop of the simulator; scheduler/calendar
+        methods and config fields are cached in locals, and the due-event
+        dispatch is inlined (``_dispatch_due`` remains as the out-of-line
+        variant for the multicore kernel).
+        """
         if until < self.clock:
             raise ValueError(f"cannot run backwards: clock={self.clock}, until={until}")
+        events = self.events
+        pop_due = events.pop_due
+        peek_time = events.peek_time
+        scheduler = self.scheduler
+        pick = scheduler.pick
+        charge = scheduler.charge
+        time_until = scheduler.time_until_internal_event
+        stats = self.stats
+        cs_cost = self.config.context_switch_cost
+        charge_switch = self.config.charge_switch_to_budget
+        running = ProcState.RUNNING
+        ready = ProcState.READY
+        exited = ProcState.EXITED
         while self.clock < until:
-            self._dispatch_due()
-            proc = self.scheduler.pick(self.clock)
+            if self._stop_run:
+                return
+            clock = self.clock
+            ev = pop_due(clock)
+            while ev is not None:
+                stats.dispatched_events += 1
+                ev.callback(clock, ev.payload)
+                ev = pop_due(clock)
+            proc = pick(clock)
             if proc is None:
-                nxt = self.events.peek_time()
+                nxt = peek_time()
                 if nxt is None:
                     # nothing will ever happen again
-                    self.stats.idle_time += until - self.clock
+                    stats.idle_time += until - clock
                     self.clock = until
                     return
-                step_to = min(nxt, until)
-                self.stats.idle_time += step_to - self.clock
+                step_to = nxt if nxt < until else until
+                stats.idle_time += step_to - clock
                 self.clock = step_to
                 continue
-            if proc is not self._current:
-                if self._current is not None and self._current.state is ProcState.RUNNING:
-                    self._current.state = ProcState.READY
-                self.stats.context_switches += 1
-                cost = self.config.context_switch_cost
-                if cost > 0:
-                    self.clock = min(until, self.clock + cost)
-                    if self.config.charge_switch_to_budget:
-                        self.scheduler.charge(proc, cost, self.clock)
+            current = self._current
+            if proc is not current:
+                if current is not None and current.state is running:
+                    current.state = ready
+                stats.context_switches += 1
+                if cs_cost > 0:
+                    clock += cs_cost
+                    if clock > until:
+                        clock = until
+                    self.clock = clock
+                    if charge_switch:
+                        charge(proc, cs_cost, clock)
                 self._current = proc
-                if self.clock >= until:
+                if self.switch_hook is not None:
+                    self.switch_hook(proc, clock)
+                if clock >= until:
                     return
-            proc.state = ProcState.RUNNING
+            proc.state = running
             if proc.woken_at is not None:
-                proc.sched_latency.add(self.clock - proc.woken_at)
+                proc.sched_latency.add(clock - proc.woken_at)
                 proc.woken_at = None
-            if proc.segment is None:
+            segment = proc.segment
+            if segment is None:
                 self._fetch_next(proc)
-                if proc.segment is None:
+                segment = proc.segment
+                if segment is None:
                     # process exited or yielded only zero-time instructions
                     # that changed state (e.g. woke someone); re-decide.
-                    if self._current is proc and not proc.alive:
+                    if self._current is proc and proc.state is exited:
                         self._current = None
                     continue
-            quantum = proc.segment.remaining
-            bound = self.scheduler.time_until_internal_event(proc, self.clock)
-            if bound is not None:
-                quantum = min(quantum, bound)
-            nxt = self.events.peek_time()
-            if nxt is not None:
-                quantum = min(quantum, nxt - self.clock)
-            quantum = min(quantum, until - self.clock)
+            quantum = segment.remaining
+            bound = time_until(proc, clock)
+            if bound is not None and bound < quantum:
+                quantum = bound
+            nxt = peek_time()
+            if nxt is not None and nxt - clock < quantum:
+                quantum = nxt - clock
+            if until - clock < quantum:
+                quantum = until - clock
             if quantum <= 0:
                 # an event is due right now or the scheduler wants control
                 # immediately; dispatch and re-pick
-                if nxt is not None and nxt <= self.clock:
+                if nxt is not None and nxt <= clock:
                     continue
                 if bound is not None and bound <= 0:
                     # scheduler internal event exactly now (budget edge)
-                    self.scheduler.charge(proc, 0, self.clock)
+                    charge(proc, 0, clock)
                     continue
                 return
-            self.clock += quantum
+            clock += quantum
+            self.clock = clock
             proc.cpu_time += quantum
-            self.stats.busy_time += quantum
-            proc.segment.remaining -= quantum
-            self.scheduler.charge(proc, quantum, self.clock)
+            stats.busy_time += quantum
+            segment.remaining -= quantum
+            charge(proc, quantum, clock)
             if proc.segment is not None and proc.segment.remaining == 0:
                 self._complete_segment(proc)
 
@@ -409,10 +510,25 @@ class Kernel:
 
         Returns the clock value when the last of them exited.  Useful for
         batch workloads (the ffmpeg transcode of Table 1).
+
+        The simulation steps straight from calendar event to calendar
+        event: ``_exit`` drains a watch set of the awaited pids and raises
+        a stop flag the main loop checks, instead of the old scheme of
+        re-entering ``run`` in ``hard_limit // 1000`` fixed slices (which
+        cost a thousand restarts on long transcodes and overshot past the
+        final exit by up to one slice).
         """
         procs = list(procs)
-        step = max(hard_limit // 1000, 1)
-        while any(p.alive for p in procs) and self.clock < hard_limit:
-            self.run(min(self.clock + step, hard_limit))
+        watch = {p.pid for p in procs if p.alive}
+        if watch and self.clock < hard_limit:
+            self._exit_watch = watch
+            self._stop_run = False
+            try:
+                while watch and self.clock < hard_limit:
+                    self._stop_run = False
+                    self.run(hard_limit)
+            finally:
+                self._exit_watch = None
+                self._stop_run = False
         last_exit = max((p.exit_time or self.clock) for p in procs)
         return last_exit

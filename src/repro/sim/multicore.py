@@ -71,6 +71,8 @@ class MultiCoreKernel(Kernel):
             cost = self.config.context_switch_cost
             if cost > 0:
                 self.clock = min(until, self.clock + cost)
+            if self.switch_hook is not None:
+                self.switch_hook(proc, self.clock)
         for old in self._running:
             if old is not None and old not in placed and old.state is ProcState.RUNNING:
                 old.state = ProcState.READY
@@ -88,6 +90,8 @@ class MultiCoreKernel(Kernel):
             raise ValueError(f"cannot run backwards: clock={self.clock}, until={until}")
         scheduler: SmpScheduler = self.scheduler  # type: ignore[assignment]
         while self.clock < until:
+            if self._stop_run:
+                return
             self._dispatch_due()
             assignment = scheduler.pick_n(self.clock, self.n_cpus)
             if all(p is None for p in assignment):

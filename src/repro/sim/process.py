@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.sim.instructions import BlockSpec, Instruction, Syscall
@@ -36,15 +35,35 @@ class SegmentKind(enum.Enum):
     SYSCALL_RETURN = "syscall_return"  # return path after a blocking call
 
 
-@dataclass
 class Segment:
-    """A contiguous slab of CPU work the process still has to perform."""
+    """A contiguous slab of CPU work the process still has to perform.
 
-    kind: SegmentKind
-    remaining: int
-    syscall: Optional[Syscall] = None
-    block: Optional[BlockSpec] = None
-    entry_time: int = -1  # when the syscall entry was stamped
+    A plain ``__slots__`` class rather than a dataclass: the kernel
+    allocates one per segment on the hottest path of the simulator.
+    """
+
+    __slots__ = ("kind", "remaining", "syscall", "block", "entry_time")
+
+    def __init__(
+        self,
+        kind: SegmentKind,
+        remaining: int,
+        syscall: Optional[Syscall] = None,
+        block: Optional[BlockSpec] = None,
+        entry_time: int = -1,  # when the syscall entry was stamped
+    ) -> None:
+        self.kind = kind
+        self.remaining = remaining
+        self.syscall = syscall
+        self.block = block
+        self.entry_time = entry_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Segment(kind={self.kind}, remaining={self.remaining}, "
+            f"syscall={self.syscall!r}, block={self.block!r}, "
+            f"entry_time={self.entry_time})"
+        )
 
 
 class LatencyStats:
@@ -80,7 +99,29 @@ class LatencyStats:
 
 
 class Process:
-    """A simulated process (or thread; the model does not distinguish)."""
+    """A simulated process (or thread; the model does not distinguish).
+
+    ``__slots__`` because the kernel touches ``state``/``segment``/
+    ``cpu_time``/... several times per scheduling decision.
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "program",
+        "state",
+        "segment",
+        "cpu_time",
+        "exit_time",
+        "start_time",
+        "syscall_count",
+        "sched_data",
+        "wakeup_handle",
+        "started",
+        "crash",
+        "sched_latency",
+        "woken_at",
+    )
 
     def __init__(self, pid: int, name: str, program: Program) -> None:
         self.pid = pid

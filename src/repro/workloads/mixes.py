@@ -34,13 +34,23 @@ MPLAYER_CALL_MIX = {k: v / _total for k, v in MPLAYER_CALL_MIX.items()}
 _CALLS = list(MPLAYER_CALL_MIX.keys())
 _WEIGHTS = np.array([MPLAYER_CALL_MIX[c] for c in _CALLS])
 
+#: precomputed inverse-cdf table, mirroring what ``Generator.choice(p=...)``
+#: builds per call (cumsum then normalise by the last entry).  Sampling
+#: through it consumes exactly the same ``rng.random`` variates as
+#: ``rng.choice(len(_CALLS), size=n, p=_WEIGHTS)``, so the draws are
+#: bit-identical to the original implementation — just without numpy's
+#: per-call validation of ``p``, which dominated the cost of short bursts.
+_CDF = _WEIGHTS.cumsum()
+_CDF /= _CDF[-1]
+
 
 def sample_call(rng: np.random.Generator) -> SyscallNr:
     """Draw one system call according to the mplayer mix."""
-    return _CALLS[int(rng.choice(len(_CALLS), p=_WEIGHTS))]
+    return _CALLS[int(_CDF.searchsorted(rng.random(), side="right"))]
 
 
 def sample_burst(rng: np.random.Generator, n: int) -> list[SyscallNr]:
     """Draw a burst of ``n`` calls according to the mplayer mix."""
-    idx = rng.choice(len(_CALLS), size=n, p=_WEIGHTS)
-    return [_CALLS[int(i)] for i in idx]
+    idx = _CDF.searchsorted(rng.random(n), side="right")
+    calls = _CALLS
+    return [calls[i] for i in idx]

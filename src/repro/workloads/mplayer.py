@@ -32,7 +32,7 @@ from repro.sim.instructions import Compute, Label, SleepUntil, Syscall
 from repro.sim.process import Program
 from repro.sim.syscalls import SyscallNr
 from repro.sim.time import MS, US
-from repro.workloads.mixes import sample_burst
+from repro.workloads.mixes import MPLAYER_CALL_MIX, sample_burst
 
 #: 32.5 Hz — the fundamental the paper repeatedly detects for mp3 playback
 AUDIO_PERIOD_NS = round(1e9 / 32.5)
@@ -114,6 +114,12 @@ class AudioPlayer:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         slot_len = cfg.period // cfg.writes_per_period
+        # instructions are immutable to the kernel, so the loop-invariant
+        # ones are built once and yielded repeatedly (a Syscall per burst
+        # call was the single biggest allocation source of the simulator)
+        gap = Compute(cfg.intra_burst_gap)
+        ioctl = Syscall(SyscallNr.IOCTL)
+        burst_calls = {nr: Syscall(nr) for nr in MPLAYER_CALL_MIX}
 
         def body() -> Program:
             for j in range(n_frames):
@@ -130,16 +136,16 @@ class AudioPlayer:
                                 yield disk.read_instruction()
                         # once per period: fetch input, query clocks, decode
                         for nr in sample_burst(rng, cfg.start_burst):
-                            yield Compute(cfg.intra_burst_gap)
-                            yield Syscall(nr)
+                            yield gap
+                            yield burst_calls[nr]
                         cost = max(
                             1, int(rng.normal(cfg.decode_cost, cfg.decode_jitter * cfg.decode_cost))
                         )
                         yield Compute(cost)
                     # push one device chunk (ioctl-heavy ALSA path)
                     for _ in range(cfg.write_burst):
-                        yield Compute(cfg.intra_burst_gap)
-                        yield Syscall(SyscallNr.IOCTL)
+                        yield gap
+                        yield ioctl
                 self.frames_played += 1
 
         return body()

@@ -105,3 +105,62 @@ class TestDetection:
         est = IntervalHistogramDetector().detect(train(period_ms * MS, 120))
         assert est.period_ns is not None
         assert est.period_ns == pytest.approx(period_ms * MS, rel=0.05)
+
+
+class TestVectorisedHistogramIdentity:
+    """The rank-vectorised histogram must exactly match the per-event loop."""
+
+    @staticmethod
+    def _reference_histogram(times_ns, cfg):
+        """The pre-optimisation two-pointer loop, integer arithmetic."""
+        times = np.sort(np.asarray(times_ns, dtype=np.int64))
+        n = times.size
+        n_bins = int(cfg.max_period // cfg.bin) + 1
+        counts = np.zeros(n_bins, dtype=np.int64)
+        pairs = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                delta = int(times[j] - times[i])
+                if delta > cfg.max_period:
+                    break
+                counts[delta // cfg.bin] += 1
+                pairs += 1
+        return counts, pairs
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_on_jittered_train(self, seed):
+        cfg = IntervalDetectorConfig()
+        times = train(30_770_000, 60, offsets=(0, 2_000_000, 9_000_000),
+                      jitter_ns=400_000, seed=seed)
+        det = IntervalHistogramDetector(cfg)
+        _lags, counts, pairs = det.interval_histogram(times)
+        ref_counts, ref_pairs = self._reference_histogram(times, cfg)
+        assert pairs == ref_pairs
+        assert np.array_equal(counts, ref_counts)
+
+    def test_matches_reference_on_random_times(self):
+        cfg = IntervalDetectorConfig(max_period=50_000_000, bin=250_000)
+        rng = np.random.default_rng(11)
+        times = np.sort(rng.integers(0, 2_000_000_000, size=120))
+        det = IntervalHistogramDetector(cfg)
+        _lags, counts, pairs = det.interval_histogram(times)
+        ref_counts, ref_pairs = self._reference_histogram(times, cfg)
+        assert pairs == ref_pairs
+        assert np.array_equal(counts, ref_counts)
+
+    def test_window_edge_is_inclusive(self):
+        # two events exactly max_period apart form one countable pair
+        cfg = IntervalDetectorConfig()
+        det = IntervalHistogramDetector(cfg)
+        _lags, counts, pairs = det.interval_histogram([0, cfg.max_period])
+        assert pairs == 1
+        assert counts.sum() == 1
+
+    def test_duplicate_timestamps(self):
+        cfg = IntervalDetectorConfig()
+        det = IntervalHistogramDetector(cfg)
+        times = [0, 0, 0, 30_000_000, 30_000_000]
+        _lags, counts, pairs = det.interval_histogram(times)
+        ref_counts, ref_pairs = self._reference_histogram(times, cfg)
+        assert pairs == ref_pairs
+        assert np.array_equal(counts, ref_counts)

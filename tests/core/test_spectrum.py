@@ -140,3 +140,85 @@ class TestRecoveryProperty:
         amp = sparse_amplitude_spectrum(times, freqs)
         peak_f = freqs[int(np.argmax(amp))]
         assert abs(peak_f - f0) <= 0.25
+
+
+class TestBatchedFoldIdentity:
+    """`add_events`/`slide_to` must be bit-identical to the per-event path.
+
+    The batched fold is an optimisation, not an approximation: same
+    accumulator bits, same Eq. 3 operation count.
+    """
+
+    def _jittered_train(self, n=400, seed=3):
+        rng = np.random.default_rng(seed)
+        period = round(1e9 / 32.5)
+        times = np.arange(n, dtype=np.int64) * (period // 3)
+        times = times + rng.integers(0, 300_000, size=n)
+        return [int(t) for t in times]
+
+    def test_add_events_matches_add_event_bitwise(self):
+        times = self._jittered_train()
+        batched = Spectrum(SpectrumConfig())
+        single = Spectrum(SpectrumConfig())
+        batched.add_events(times)
+        for t in times:
+            single.add_event(t)
+        assert np.array_equal(batched._acc, single._acc)  # bitwise, not allclose
+        assert batched.operations == single.operations
+        assert batched.times == single.times
+
+    def test_slide_to_matches_per_event_retirement(self):
+        times = self._jittered_train(n=600)
+        horizon = 2 * SEC
+        batched = Spectrum(SpectrumConfig(), horizon_ns=horizon)
+        single = Spectrum(SpectrumConfig(), horizon_ns=horizon)
+        batched.add_events(times)
+        for t in times:
+            single.add_event(t)
+        now = times[-1]
+        retired = batched.slide_to(now)
+        assert retired > 0
+        # reference retirement: subtract one contribution at a time
+        cutoff = now - horizon
+        ref_retired = 0
+        while single._times and single._times[0] < cutoff:
+            t = single._times.popleft()
+            single._acc -= single._contribution(t)
+            ref_retired += 1
+        assert retired == ref_retired
+        assert np.array_equal(batched._acc, single._acc)
+        assert batched.operations == single.operations
+        assert batched.times == single.times
+
+    def test_interleaved_batches_match_streaming(self):
+        times = self._jittered_train(n=500, seed=9)
+        horizon = 1 * SEC
+        batched = Spectrum(SpectrumConfig(), horizon_ns=horizon)
+        single = Spectrum(SpectrumConfig(), horizon_ns=horizon)
+        for start in range(0, len(times), 100):
+            chunk = times[start : start + 100]
+            batched.add_events(chunk)
+            batched.slide_to(chunk[-1])
+            for t in chunk:
+                single.add_event(t)
+            single.slide_to(chunk[-1])
+        assert np.array_equal(batched._acc, single._acc)
+        assert batched.operations == single.operations
+        assert np.array_equal(batched.amplitude(), single.amplitude())
+
+    def test_empty_and_singleton_batches(self):
+        sp = Spectrum(SpectrumConfig())
+        sp.add_events([])
+        assert sp.operations == 0 and len(sp) == 0
+        sp.add_events([1_000_000])
+        ref = Spectrum(SpectrumConfig())
+        ref.add_event(1_000_000)
+        assert np.array_equal(sp._acc, ref._acc)
+        assert sp.operations == ref.operations
+
+    def test_accepts_numpy_times(self):
+        arr = np.array([10 * MS, 20 * MS, 30 * MS], dtype=np.int64)
+        sp = Spectrum(SpectrumConfig())
+        sp.add_events(arr)
+        assert sp.times == [10 * MS, 20 * MS, 30 * MS]
+        assert all(isinstance(t, int) for t in sp.times)

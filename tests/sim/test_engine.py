@@ -86,3 +86,91 @@ class TestValidation:
         q = EventQueue()
         with pytest.raises(ValueError):
             q.push(-1, lambda now, p: None)
+
+
+class TestTombstones:
+    """Lazy cancellation must not leak: len is O(1) and the heap compacts."""
+
+    def test_len_is_live_counter_not_scan(self):
+        q = EventQueue()
+        handles = [q.push(t, lambda now, p: None) for t in range(100)]
+        for h in handles[::2]:
+            h.cancel()
+        assert len(q) == 50
+        # cancelling twice is idempotent and does not double-decrement
+        handles[0].cancel()
+        assert len(q) == 50
+
+    def test_heap_compacts_under_heavy_cancellation(self):
+        q = EventQueue()
+        handles = [q.push(t, lambda now, p: None) for t in range(1000)]
+        for h in handles[:900]:
+            h.cancel()
+        # >50% of entries were tombstones; compaction must have dropped them
+        assert len(q) == 100
+        assert len(q._heap) < 500
+        # and the surviving events still pop in time order
+        assert [ev.time for ev in collect(q)] == list(range(900, 1000))
+
+    def test_compaction_preserves_tie_order(self):
+        q = EventQueue()
+        doomed = [q.push(1, lambda now, p: None) for _ in range(200)]
+        keep = [q.push(5, lambda now, p: None, payload=i) for i in range(3)]
+        for h in doomed:
+            h.cancel()
+        assert [ev.payload for ev in collect(q)] == [0, 1, 2]
+        assert keep[0].seq < keep[1].seq < keep[2].seq
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        ev = q.push(3, lambda now, p: None)
+        assert q.pop() is ev
+        ev.cancel()  # already delivered: must not corrupt the counters
+        assert len(q) == 0
+        assert q.pop() is None
+
+
+class TestPeekPopDueSemantics:
+    """Regression pins for the scheduler-facing calendar API."""
+
+    def test_peek_time_does_not_consume(self):
+        q = EventQueue()
+        q.push(4, lambda now, p: None)
+        assert q.peek_time() == 4
+        assert q.peek_time() == 4
+        assert len(q) == 1
+
+    def test_pop_due_skips_cancelled_due_events(self):
+        q = EventQueue()
+        a = q.push(1, lambda now, p: None)
+        b = q.push(2, lambda now, p: None, payload="b")
+        a.cancel()
+        got = q.pop_due(5)
+        assert got is b
+        assert q.pop_due(5) is None
+
+    def test_pop_due_drains_in_order_at_same_now(self):
+        q = EventQueue()
+        q.push(3, lambda now, p: None, payload="x")
+        q.push(1, lambda now, p: None, payload="y")
+        q.push(2, lambda now, p: None, payload="z")
+        drained = []
+        ev = q.pop_due(3)
+        while ev is not None:
+            drained.append(ev.payload)
+            ev = q.pop_due(3)
+        assert drained == ["y", "z", "x"]
+
+    def test_pop_due_leaves_future_events(self):
+        q = EventQueue()
+        q.push(10, lambda now, p: None)
+        q.push(20, lambda now, p: None)
+        assert q.pop_due(10).time == 10
+        assert q.pop_due(10) is None
+        assert q.peek_time() == 20
+        assert len(q) == 1
+
+    def test_payload_rides_the_event(self):
+        q = EventQueue()
+        q.push(1, lambda now, p: None, payload={"k": 1})
+        assert q.pop().payload == {"k": 1}

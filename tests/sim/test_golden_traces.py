@@ -1,0 +1,34 @@
+"""Golden-trace digests: the simulator's bit-identity contract.
+
+Each scenario in :data:`repro.bench.golden.GOLDEN_DIGESTS` pins the
+SHA-256 of the full ``(pid, time)`` context-switch trace plus the final
+kernel state, recorded on the pre-optimisation simulator.  A hot-path
+change that perturbs a single context switch by one nanosecond — a
+different tie-break, a reordered event, a float where an int belongs —
+changes the digest and fails here.
+
+The seven scenarios cover every scheduler: CBS under all three
+exhaustion policies, EDF, fixed-priority (RM), stride and round-robin,
+each driving the canonical mplayer + periodic + best-effort mix.
+
+Regenerate the pinned table with ``scripts/record_golden.py`` ONLY for a
+change that intentionally alters simulation results, and say so loudly
+in the PR description.
+"""
+
+import pytest
+
+from repro.bench.golden import GOLDEN_DIGESTS, golden_digest
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN_DIGESTS))
+def test_golden_digest_unchanged(scenario):
+    assert golden_digest(scenario) == GOLDEN_DIGESTS[scenario], (
+        f"simulation results of {scenario!r} changed: either an optimisation "
+        "broke bit-identity, or an intentional semantic change needs the "
+        "digest table regenerated (scripts/record_golden.py)"
+    )
+
+
+def test_digest_is_deterministic():
+    assert golden_digest("rr") == golden_digest("rr")
