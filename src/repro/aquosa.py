@@ -57,8 +57,20 @@ class QresFacade:
         self.scheduler.destroy_server(self._server(sid))
 
     def qres_attach_thread(self, sid: int, proc: Process) -> None:
-        """Attach ``proc`` to server ``sid``."""
-        self.scheduler.attach(proc, self._server(sid))
+        """Attach ``proc`` to server ``sid``.
+
+        As in the C API, attaching a thread that is already attached is an
+        error (``QRES_E_INCONSISTENT_STATE``) — detach it first; the
+        scheduler-level :meth:`CbsScheduler.attach` migration shortcut is
+        deliberately not exposed here.
+        """
+        server = self._server(sid)
+        current = self.scheduler.server_of(proc)
+        if current is not None:
+            raise QresError(
+                f"pid {proc.pid} is already attached to server {current.sid}"
+            )
+        self.scheduler.attach(proc, server)
 
     def qres_detach_thread(self, sid: int, proc: Process) -> None:
         """Detach ``proc`` from server ``sid``."""

@@ -22,9 +22,20 @@ import hashlib
 from repro.bench.scenarios import GOLDEN_DURATION_NS, build_scenario
 
 
-def golden_digest(name: str, duration_ns: int = GOLDEN_DURATION_NS) -> str:
-    """Run scenario ``name`` and digest its trace and final state."""
+def golden_digest(
+    name: str, duration_ns: int = GOLDEN_DURATION_NS, *, telemetry: bool = False
+) -> str:
+    """Run scenario ``name`` and digest its trace and final state.
+
+    ``telemetry=True`` attaches a :mod:`repro.obs` hub before the run;
+    the digest must come out identical either way (the observability
+    layer's read-only contract — asserted by the golden-trace tests).
+    """
     kernel = build_scenario(name)
+    if telemetry:
+        from repro.obs.instrument import instrument_kernel
+
+        instrument_kernel(kernel)
     sha = hashlib.sha256()
     update = sha.update
 

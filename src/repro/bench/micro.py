@@ -1,6 +1,6 @@
 """Microbenchmarks of the simulator and analyser hot paths.
 
-Four throughput metrics, one per hot path the profile concentrates in:
+Five throughput metrics, one per hot path the profile concentrates in:
 
 - ``calendar`` — :class:`repro.sim.engine.EventQueue` push/peek/cancel/pop
   operations per second on a deterministic mixed workload;
@@ -10,7 +10,9 @@ Four throughput metrics, one per hot path the profile concentrates in:
   :meth:`repro.core.spectrum.Spectrum.add_events` with periodic
   :meth:`~repro.core.spectrum.Spectrum.slide_to` retirement;
 - ``detector`` — pairwise intervals examined per second by
-  :meth:`repro.core.autocorr.IntervalHistogramDetector.interval_histogram`.
+  :meth:`repro.core.autocorr.IntervalHistogramDetector.interval_histogram`;
+- ``sim-obs`` — the ``sim`` scenario with a :mod:`repro.obs` telemetry
+  hub attached, tracking the recording overhead against the bare run.
 
 ``repro-exp bench --micro`` runs them and emits the numbers into the
 ``BENCH_*.json`` report (schema ``repro-bench/1``, ``micro`` key), so the
@@ -194,6 +196,50 @@ def bench_detector(n_events: int = 30_000) -> MicroResult:
     )
 
 
+def bench_sim_obs(duration_s: float = 2.0, repeats: int = 4) -> MicroResult:
+    """Instrumented sim throughput, with the telemetry-off cross-check.
+
+    Runs the same ``cbs-background`` mix as ``sim`` twice per repeat —
+    once bare, once with a :mod:`repro.obs` hub attached — and reports
+    the instrumented throughput; ``extra`` carries the bare throughput
+    and the on/off wall-clock ratio, so the recording overhead (and the
+    cost of the disabled fast path) is tracked PR over PR.
+    """
+    from repro.bench.scenarios import build_scenario
+    from repro.obs.instrument import instrument_kernel
+
+    duration_ns = int(duration_s * SEC)
+    reps = max(repeats, 1)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        kernel = build_scenario("cbs-background")
+        kernel.run(duration_ns)
+    off_elapsed = time.perf_counter() - t0
+    hub = None
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        kernel = build_scenario("cbs-background")
+        hub = instrument_kernel(kernel)
+        kernel.run(duration_ns)
+    on_elapsed = time.perf_counter() - t0
+    total_ns = duration_ns * reps
+    return MicroResult(
+        name="sim-obs",
+        value=total_ns / on_elapsed,
+        unit="sim-ns/s",
+        elapsed_s=off_elapsed + on_elapsed,
+        work=total_ns,
+        params={"scenario": "cbs-background", "duration_s": duration_s, "repeats": repeats},
+        extra={
+            "off_value": total_ns / off_elapsed,
+            "overhead_ratio": on_elapsed / off_elapsed,
+            "spans": len(hub.spans),
+            "instants": len(hub.instants),
+            "metric_series": len(hub.metrics),
+        },
+    )
+
+
 #: name -> zero-argument benchmark callable (defaults are the canonical
 #: sizes the trajectory is tracked at)
 MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
@@ -201,6 +247,7 @@ MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
     "sim": bench_sim,
     "spectrum": bench_spectrum,
     "detector": bench_detector,
+    "sim-obs": bench_sim_obs,
 }
 
 

@@ -9,6 +9,7 @@
     repro-exp all --jobs 4              # everything, registry sharded
     repro-exp bench --output BENCH.json # timed sweep, machine-readable
     repro-exp bench --micro             # hot-path microbenchmarks
+    repro-exp trace fig13               # export a Perfetto/Chrome trace
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
@@ -124,9 +125,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the hot-path microbenchmarks instead of the experiment "
         "sweep (positional args then select metrics: calendar, sim, "
-        "spectrum, detector)",
+        "spectrum, detector, sim-obs)",
     )
     _add_exec_flags(bench_p)
+    trace_p = sub.add_parser(
+        "trace", help="run an instrumented scenario and export a Perfetto/Chrome trace"
+    )
+    trace_p.add_argument(
+        "scenario", help="trace scenario (fig13, fig13-lfs, daemon, qtrace-agent)"
+    )
+    trace_p.add_argument("overrides", nargs="*", help="key=value scenario overrides")
+    trace_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="trace JSON path (default: <scenario>.perfetto.json)",
+    )
+    trace_p.add_argument(
+        "--csv", default=None, metavar="PATH", help="also dump the metric timeseries as CSV"
+    )
+    trace_p.add_argument(
+        "--summary", action="store_true", help="print a text digest of the recorded telemetry"
+    )
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -163,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "bench":
         return _bench(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -212,6 +235,33 @@ def _bench_micro(args) -> int:
     path = args.output or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
     write_bench_json(path, [], micro=results)
     print(f"[bench report written to {path}]")
+    return 0
+
+
+def _trace(args) -> int:
+    """Run an instrumented scenario; export the Perfetto/Chrome artifact."""
+    from repro.obs.export import summary_text, timeseries_csv, write_chrome_trace
+    from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
+
+    if args.scenario not in TRACE_SCENARIOS:
+        raise SystemExit(
+            f"unknown trace scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(TRACE_SCENARIOS))}"
+        )
+    telemetry = run_trace_scenario(args.scenario, _parse_overrides(args.overrides))
+    path = args.output or f"{args.scenario}.perfetto.json"
+    write_chrome_trace(telemetry, path)
+    cats = ", ".join(sorted(telemetry.span_categories()))
+    print(
+        f"[trace written to {path}: {len(telemetry.spans)} spans ({cats}), "
+        f"{len(telemetry.instants)} instants, {len(telemetry.metrics)} metric series]"
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(timeseries_csv(telemetry))
+        print(f"[timeseries csv written to {args.csv}]")
+    if args.summary:
+        print(summary_text(telemetry))
     return 0
 
 

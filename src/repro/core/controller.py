@@ -97,6 +97,11 @@ class TaskControllerConfig:
 class TaskController:
     """Closed-loop controller for one adopted legacy task."""
 
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path.  One
+    #: span per activation (covering the sampling window it analysed) plus
+    #: the actuated-trajectory counters; strictly read-only.
+    _obs = None
+
     def __init__(
         self,
         name: str,
@@ -128,6 +133,8 @@ class TaskController:
         self._confirmed_period: int | None = None
         self._pending_period: int | None = None
         self._pending_count = 0
+        #: virtual time of the previous activation (telemetry span start)
+        self._last_activation: int | None = None
 
     def current_period_estimate(self) -> int | None:
         """Latest *confirmed* period estimate (ns), if any."""
@@ -185,4 +192,20 @@ class TaskController:
         granted = self.supervisor.submit(self.supervisor_key, request)
         self.actuate(granted)
         self.granted_history.append((now, granted))
+        obs = self._obs
+        if obs is not None:
+            start = self._last_activation
+            if start is None:
+                start = max(now - self.config.sampling_period, 0)
+            obs.controller_epoch(
+                self.name,
+                start,
+                now,
+                consumed=sample.consumed,
+                exhaustions=sample.exhaustions,
+                period_ns=period_ns,
+                requested_bw=request.bandwidth,
+                granted_bw=granted.bandwidth,
+            )
+        self._last_activation = now
         return granted

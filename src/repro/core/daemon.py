@@ -85,6 +85,11 @@ class _Probe:
 class SelfTuningDaemon:
     """Scans, probes and adopts periodic processes autonomously."""
 
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path.  One
+    #: span per probe (opened at trace start, closed with the verdict) plus
+    #: an instant per adoption; strictly read-only.
+    _obs = None
+
     def __init__(
         self,
         runtime: SelfTuningRuntime,
@@ -190,8 +195,11 @@ class SelfTuningDaemon:
             proc=proc, started=now, analyser=analyser, wakes_at_start=proc.sched_latency.n
         )
         self._probes[pid]._sink = sink  # type: ignore[attr-defined]
+        obs = self._obs
+        if obs is not None:
+            self._probes[pid]._obs_span = obs.daemon_probe_started(proc, now)  # type: ignore[attr-defined]
 
-    def _drop_probe(self, pid: int) -> None:
+    def _drop_probe(self, pid: int, verdict: str = "dropped") -> None:
         probe = self._probes.pop(pid, None)
         if probe is None:
             return
@@ -199,6 +207,10 @@ class SelfTuningDaemon:
         sink = getattr(probe, "_sink", None)
         if sink is not None and sink in self.runtime.tracer._sinks:
             self.runtime.tracer._sinks.remove(sink)
+        obs = self._obs
+        span = getattr(probe, "_obs_span", None)
+        if obs is not None and span is not None:
+            obs.daemon_probe_ended(span, obs.now(), verdict)
 
     def _confirmed_period(self, detections: list[int]) -> int | None:
         need = self.config.confirmations
@@ -214,7 +226,6 @@ class SelfTuningDaemon:
         """Adopt or reject a finished probe; returns True on adoption."""
         pid = probe.proc.pid
         period = self._confirmed_period(probe.detections)
-        self._drop_probe(pid)
         if period is not None:
             # gating check: did the process actually sleep at the rate a
             # periodic application would, or is its rhythm inherited from
@@ -223,6 +234,7 @@ class SelfTuningDaemon:
             expected = (now - probe.started) / period
             if wakes < self.config.min_wake_ratio * expected:
                 period = None
+        self._drop_probe(pid, verdict="periodic" if period is not None else "aperiodic")
         if period is None:
             self.rejected.append(pid)
             self._rests[pid] = now + self.config.retry_after
@@ -234,4 +246,7 @@ class SelfTuningDaemon:
             period_hint=period,
         )
         self.adopted.append(task)
+        obs = self._obs
+        if obs is not None:
+            obs.daemon_adopted(probe.proc, period, now)
         return True

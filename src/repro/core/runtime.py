@@ -45,6 +45,11 @@ class AdoptedTask:
 class SelfTuningRuntime:
     """Kernel + tracer + supervisor + per-task controllers, in one box."""
 
+    #: telemetry hub (:mod:`repro.obs`); set by
+    #: :func:`repro.obs.instrument.instrument_runtime` so controllers
+    #: created by later ``adopt()`` calls inherit the hub
+    _obs = None
+
     def __init__(
         self,
         *,
@@ -174,6 +179,8 @@ class SelfTuningRuntime:
             drain=(lambda now: self.tracer.drain(now)),
             config=controller_config,
         )
+        if self._obs is not None:
+            controller._obs = self._obs
         timer = self.kernel.every(controller_config.sampling_period, controller.activate)
         task = AdoptedTask(proc=proc, server=server, controller=controller, analyser=analyser, timer=timer)
         self.tasks[proc.pid] = task

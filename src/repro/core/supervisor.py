@@ -44,6 +44,11 @@ class Supervisor:
     global admission rule when ``capacity`` is the CPU count).
     """
 
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path.  The
+    #: hub stamps supervisor gauges with its own kernel clock (the
+    #: supervisor itself stays clock-free); strictly read-only.
+    _obs = None
+
     def __init__(self, u_lub: float = 0.95, *, capacity: int = 1) -> None:
         if not 0.0 < u_lub <= 1.0:
             raise ValueError(f"u_lub must be in (0, 1], got {u_lub}")
@@ -141,3 +146,7 @@ class Supervisor:
         for r in active:
             if r.actuate is not None and r.granted != previous[r.key]:
                 r.actuate(r.granted)
+        obs = self._obs
+        if obs is not None:
+            granted_total = sum(r.granted.bandwidth for r in active if r.granted is not None)
+            obs.supervisor_recompute(total, granted_total)

@@ -1,0 +1,44 @@
+"""``repro.obs`` — virtual-time telemetry: spans, metrics, trace export.
+
+The observability subsystem.  A :class:`~repro.obs.telemetry.Telemetry`
+hub attached to a kernel (via :mod:`repro.obs.instrument`) records what
+the CBS servers, the feedback controllers, the supervisor, the tracer and
+the scheduler did at each instant of **virtual time** — spans and metric
+timeseries — without perturbing the simulation (golden traces stay
+bit-identical with telemetry on or off).  Exporters render the recording
+as a Chrome/Perfetto ``trace_event`` JSON, a CSV timeseries dump, or a
+text summary; ``repro-exp trace <scenario>`` does all three in one go.
+
+See ``docs/observability.md`` for the walkthrough.
+"""
+
+from repro.obs.export import chrome_trace, summary_text, timeseries_csv, write_chrome_trace
+from repro.obs.instrument import (
+    detach,
+    instrument_daemon,
+    instrument_kernel,
+    instrument_runtime,
+)
+from repro.obs.metrics import MetricSeries
+from repro.obs.schema import TraceSchemaError, validate_chrome_trace
+from repro.obs.spans import Instant, OpenSpan, Span
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "Span",
+    "Instant",
+    "OpenSpan",
+    "MetricSeries",
+    "instrument_kernel",
+    "instrument_runtime",
+    "instrument_daemon",
+    "detach",
+    "chrome_trace",
+    "write_chrome_trace",
+    "timeseries_csv",
+    "summary_text",
+    "validate_chrome_trace",
+    "TraceSchemaError",
+]

@@ -1,0 +1,180 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, CSV, text summary.
+
+The JSON artifact follows the Chrome Trace Event format (the "JSON Array
+with metadata" flavour: an object with a ``traceEvents`` list), which
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ and ``chrome://tracing``
+both open directly:
+
+- every span track becomes a named thread of pid 1 ("repro virtual
+  machine"); spans are ``"X"`` (complete) events, instants are ``"i"``;
+- every metric series becomes a counter track (``"C"`` events named
+  ``"<track>.<name>"``);
+- timestamps are microseconds (the format's unit), converted from the
+  simulator's integer nanoseconds — sub-microsecond instants keep their
+  fractional part.
+
+The CSV view is a flat ``kind,track,name,t_ns,value`` table of every
+metric point (one row per sample), trivially loadable into pandas or a
+spreadsheet.  The text summary is a terminal-friendly digest: span counts
+per category, per-series statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.obs.telemetry import Telemetry
+
+#: pid used for every track of the single simulated machine
+TRACE_PID = 1
+
+
+def _track_ids(telemetry: Telemetry) -> dict[str, int]:
+    """Stable track -> tid mapping (first-appearance order)."""
+    tids: dict[str, int] = {}
+    for span in telemetry.spans:
+        if span.track not in tids:
+            tids[span.track] = len(tids) + 1
+    for inst in telemetry.instants:
+        if inst.track not in tids:
+            tids[inst.track] = len(tids) + 1
+    return tids
+
+
+def _json_args(args: dict) -> dict:
+    """Drop non-JSON-serialisable arg values instead of crashing."""
+    out = {}
+    for k, v in args.items():
+        if v is None or isinstance(v, (bool, int, float, str)):
+            out[k] = v
+        else:
+            out[k] = str(v)
+    return out
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """Render the telemetry as a Chrome ``trace_event`` document."""
+    events: list[dict] = []
+    tids = _track_ids(telemetry)
+    events.append(
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro virtual machine"},
+        }
+    )
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for span in telemetry.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": tids[span.track],
+                "ts": span.start / 1e3,
+                "dur": (span.end - span.start) / 1e3,
+                "cat": span.cat,
+                "name": span.name,
+                "args": _json_args(span.args),
+            }
+        )
+    for inst in telemetry.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": TRACE_PID,
+                "tid": tids[inst.track],
+                "ts": inst.time / 1e3,
+                "s": "t",
+                "cat": inst.cat,
+                "name": inst.name,
+                "args": _json_args(inst.args),
+            }
+        )
+    for series in telemetry.metrics.values():
+        counter_name = f"{series.track}.{series.name}"
+        for t, v in zip(series.times, series.values):
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": TRACE_PID,
+                    "ts": t / 1e3,
+                    "name": counter_name,
+                    "args": {series.name: v},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "virtual-ns",
+            "spans": len(telemetry.spans),
+            "instants": len(telemetry.instants),
+            "metric_series": len(telemetry.metrics),
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> dict:
+    """Write the JSON artifact to ``path``; returns the document."""
+    doc = chrome_trace(telemetry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, allow_nan=False)
+    return doc
+
+
+def timeseries_csv(telemetry: Telemetry) -> str:
+    """Every metric point as ``kind,track,name,t_ns,value`` rows."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["kind", "track", "name", "t_ns", "value"])
+    for series in telemetry.metrics.values():
+        for t, v in zip(series.times, series.values):
+            writer.writerow([series.kind, series.track, series.name, t, v])
+    return buf.getvalue()
+
+
+def summary_text(telemetry: Telemetry) -> str:
+    """Terminal-friendly digest of what the run recorded."""
+    out = ["== repro.obs summary =="]
+    by_cat: dict[str, int] = {}
+    busy: dict[str, int] = {}
+    for span in telemetry.spans:
+        by_cat[span.cat] = by_cat.get(span.cat, 0) + 1
+        key = f"{span.cat}:{span.name}@{span.track}"
+        busy[key] = busy.get(key, 0) + span.duration
+    for inst in telemetry.instants:
+        by_cat[inst.cat] = by_cat.get(inst.cat, 0) + 1
+    out.append(f"spans: {len(telemetry.spans)}  instants: {len(telemetry.instants)}")
+    for cat in sorted(by_cat):
+        out.append(f"  [{cat}] {by_cat[cat]} events")
+    if busy:
+        out.append("-- span time (virtual ms, top 12)")
+        top = sorted(busy.items(), key=lambda kv: -kv[1])[:12]
+        for key, total in top:
+            out.append(f"  {key:48s} {total / 1e6:12.3f}")
+    if telemetry.metrics:
+        out.append("-- metric series")
+        for (track, name), series in sorted(telemetry.metrics.items()):
+            s = series.summary()
+            stats = (
+                f"n={s['n']}"
+                if s["n"] == 0
+                else f"n={s['n']} min={s['min']:.4g} mean={s['mean']:.4g} "
+                f"max={s['max']:.4g} last={s['last']:.4g}"
+            )
+            out.append(f"  {series.kind:9s} {track}.{name:28s} {stats}")
+    return "\n".join(out)

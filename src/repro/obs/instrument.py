@@ -1,0 +1,91 @@
+"""Attach a :class:`~repro.obs.telemetry.Telemetry` hub to a running stack.
+
+Instrumented classes (``Kernel``, ``CbsScheduler``, ``TaskController``,
+``Supervisor``, ``QTracer``, ``SelfTuningRuntime``, ``SelfTuningDaemon``)
+all carry a class-level ``_obs = None``; their hook sites are no-ops until
+one of the functions here overwrites the default with an instance
+attribute pointing at a hub.  Detaching is the reverse: delete the
+instance attribute and the class default takes over again.
+
+All three entry points are additive and idempotent — instrumenting twice
+with the same hub is harmless; instrumenting with a new hub redirects the
+recording.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.daemon import SelfTuningDaemon
+    from repro.core.runtime import SelfTuningRuntime
+    from repro.sim.kernel import Kernel
+
+
+def instrument_kernel(
+    kernel: Kernel,
+    telemetry: Telemetry | None = None,
+    *,
+    config: TelemetryConfig | None = None,
+) -> Telemetry:
+    """Instrument a bare kernel + its scheduler + its installed tracers.
+
+    Covers the substrate layer: CPU slices per context switch, CBS server
+    lifecycles, and qtrace downloads.  Returns the hub (created on demand
+    when ``telemetry`` is None).
+    """
+    hub = telemetry if telemetry is not None else Telemetry(config)
+    hub.bind_kernel(kernel)
+    kernel._obs = hub
+    scheduler = kernel.scheduler
+    if hasattr(type(scheduler), "_obs"):
+        scheduler._obs = hub
+    for tracer in kernel.tracers:
+        if hasattr(type(tracer), "_obs"):
+            tracer._obs = hub
+    return hub
+
+
+def instrument_runtime(
+    runtime: SelfTuningRuntime,
+    telemetry: Telemetry | None = None,
+    *,
+    config: TelemetryConfig | None = None,
+) -> Telemetry:
+    """Instrument a :class:`~repro.core.runtime.SelfTuningRuntime`.
+
+    On top of :func:`instrument_kernel` this wires the supervisor, the
+    runtime's tracer, every already-adopted task's controller, and the
+    runtime itself — so controllers created by *future* ``adopt()`` calls
+    inherit the hub too.
+    """
+    hub = instrument_kernel(runtime.kernel, telemetry, config=config)
+    runtime._obs = hub
+    runtime.supervisor._obs = hub
+    runtime.tracer._obs = hub
+    seen = set()
+    for task in runtime.tasks.values():
+        if id(task.controller) not in seen:
+            seen.add(id(task.controller))
+            task.controller._obs = hub
+    return hub
+
+
+def instrument_daemon(
+    daemon: SelfTuningDaemon,
+    telemetry: Telemetry | None = None,
+    *,
+    config: TelemetryConfig | None = None,
+) -> Telemetry:
+    """Instrument a daemon and the runtime underneath it."""
+    hub = instrument_runtime(daemon.runtime, telemetry, config=config)
+    daemon._obs = hub
+    return hub
+
+
+def detach(obj: object) -> None:
+    """Remove instrumentation from one object (its class default returns)."""
+    if "_obs" in vars(obj):
+        del obj.__dict__["_obs"]

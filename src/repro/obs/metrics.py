@@ -1,0 +1,76 @@
+"""Metric timeseries in virtual time: counters, gauges, histograms.
+
+Every metric is a named series on a named track (the pair ``(track,
+name)`` identifies it), holding ``(t_ns, value)`` points.  The three kinds
+differ only in recording discipline and summary statistics:
+
+- **counter** — cumulative, expected monotone (ring-buffer drops, budget
+  exhaustions, consumed CPU);
+- **gauge** — a level sampled at interesting instants (remaining budget,
+  compression factor, ring occupancy, period estimate);
+- **histogram** — a value distribution; the points keep the raw
+  observations so quantiles can be computed exactly at export time.
+
+Virtual timestamps are integers (ns); values may be int or float.  The
+series is append-only and in recording order, which for a
+single-clock simulation is also time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: allowed values of :attr:`MetricSeries.kind`
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass
+class MetricSeries:
+    """One named timeseries of ``(t_ns, value)`` points."""
+
+    track: str
+    name: str
+    kind: str
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            raise ValueError(f"kind must be one of {METRIC_KINDS}, got {self.kind!r}")
+
+    def record(self, t: int, value: float) -> None:
+        """Append one point."""
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float | None:
+        """Most recent value (None when empty)."""
+        return self.values[-1] if self.values else None
+
+    def summary(self) -> dict:
+        """Count/min/mean/max (plus p50/p95 for histograms)."""
+        if not self.values:
+            return {"n": 0}
+        vals = self.values
+        out = {
+            "n": len(vals),
+            "min": min(vals),
+            "max": max(vals),
+            "mean": sum(vals) / len(vals),
+            "last": vals[-1],
+        }
+        if self.kind == "histogram":
+            out["p50"] = _quantile(vals, 0.50)
+            out["p95"] = _quantile(vals, 0.95)
+        return out
+
+
+def _quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile over a copy of ``values`` (no numpy needed)."""
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]

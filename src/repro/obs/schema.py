@@ -1,0 +1,121 @@
+"""Structural validation of Chrome ``trace_event`` documents.
+
+A dependency-free checker for the subset of the Trace Event format the
+exporter emits (and that Perfetto's legacy-JSON importer requires):
+``M`` metadata, ``X`` complete spans, ``i`` instants and ``C`` counters.
+Used by ``tests/obs/`` and by the CI trace-smoke step to prove the
+artifact ``repro-exp trace`` writes is loadable, without a browser in the
+loop.
+
+:func:`validate_chrome_trace` raises :class:`TraceSchemaError` listing
+every violation, and on success returns a stats dict used by the
+acceptance checks::
+
+    {"events": 812, "spans": 211, "instants": 40, "counters": 530,
+     "categories": {"server", "controller", ...},
+     "counter_tracks": {"ctl/mplayer.granted_bw", ...},
+     "tracks": {"cpu", "srv/srv-mplayer", ...}}
+"""
+
+from __future__ import annotations
+
+#: phases the exporter may emit
+KNOWN_PHASES = {"M", "X", "i", "C"}
+
+
+class TraceSchemaError(ValueError):
+    """The document violates the trace_event structure."""
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"{len(problems)} trace_event violations: {preview}{more}")
+
+
+def _check_event(ev: object, idx: int, problems: list[str]) -> dict | None:
+    where = f"traceEvents[{idx}]"
+    if not isinstance(ev, dict):
+        problems.append(f"{where}: not an object")
+        return None
+    ph = ev.get("ph")
+    if ph not in KNOWN_PHASES:
+        problems.append(f"{where}: unknown phase {ph!r}")
+        return None
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        problems.append(f"{where}: missing/empty name")
+    if not isinstance(ev.get("pid"), int):
+        problems.append(f"{where}: missing integer pid")
+    if ph in ("X", "i", "C"):
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+    if ph in ("X", "i") and not isinstance(ev.get("tid"), int):
+        problems.append(f"{where}: span/instant needs an integer tid")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+            problems.append(f"{where}: X event needs non-negative dur, got {dur!r}")
+    if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+        problems.append(f"{where}: instant scope must be t/p/g, got {ev.get('s')!r}")
+    if ph in ("M", "C") and not isinstance(ev.get("args"), dict):
+        problems.append(f"{where}: {ph} event needs an args object")
+    if ph == "C":
+        for k, v in (ev.get("args") or {}).items():
+            if not isinstance(v, (int, float)) or v != v:
+                problems.append(f"{where}: counter arg {k!r} must be finite number")
+    return ev
+
+
+def validate_chrome_trace(doc: object) -> dict:
+    """Validate ``doc``; raise :class:`TraceSchemaError` or return stats."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise TraceSchemaError(["document is not a JSON object"])
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceSchemaError(["traceEvents must be a non-empty list"])
+    stats = {
+        "events": len(events),
+        "spans": 0,
+        "instants": 0,
+        "counters": 0,
+        "categories": set(),
+        "counter_tracks": set(),
+        "tracks": set(),
+    }
+    thread_names: dict[int, str] = {}
+    for idx, raw in enumerate(events):
+        ev = _check_event(raw, idx, problems)
+        if ev is None:
+            continue
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            name = (ev.get("args") or {}).get("name")
+            if isinstance(name, str) and isinstance(ev.get("tid"), int):
+                thread_names[ev["tid"]] = name
+        elif ph == "X":
+            stats["spans"] += 1
+            if isinstance(ev.get("cat"), str):
+                stats["categories"].add(ev["cat"])
+        elif ph == "i":
+            stats["instants"] += 1
+            if isinstance(ev.get("cat"), str):
+                stats["categories"].add(ev["cat"])
+        elif ph == "C":
+            stats["counters"] += 1
+            stats["counter_tracks"].add(ev["name"])
+    for idx, raw in enumerate(events):
+        if isinstance(raw, dict) and raw.get("ph") in ("X", "i"):
+            tid = raw.get("tid")
+            if isinstance(tid, int):
+                track = thread_names.get(tid)
+                if track is None:
+                    problems.append(
+                        f"traceEvents[{idx}]: tid {tid} has no thread_name metadata"
+                    )
+                else:
+                    stats["tracks"].add(track)
+    if problems:
+        raise TraceSchemaError(problems)
+    return stats

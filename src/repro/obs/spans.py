@@ -1,0 +1,63 @@
+"""Span records: intervals and instants on named tracks of virtual time.
+
+A *span* is a closed interval ``[start, end]`` of virtual time on a named
+track, tagged with a category (``"server"``, ``"controller"``,
+``"tracer"``, ``"kernel"``, ``"daemon"``) and free-form ``args``.  An
+*instant* is a zero-duration marker.  Both map 1:1 onto the Chrome
+``trace_event`` phases ``"X"`` (complete) and ``"i"`` (instant), which is
+what :mod:`repro.obs.export` emits.
+
+Spans are plain immutable records; the mutable in-flight state lives in
+:class:`OpenSpan`, which :meth:`repro.obs.telemetry.Telemetry.begin`
+returns and :meth:`~repro.obs.telemetry.Telemetry.end` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished interval of virtual time on a track."""
+
+    cat: str
+    name: str
+    track: str
+    start: int
+    end: int
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Span length in virtual ns."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker on a track."""
+
+    cat: str
+    name: str
+    track: str
+    time: int
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class OpenSpan:
+    """An interval whose end has not been observed yet.
+
+    Handles are returned by :meth:`repro.obs.telemetry.Telemetry.begin`;
+    pass them back to :meth:`~repro.obs.telemetry.Telemetry.end`.  A handle
+    may be ended at most once (ending twice is ignored, so callers on
+    teardown paths need no bookkeeping).
+    """
+
+    cat: str
+    name: str
+    track: str
+    start: int
+    args: dict = field(default_factory=dict)
+    closed: bool = False

@@ -1,0 +1,333 @@
+"""The telemetry hub: spans + metric timeseries over one kernel's clock.
+
+A :class:`Telemetry` instance collects everything observable about a run —
+spans (:mod:`repro.obs.spans`) and metric timeseries
+(:mod:`repro.obs.metrics`) stamped in **virtual time** — and hands it to
+the exporters in :mod:`repro.obs.export`.
+
+Design constraints (see ``docs/observability.md``):
+
+- **read-only**: the hub never touches simulation state, posts no
+  calendar events and draws no random numbers, so a run is bit-identical
+  with telemetry attached or not (``tests/sim/test_golden_traces.py``
+  asserts this);
+- **dead cheap when absent**: instrumented classes carry a class-level
+  ``_obs = None`` attribute; every hook site is guarded by
+  ``if self._obs is not None`` — one attribute load and an identity test
+  on the disabled path, no call, no allocation.  Attaching is done by
+  :mod:`repro.obs.instrument`, which overwrites the class default with an
+  instance attribute.
+
+The hub offers a generic recording API (:meth:`span`, :meth:`begin` /
+:meth:`end`, :meth:`instant`, :meth:`counter`, :meth:`gauge`,
+:meth:`histogram`) plus the domain helpers the instrumentation sites call
+(:meth:`kernel_switch`, :meth:`server_exhausted`, :meth:`controller_epoch`
+…), which encode the repo's track/category naming in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import MetricSeries
+from repro.obs.spans import Instant, OpenSpan, Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.cbs import Server
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+
+@dataclass
+class TelemetryConfig:
+    """What the hub records.
+
+    Everything defaults on; the switches exist for runs where one signal
+    would dominate the artifact (per-switch CPU slices are by far the
+    densest stream).
+    """
+
+    #: record a CPU slice per context switch (the scheduler track)
+    record_switches: bool = True
+    #: record per-download ring-buffer occupancy / drop counters
+    record_tracer_counters: bool = True
+
+
+class Telemetry:
+    """Collects spans and metrics for one simulated machine."""
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.kernel: Optional[Kernel] = None
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        #: (track, name) -> series
+        self.metrics: dict[tuple[str, str], MetricSeries] = {}
+        #: open CPU slice of the scheduler track: (proc, start)
+        self._cpu_open: tuple[Process, int] | None = None
+        #: open throttle span per server id
+        self._throttle_open: dict[int, OpenSpan] = {}
+
+    def bind_kernel(self, kernel: Kernel) -> None:
+        """Associate the hub with ``kernel`` (source of default timestamps)."""
+        self.kernel = kernel
+
+    def now(self) -> int:
+        """Current virtual time (0 before a kernel is bound)."""
+        return self.kernel.clock if self.kernel is not None else 0
+
+    # ------------------------------------------------------------------
+    # generic span API
+    # ------------------------------------------------------------------
+    def span(self, cat: str, name: str, track: str, start: int, end: int, **args) -> Span:
+        """Record a finished interval ``[start, end]``."""
+        s = Span(cat, name, track, start, end, args)
+        self.spans.append(s)
+        return s
+
+    def begin(
+        self, cat: str, name: str, track: str, start: int | None = None, **args
+    ) -> OpenSpan:
+        """Open an interval; close it with :meth:`end`."""
+        return OpenSpan(cat, name, track, self.now() if start is None else start, args)
+
+    def end(self, handle: OpenSpan, end: int | None = None, **args) -> Span | None:
+        """Close an interval opened with :meth:`begin` (idempotent)."""
+        if handle.closed:
+            return None
+        handle.closed = True
+        merged = {**handle.args, **args}
+        return self.span(
+            handle.cat,
+            handle.name,
+            handle.track,
+            handle.start,
+            self.now() if end is None else end,
+            **merged,
+        )
+
+    def instant(self, cat: str, name: str, track: str, t: int | None = None, **args) -> None:
+        """Record a zero-duration marker."""
+        self.instants.append(Instant(cat, name, track, self.now() if t is None else t, args))
+
+    # ------------------------------------------------------------------
+    # generic metric API
+    # ------------------------------------------------------------------
+    def _series(self, track: str, name: str, kind: str) -> MetricSeries:
+        key = (track, name)
+        series = self.metrics.get(key)
+        if series is None:
+            series = self.metrics[key] = MetricSeries(track, name, kind)
+        return series
+
+    def counter(self, track: str, name: str, value: float, t: int | None = None) -> None:
+        """Record a cumulative counter sample."""
+        self._series(track, name, "counter").record(self.now() if t is None else t, value)
+
+    def gauge(self, track: str, name: str, value: float, t: int | None = None) -> None:
+        """Record a level sample."""
+        self._series(track, name, "gauge").record(self.now() if t is None else t, value)
+
+    def histogram(self, track: str, name: str, value: float, t: int | None = None) -> None:
+        """Record one observation of a distribution."""
+        self._series(track, name, "histogram").record(self.now() if t is None else t, value)
+
+    def series(self, track: str, name: str) -> MetricSeries | None:
+        """Look up a series (None if never recorded)."""
+        return self.metrics.get((track, name))
+
+    # ------------------------------------------------------------------
+    # kernel: the scheduler track (one CPU slice per context switch)
+    # ------------------------------------------------------------------
+    def kernel_switch(self, proc: Process, now: int) -> None:
+        """A context switch completed; ``proc`` occupies the CPU."""
+        if not self.config.record_switches:
+            return
+        open_ = self._cpu_open
+        if open_ is not None:
+            prev, start = open_
+            if now > start:
+                self.span("kernel", prev.name, "cpu", start, now, pid=prev.pid)
+        self._cpu_open = (proc, now)
+
+    def kernel_idle(self, now: int) -> None:
+        """The CPU went idle at ``now``; close the open slice."""
+        open_ = self._cpu_open
+        if open_ is not None:
+            prev, start = open_
+            if now > start:
+                self.span("kernel", prev.name, "cpu", start, now, pid=prev.pid)
+            self._cpu_open = None
+
+    def kernel_exit(self, proc: Process, now: int) -> None:
+        """``proc`` exited; close its slice and mark the event."""
+        open_ = self._cpu_open
+        if open_ is not None and open_[0] is proc:
+            self.kernel_idle(now)
+        self.instant("kernel", f"exit:{proc.name}", "cpu", now, pid=proc.pid)
+
+    # ------------------------------------------------------------------
+    # CBS servers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _srv_track(server: Server) -> str:
+        return f"srv/{server.name}"
+
+    def server_created(self, server: Server, now: int) -> None:
+        track = self._srv_track(server)
+        p = server.params
+        self.instant(
+            "server",
+            "create",
+            track,
+            now,
+            sid=server.sid,
+            budget_ns=p.budget,
+            period_ns=p.period,
+            policy=p.policy,
+        )
+        self.gauge(track, "bandwidth", p.bandwidth, now)
+
+    def server_destroyed(self, server: Server, now: int) -> None:
+        handle = self._throttle_open.pop(server.sid, None)
+        if handle is not None:
+            self.end(handle, now)
+        self.instant("server", "destroy", self._srv_track(server), now, sid=server.sid)
+
+    def server_params_changed(self, server: Server, now: int) -> None:
+        track = self._srv_track(server)
+        p = server.params
+        self.instant(
+            "server", "set-params", track, now, budget_ns=p.budget, period_ns=p.period
+        )
+        self.gauge(track, "bandwidth", p.bandwidth, now)
+
+    def server_exhausted(self, server: Server, now: int) -> None:
+        track = self._srv_track(server)
+        self.counter(track, "exhaustions", server.exhaustions, now)
+        self.gauge(track, "budget_left_ns", 0, now)
+        policy = server.params.policy
+        if policy == "soft":
+            self.instant("server", "recharge", track, now, postponed=True)
+            return
+        if policy == "background":
+            self.instant("server", "policy-drop", track, now, members=len(server.ready))
+        handle = self._throttle_open.get(server.sid)
+        if handle is None or handle.closed:
+            self._throttle_open[server.sid] = self.begin(
+                "server", "throttled", track, now, policy=policy
+            )
+
+    def server_replenished(self, server: Server, now: int) -> None:
+        track = self._srv_track(server)
+        handle = self._throttle_open.pop(server.sid, None)
+        if handle is not None:
+            self.end(handle, now)
+        self.instant("server", "recharge", track, now)
+        self.gauge(track, "budget_left_ns", server.q, now)
+
+    # ------------------------------------------------------------------
+    # controller epochs
+    # ------------------------------------------------------------------
+    def controller_epoch(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        *,
+        consumed: int,
+        exhaustions: int,
+        period_ns: int | None,
+        requested_bw: float,
+        granted_bw: float,
+    ) -> None:
+        """One sample→analyse→predict→actuate activation.
+
+        The span covers the sampling window the activation analysed
+        (``[previous activation, now]``); the counters track the actuated
+        trajectory.
+        """
+        track = f"ctl/{name}"
+        self.span(
+            "controller",
+            "epoch",
+            track,
+            max(start, 0),
+            end,
+            consumed_ns=consumed,
+            exhaustions=exhaustions,
+            period_est_ns=period_ns,
+            requested_bw=round(requested_bw, 6),
+            granted_bw=round(granted_bw, 6),
+        )
+        self.counter(track, "consumed_ns", consumed, end)
+        self.gauge(track, "granted_bw", granted_bw, end)
+        if period_ns is not None:
+            self.gauge(track, "period_est_ms", period_ns / 1e6, end)
+            self.gauge(track, "freq_est_hz", 1e9 / period_ns if period_ns else 0.0, end)
+        if requested_bw > 0:
+            self.histogram(track, "compression", granted_bw / requested_bw, end)
+
+    # ------------------------------------------------------------------
+    # supervisor
+    # ------------------------------------------------------------------
+    def supervisor_recompute(self, requested_bw: float, granted_bw: float) -> None:
+        now = self.now()
+        self.gauge("supervisor", "requested_bw", requested_bw, now)
+        self.gauge("supervisor", "granted_bw", granted_bw, now)
+        factor = granted_bw / requested_bw if requested_bw > 0 else 1.0
+        self.gauge("supervisor", "compression", min(factor, 1.0), now)
+
+    # ------------------------------------------------------------------
+    # tracer
+    # ------------------------------------------------------------------
+    def tracer_download(
+        self, start: int, end: int, *, batch: int, occupancy: int, dropped: int, cost_ns: int = 0
+    ) -> None:
+        """One buffer download (direct drain or agent ioctl)."""
+        self.span("tracer", "download", "qtrace", start, end, batch=batch, cost_ns=cost_ns)
+        if self.config.record_tracer_counters:
+            self.gauge("qtrace", "occupancy", occupancy, start)
+            self.gauge("qtrace", "occupancy", 0, end)
+            self.counter("qtrace", "dropped", dropped, end)
+            self.histogram("qtrace", "batch_size", batch, end)
+
+    # ------------------------------------------------------------------
+    # daemon
+    # ------------------------------------------------------------------
+    def daemon_probe_started(self, proc: Process, now: int) -> OpenSpan:
+        return self.begin("daemon", "probe", f"daemon/{proc.name}", now, pid=proc.pid)
+
+    def daemon_probe_ended(self, handle: OpenSpan, now: int, verdict: str) -> None:
+        self.end(handle, now, verdict=verdict)
+
+    def daemon_adopted(self, proc: Process, period_ns: int, now: int) -> None:
+        self.instant(
+            "daemon", "adopt", f"daemon/{proc.name}", now, pid=proc.pid, period_ns=period_ns
+        )
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by exporters and tests)
+    # ------------------------------------------------------------------
+    def close_open_spans(self, now: int | None = None) -> None:
+        """Close the scheduler slice and any open throttle spans.
+
+        Call once at end of run so the artifact has no dangling state;
+        safe to call repeatedly.
+        """
+        t = self.now() if now is None else now
+        self.kernel_idle(t)
+        for handle in list(self._throttle_open.values()):
+            self.end(handle, t)
+        self._throttle_open.clear()
+
+    def span_categories(self) -> set[str]:
+        """Distinct categories across spans and instants."""
+        cats = {s.cat for s in self.spans}
+        cats.update(i.cat for i in self.instants)
+        return cats
+
+    def counter_tracks(self) -> set[tuple[str, str]]:
+        """Distinct (track, name) metric series recorded."""
+        return set(self.metrics)

@@ -135,6 +135,12 @@ class Server:
 class CbsScheduler(Scheduler):
     """EDF dispatcher over CBS servers, with a background RR class."""
 
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path.  Hook
+    #: sites are read-only and sit off the per-quantum ``charge`` path —
+    #: only server lifecycle edges (create/destroy/exhaust/replenish/
+    #: set-params) are reported.
+    _obs = None
+
     def __init__(self, *, background_slice: int = 20 * MS, intra_server_slice: int = 4 * MS) -> None:
         super().__init__()
         if background_slice <= 0 or intra_server_slice <= 0:
@@ -150,11 +156,17 @@ class CbsScheduler(Scheduler):
     # ------------------------------------------------------------------
     # server management (the qres-like API)
     # ------------------------------------------------------------------
+    def _now(self) -> int:
+        """Current virtual time (0 before binding; telemetry-only)."""
+        return self.kernel.clock if self.kernel is not None else 0
+
     def create_server(self, params: ServerParams, name: str = "") -> Server:
         """Create a reservation; returns the server handle."""
         server = Server(self._next_sid, params, name)
         self._next_sid += 1
         self.servers[server.sid] = server
+        if self._obs is not None:
+            self._obs.server_created(server, self._now())
         return server
 
     def destroy_server(self, server: Server) -> None:
@@ -164,6 +176,8 @@ class CbsScheduler(Scheduler):
             if proc is not None:
                 self.detach(proc)
         self.servers.pop(server.sid, None)
+        if self._obs is not None:
+            self._obs.server_destroyed(server, self._now())
 
     def _find_proc(self, server: Server, pid: int) -> Process | None:
         for p in server.ready:
@@ -214,6 +228,8 @@ class CbsScheduler(Scheduler):
         server.params = params
         if not server.throttled:
             server.q = min(server.q, params.budget)
+        if self._obs is not None:
+            self._obs.server_params_changed(server, self._now())
 
     def total_bandwidth(self) -> float:
         """Sum of reserved fractions over all servers."""
@@ -238,6 +254,8 @@ class CbsScheduler(Scheduler):
 
     def _on_exhaustion(self, server: Server, now: int) -> None:
         server.exhaustions += 1
+        if self._obs is not None:
+            self._obs.server_exhausted(server, now)
         Q, T = server.params.budget, server.params.period
         if server.params.policy == "soft":
             # soft CBS: postpone the deadline, recharge, keep running
@@ -273,6 +291,8 @@ class CbsScheduler(Scheduler):
             for p in server.ready:
                 if p in self._bg:
                     self._bg.remove(p)
+        if self._obs is not None:
+            self._obs.server_replenished(server, now)
 
     # ------------------------------------------------------------------
     # Scheduler protocol

@@ -97,6 +97,13 @@ class _Timer:
 class Kernel:
     """The simulated machine (one CPU)."""
 
+    #: telemetry hub (:mod:`repro.obs`); the class-level None is the
+    #: disabled fast path — hook sites pay one attribute load + identity
+    #: test.  :func:`repro.obs.instrument.instrument_kernel` overwrites it
+    #: with an instance attribute.  Hooks are strictly read-only: they
+    #: must never perturb simulation state, the calendar, or RNG streams.
+    _obs = None
+
     def __init__(self, scheduler: Scheduler, config: KernelConfig | None = None) -> None:
         self.config = config or KernelConfig()
         self.clock = 0
@@ -162,6 +169,8 @@ class Kernel:
             self._current = None
 
     def _exit(self, proc: Process, now: int) -> None:
+        if self._obs is not None:
+            self._obs.kernel_exit(proc, now)
         proc.state = ProcState.EXITED
         proc.exit_time = now
         proc.segment = None
@@ -420,6 +429,7 @@ class Kernel:
         charge = scheduler.charge
         time_until = scheduler.time_until_internal_event
         stats = self.stats
+        obs = self._obs
         cs_cost = self.config.context_switch_cost
         charge_switch = self.config.charge_switch_to_budget
         running = ProcState.RUNNING
@@ -436,6 +446,8 @@ class Kernel:
                 ev = pop_due(clock)
             proc = pick(clock)
             if proc is None:
+                if obs is not None:
+                    obs.kernel_idle(clock)
                 nxt = peek_time()
                 if nxt is None:
                     # nothing will ever happen again
@@ -461,6 +473,8 @@ class Kernel:
                 self._current = proc
                 if self.switch_hook is not None:
                     self.switch_hook(proc, clock)
+                if obs is not None:
+                    obs.kernel_switch(proc, clock)
                 if clock >= until:
                     return
             proc.state = running

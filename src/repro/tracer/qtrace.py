@@ -58,6 +58,11 @@ class QTraceConfig:
 class QTracer:
     """Selective kernel syscall tracer with batch download."""
 
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path.  One
+    #: span per download (drain or agent ioctl) with buffer-occupancy and
+    #: drop counters; strictly read-only — tracing costs are unchanged.
+    _obs = None
+
     def __init__(self, config: QTraceConfig | None = None) -> None:
         self.config = config or QTraceConfig()
         self.buffer = RingBuffer(self.config.buffer_capacity)
@@ -120,9 +125,19 @@ class QTracer:
         Use :meth:`spawn_download_agent` when the download cost itself is
         part of the experiment.
         """
+        obs = self._obs
+        occupancy = len(self.buffer) if obs is not None else 0
         batch = self.buffer.drain()
         for sink in self._sinks:
             sink(batch, now)
+        if obs is not None:
+            obs.tracer_download(
+                now,
+                now,
+                batch=len(batch),
+                occupancy=occupancy,
+                dropped=self.buffer.dropped,
+            )
         return batch
 
     def download_cost(self, batch_size: int) -> int:
@@ -145,10 +160,22 @@ class QTracer:
             while True:
                 cycle += 1
                 now = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(cycle * period))
+                started = now
+                occupancy = len(tracer.buffer)
                 batch = tracer.buffer.drain()
                 cost = tracer.download_cost(len(batch))
                 now = yield Syscall(SyscallNr.IOCTL, cost=cost)
                 for sink in tracer._sinks:
                     sink(batch, now)
+                obs = tracer._obs
+                if obs is not None:
+                    obs.tracer_download(
+                        started,
+                        now,
+                        batch=len(batch),
+                        occupancy=occupancy,
+                        dropped=tracer.buffer.dropped,
+                        cost_ns=cost,
+                    )
 
         return kernel.spawn(name, agent())

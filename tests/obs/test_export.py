@@ -1,0 +1,129 @@
+"""Tests for the exporters and the trace_event schema checker."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    TraceSchemaError,
+    chrome_trace,
+    summary_text,
+    timeseries_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.export import TRACE_PID
+
+
+def populated():
+    t = Telemetry()
+    t.span("server", "throttled", "srv/a", 1000, 3000, policy="hard")
+    t.span("controller", "epoch", "ctl/mp", 0, 2500, consumed_ns=77)
+    t.instant("server", "recharge", "srv/a", 3000)
+    t.counter("srv/a", "exhaustions", 1, 1000)
+    t.counter("srv/a", "exhaustions", 2, 3000)
+    t.gauge("ctl/mp", "granted_bw", 0.25, 2500)
+    return t
+
+
+class TestChromeTrace:
+    def test_metadata_names_process_and_threads(self):
+        doc = chrome_trace(populated())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "repro virtual machine"
+        threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert threads == {"srv/a", "ctl/mp"}
+
+    def test_spans_become_X_events_in_microseconds(self):
+        doc = chrome_trace(populated())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        throttled = next(e for e in xs if e["name"] == "throttled")
+        assert throttled["ts"] == pytest.approx(1.0)  # 1000 ns -> 1 us
+        assert throttled["dur"] == pytest.approx(2.0)
+        assert throttled["cat"] == "server"
+        assert throttled["pid"] == TRACE_PID
+
+    def test_counters_are_namespaced_by_track(self):
+        doc = chrome_trace(populated())
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in cs}
+        assert names == {"srv/a.exhaustions", "ctl/mp.granted_bw"}
+
+    def test_non_json_args_are_stringified(self):
+        t = Telemetry()
+        t.span("kernel", "p", "cpu", 0, 10, obj=object())
+        doc = chrome_trace(t)
+        x = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert isinstance(x["args"]["obj"], str)
+        json.dumps(doc, allow_nan=False)  # must not raise
+
+    def test_document_validates(self):
+        stats = validate_chrome_trace(chrome_trace(populated()))
+        assert stats["spans"] == 2
+        assert stats["instants"] == 1
+        assert stats["counters"] == 3
+        assert stats["categories"] == {"server", "controller"}
+        assert stats["tracks"] == {"srv/a", "ctl/mp"}
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "t.perfetto.json"
+        write_chrome_trace(populated(), str(path))
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc)["events"] == len(doc["traceEvents"])
+        assert doc["otherData"]["generator"] == "repro.obs"
+
+
+class TestCsvAndSummary:
+    def test_csv_has_one_row_per_point(self):
+        text = timeseries_csv(populated())
+        lines = text.strip().splitlines()
+        assert lines[0] == "kind,track,name,t_ns,value"
+        assert len(lines) == 1 + 3
+        assert "counter,srv/a,exhaustions,1000,1" in lines
+
+    def test_summary_mentions_categories_and_series(self):
+        text = summary_text(populated())
+        assert "[server]" in text and "[controller]" in text
+        assert "srv/a.exhaustions" in text
+
+    def test_summary_on_empty_hub(self):
+        assert "spans: 0" in summary_text(Telemetry())
+
+
+class TestSchemaRejections:
+    def test_not_an_object(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace([])
+
+    def test_empty_events(self):
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_unknown_phase(self):
+        doc = chrome_trace(populated())
+        doc["traceEvents"][0] = {"ph": "Z", "name": "x", "pid": 1}
+        with pytest.raises(TraceSchemaError) as err:
+            validate_chrome_trace(doc)
+        assert any("unknown phase" in p for p in err.value.problems)
+
+    def test_negative_duration(self):
+        doc = chrome_trace(populated())
+        next(e for e in doc["traceEvents"] if e["ph"] == "X")["dur"] = -1
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(doc)
+
+    def test_orphan_tid(self):
+        doc = chrome_trace(populated())
+        next(e for e in doc["traceEvents"] if e["ph"] == "X")["tid"] = 999
+        with pytest.raises(TraceSchemaError) as err:
+            validate_chrome_trace(doc)
+        assert any("thread_name" in p for p in err.value.problems)
+
+    def test_non_finite_counter(self):
+        doc = chrome_trace(populated())
+        next(e for e in doc["traceEvents"] if e["ph"] == "C")["args"] = {"v": float("nan")}
+        with pytest.raises(TraceSchemaError):
+            validate_chrome_trace(doc)

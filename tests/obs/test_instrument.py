@@ -1,0 +1,136 @@
+"""Tests for attaching/detaching telemetry to live stacks."""
+
+from repro.core import SelfTuningRuntime
+from repro.core.controller import TaskControllerConfig
+from repro.obs import Telemetry, detach, instrument_kernel, instrument_runtime
+from repro.sched import CbsScheduler, ServerParams
+from repro.sim import Compute, Kernel, MS, SEC, Syscall, SyscallNr
+
+
+def periodic(n, period=40 * MS, work=5 * MS):
+    from repro.sim.instructions import SleepUntil
+
+    def prog():
+        for i in range(1, n + 1):
+            yield Compute(work)
+            yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(i * period))
+
+    return prog()
+
+
+class TestDisabledFastPath:
+    def test_classes_default_to_no_hub(self):
+        from repro.core.controller import TaskController
+        from repro.core.daemon import SelfTuningDaemon
+        from repro.core.supervisor import Supervisor
+        from repro.tracer.qtrace import QTracer
+
+        for cls in (
+            Kernel,
+            CbsScheduler,
+            TaskController,
+            Supervisor,
+            QTracer,
+            SelfTuningRuntime,
+            SelfTuningDaemon,
+        ):
+            assert cls._obs is None
+
+    def test_uninstrumented_run_records_nothing(self):
+        scheduler = CbsScheduler()
+        kernel = Kernel(scheduler)
+        kernel.spawn("p", periodic(5))
+        kernel.run(SEC)
+        assert kernel._obs is None and scheduler._obs is None
+
+
+class TestInstrumentKernel:
+    def test_covers_kernel_scheduler_and_tracers(self):
+        from repro.tracer.qtrace import QTracer
+
+        scheduler = CbsScheduler()
+        kernel = Kernel(scheduler)
+        tracer = QTracer()
+        kernel.add_tracer(tracer)
+        hub = instrument_kernel(kernel)
+        assert kernel._obs is hub is scheduler._obs is tracer._obs
+        assert hub.kernel is kernel
+
+    def test_records_cpu_slices_and_server_lifecycle(self):
+        scheduler = CbsScheduler()
+        kernel = Kernel(scheduler)
+        hub = instrument_kernel(kernel)
+        proc = kernel.spawn("p", periodic(10))
+        server = scheduler.create_server(
+            ServerParams(budget=2 * MS, period=40 * MS), name="res"
+        )
+        scheduler.attach(proc, server)
+        kernel.run(SEC)
+        hub.close_open_spans()
+        cats = hub.span_categories()
+        assert "kernel" in cats and "server" in cats
+        assert any(s.track == "cpu" and s.name == "p" for s in hub.spans)
+        assert hub.series("srv/res", "exhaustions") is not None
+
+    def test_existing_hub_is_reused(self):
+        kernel = Kernel(CbsScheduler())
+        mine = Telemetry()
+        assert instrument_kernel(kernel, mine) is mine
+
+    def test_detach_restores_class_default(self):
+        scheduler = CbsScheduler()
+        kernel = Kernel(scheduler)
+        instrument_kernel(kernel)
+        detach(kernel)
+        detach(scheduler)
+        assert kernel._obs is None and scheduler._obs is None
+        detach(kernel)  # idempotent
+
+
+class TestInstrumentRuntime:
+    def test_future_adoptions_inherit_the_hub(self):
+        rt = SelfTuningRuntime()
+        hub = instrument_runtime(rt)
+        proc = rt.spawn("mp", periodic(30))
+        task = rt.adopt(
+            proc,
+            controller_config=TaskControllerConfig(
+                sampling_period=100 * MS, use_period_estimate=False
+            ),
+        )
+        assert task.controller._obs is hub
+        rt.run(SEC)
+        hub.close_open_spans()
+        assert "controller" in hub.span_categories()
+        assert hub.series("supervisor", "granted_bw") is not None
+        assert hub.series("ctl/mp", "consumed_ns") is not None
+
+    def test_already_adopted_controllers_are_wired(self):
+        rt = SelfTuningRuntime()
+        proc = rt.spawn("mp", periodic(30))
+        task = rt.adopt(
+            proc,
+            controller_config=TaskControllerConfig(
+                sampling_period=100 * MS, use_period_estimate=False
+            ),
+        )
+        hub = instrument_runtime(rt)
+        assert task.controller._obs is hub
+
+    def test_telemetry_does_not_change_the_run(self):
+        def run(instrumented):
+            rt = SelfTuningRuntime()
+            proc = rt.spawn("mp", periodic(30))
+            if instrumented:
+                instrument_runtime(rt)
+            rt.adopt(
+                proc,
+                controller_config=TaskControllerConfig(
+                    sampling_period=100 * MS, use_period_estimate=False
+                ),
+            )
+            rt.run(2 * SEC)
+            return (proc.cpu_time, proc.syscall_count, rt.kernel.clock,
+                    rt.kernel.stats.context_switches)
+
+        assert run(False) == run(True)

@@ -1,0 +1,71 @@
+"""End-to-end tests of the traceable scenarios (the acceptance check)."""
+
+import pytest
+
+from repro.obs import chrome_trace, validate_chrome_trace
+from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
+
+
+class TestFig13Scenario:
+    """`repro-exp trace fig13` is the acceptance scenario: the Figure 13
+    mplayer playback must emit server, controller and tracer spans and at
+    least four counter tracks, all loadable as a Chrome trace."""
+
+    @pytest.fixture(scope="class")
+    def telemetry(self):
+        return run_trace_scenario("fig13", {"n_frames": 60})
+
+    def test_required_span_categories(self, telemetry):
+        assert {"server", "controller", "tracer"} <= telemetry.span_categories()
+
+    def test_at_least_four_counter_tracks(self, telemetry):
+        assert len(telemetry.counter_tracks()) >= 4
+
+    def test_chrome_trace_validates(self, telemetry):
+        stats = validate_chrome_trace(chrome_trace(telemetry))
+        assert {"server", "controller", "tracer"} <= stats["categories"]
+        assert len(stats["counter_tracks"]) >= 4
+        assert "cpu" in stats["tracks"]
+
+    def test_no_dangling_open_state(self, telemetry):
+        assert telemetry._cpu_open is None
+        assert telemetry._throttle_open == {}
+
+    def test_controller_epochs_tile_the_run(self, telemetry):
+        epochs = sorted(
+            (s for s in telemetry.spans if s.cat == "controller"),
+            key=lambda s: s.start,
+        )
+        assert len(epochs) >= 10
+        for a, b in zip(epochs, epochs[1:]):
+            assert b.start == a.end  # consecutive sampling windows
+
+
+class TestOtherScenarios:
+    def test_lfs_variant_runs(self):
+        t = run_trace_scenario("fig13-lfs", {"n_frames": 40})
+        assert {"server", "controller"} <= t.span_categories()
+
+    def test_daemon_scenario_has_probe_spans(self):
+        t = run_trace_scenario("daemon", {"duration_s": 8.0, "n_frames": 150})
+        assert "daemon" in t.span_categories()
+        probes = [s for s in t.spans if s.cat == "daemon" and s.name == "probe"]
+        assert probes
+        assert {s.args["verdict"] for s in probes} & {"periodic", "aperiodic"}
+        # the mplayer-alike was adopted, so an adopt instant exists
+        assert any(i.name == "adopt" for i in t.instants if i.cat == "daemon")
+
+    def test_qtrace_agent_scenario_records_downloads(self):
+        t = run_trace_scenario("qtrace-agent")
+        downloads = [s for s in t.spans if s.cat == "tracer"]
+        assert downloads
+        # agent downloads carry a nonzero ioctl cost and a real duration
+        assert any(s.args.get("cost_ns", 0) > 0 for s in downloads)
+        assert t.series("qtrace", "occupancy") is not None
+
+    def test_registry_is_consistent(self):
+        assert set(TRACE_SCENARIOS) == {"fig13", "fig13-lfs", "daemon", "qtrace-agent"}
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_trace_scenario("nope")

@@ -1,0 +1,245 @@
+"""Tests for the telemetry hub (spans, metrics, domain helpers)."""
+
+import pytest
+
+from repro.obs import MetricSeries, OpenSpan, Span, Telemetry, TelemetryConfig
+from repro.sched.cbs import ServerParams, Server
+from repro.sim import Compute, Kernel, MS
+from repro.sched import RoundRobinScheduler
+
+
+class FakeProc:
+    def __init__(self, pid, name):
+        self.pid = pid
+        self.name = name
+
+
+def server(sid=1, name="s", policy="hard"):
+    return Server(sid, ServerParams(budget=10 * MS, period=100 * MS, policy=policy), name)
+
+
+class TestGenericSpans:
+    def test_span_records_interval(self):
+        t = Telemetry()
+        s = t.span("cat", "work", "trk", 10, 30, key="v")
+        assert s == Span("cat", "work", "trk", 10, 30, {"key": "v"})
+        assert s.duration == 20
+        assert t.spans == [s]
+
+    def test_begin_end_roundtrip(self):
+        t = Telemetry()
+        h = t.begin("cat", "op", "trk", 5)
+        assert isinstance(h, OpenSpan) and not h.closed
+        s = t.end(h, 25, result="ok")
+        assert s is not None and s.start == 5 and s.end == 25
+        assert s.args == {"result": "ok"}
+
+    def test_end_is_idempotent(self):
+        t = Telemetry()
+        h = t.begin("cat", "op", "trk", 5)
+        assert t.end(h, 10) is not None
+        assert t.end(h, 99) is None
+        assert len(t.spans) == 1
+
+    def test_instant(self):
+        t = Telemetry()
+        t.instant("cat", "mark", "trk", 7, n=1)
+        assert len(t.instants) == 1
+        assert t.instants[0].time == 7
+
+    def test_default_timestamps_use_bound_kernel(self):
+        t = Telemetry()
+        assert t.now() == 0
+        kernel = Kernel(RoundRobinScheduler())
+
+        def prog():
+            yield Compute(10 * MS)
+
+        kernel.spawn("p", prog())
+        kernel.run(50 * MS)
+        t.bind_kernel(kernel)
+        assert t.now() == kernel.clock
+        h = t.begin("c", "n", "trk")
+        assert h.start == kernel.clock
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_kinds(self):
+        t = Telemetry()
+        t.counter("trk", "c", 1, 10)
+        t.gauge("trk", "g", 0.5, 10)
+        t.histogram("trk", "h", 3.0, 10)
+        assert {s.kind for s in t.metrics.values()} == {"counter", "gauge", "histogram"}
+
+    def test_series_accumulates_in_order(self):
+        t = Telemetry()
+        for i in range(5):
+            t.counter("trk", "c", i, i * 10)
+        series = t.series("trk", "c")
+        assert isinstance(series, MetricSeries)
+        assert series.times == [0, 10, 20, 30, 40]
+        assert series.last == 4
+
+    def test_series_lookup_miss(self):
+        assert Telemetry().series("no", "pe") is None
+
+    def test_counter_tracks(self):
+        t = Telemetry()
+        t.counter("a", "x", 1, 0)
+        t.gauge("b", "y", 1, 0)
+        assert t.counter_tracks() == {("a", "x"), ("b", "y")}
+
+
+class TestKernelTrack:
+    def test_switch_closes_previous_slice(self):
+        t = Telemetry()
+        a, b = FakeProc(1, "a"), FakeProc(2, "b")
+        t.kernel_switch(a, 0)
+        t.kernel_switch(b, 10)
+        t.kernel_idle(25)
+        names = [(s.name, s.start, s.end) for s in t.spans]
+        assert names == [("a", 0, 10), ("b", 10, 25)]
+        assert all(s.track == "cpu" and s.cat == "kernel" for s in t.spans)
+
+    def test_zero_length_slices_are_suppressed(self):
+        t = Telemetry()
+        a, b = FakeProc(1, "a"), FakeProc(2, "b")
+        t.kernel_switch(a, 10)
+        t.kernel_switch(b, 10)
+        t.kernel_idle(20)
+        assert [(s.name, s.start, s.end) for s in t.spans] == [("b", 10, 20)]
+
+    def test_exit_marks_instant_and_closes_own_slice(self):
+        t = Telemetry()
+        a = FakeProc(1, "a")
+        t.kernel_switch(a, 0)
+        t.kernel_exit(a, 30)
+        assert len(t.spans) == 1 and t.spans[0].end == 30
+        assert t.instants[0].name == "exit:a"
+
+    def test_switches_can_be_disabled(self):
+        t = Telemetry(TelemetryConfig(record_switches=False))
+        t.kernel_switch(FakeProc(1, "a"), 0)
+        t.kernel_idle(10)
+        assert t.spans == []
+
+
+class TestServerHelpers:
+    def test_lifecycle_instants(self):
+        t = Telemetry()
+        s = server()
+        t.server_created(s, 0)
+        t.server_params_changed(s, 10)
+        t.server_destroyed(s, 20)
+        assert [i.name for i in t.instants] == ["create", "set-params", "destroy"]
+        assert all(i.track == "srv/s" for i in t.instants)
+        bw = t.series("srv/s", "bandwidth")
+        assert bw is not None and len(bw.values) == 2
+
+    def test_hard_exhaustion_opens_throttle_span(self):
+        t = Telemetry()
+        s = server()
+        s.exhaustions = 1
+        t.server_exhausted(s, 10)
+        t.server_replenished(s, 40)
+        throttled = [sp for sp in t.spans if sp.name == "throttled"]
+        assert len(throttled) == 1
+        assert (throttled[0].start, throttled[0].end) == (10, 40)
+
+    def test_soft_exhaustion_has_no_throttle_span(self):
+        t = Telemetry()
+        s = server(policy="soft")
+        t.server_exhausted(s, 10)
+        t.server_replenished(s, 40)
+        assert [sp for sp in t.spans if sp.name == "throttled"] == []
+
+    def test_background_exhaustion_marks_policy_drop(self):
+        t = Telemetry()
+        s = server(policy="background")
+        t.server_exhausted(s, 10)
+        assert any(i.name == "policy-drop" for i in t.instants)
+
+    def test_destroy_closes_open_throttle(self):
+        t = Telemetry()
+        s = server()
+        t.server_exhausted(s, 10)
+        t.server_destroyed(s, 30)
+        throttled = [sp for sp in t.spans if sp.name == "throttled"]
+        assert len(throttled) == 1 and throttled[0].end == 30
+
+
+class TestControllerAndSupervisor:
+    def test_controller_epoch_span_and_counters(self):
+        t = Telemetry()
+        t.controller_epoch(
+            "mp", 100, 200, consumed=5, exhaustions=2, period_ns=40 * MS,
+            requested_bw=0.5, granted_bw=0.25,
+        )
+        (s,) = t.spans
+        assert (s.cat, s.name, s.track) == ("controller", "epoch", "ctl/mp")
+        assert t.series("ctl/mp", "consumed_ns").last == 5
+        assert t.series("ctl/mp", "period_est_ms").last == pytest.approx(40.0)
+        assert t.series("ctl/mp", "compression").last == pytest.approx(0.5)
+
+    def test_controller_epoch_without_estimate(self):
+        t = Telemetry()
+        t.controller_epoch(
+            "mp", 0, 100, consumed=1, exhaustions=0, period_ns=None,
+            requested_bw=0.0, granted_bw=0.0,
+        )
+        assert t.series("ctl/mp", "period_est_ms") is None
+        assert t.series("ctl/mp", "compression") is None
+
+    def test_supervisor_gauges(self):
+        t = Telemetry()
+        t.supervisor_recompute(1.2, 0.95)
+        assert t.series("supervisor", "compression").last == pytest.approx(0.95 / 1.2)
+        t.supervisor_recompute(0.0, 0.0)
+        assert t.series("supervisor", "compression").last == 1.0
+
+
+class TestTracerAndDaemonHelpers:
+    def test_tracer_download(self):
+        t = Telemetry()
+        t.tracer_download(10, 20, batch=7, occupancy=9, dropped=1, cost_ns=800)
+        (s,) = t.spans
+        assert (s.cat, s.track) == ("tracer", "qtrace")
+        assert t.series("qtrace", "occupancy").values == [9, 0]
+        assert t.series("qtrace", "dropped").last == 1
+
+    def test_tracer_counters_can_be_disabled(self):
+        t = Telemetry(TelemetryConfig(record_tracer_counters=False))
+        t.tracer_download(10, 20, batch=7, occupancy=9, dropped=1)
+        assert len(t.spans) == 1
+        assert t.metrics == {}
+
+    def test_daemon_probe_roundtrip(self):
+        t = Telemetry()
+        p = FakeProc(3, "mp")
+        h = t.daemon_probe_started(p, 100)
+        t.daemon_probe_ended(h, 400, "periodic")
+        t.daemon_adopted(p, 40 * MS, 400)
+        (s,) = t.spans
+        assert s.args["verdict"] == "periodic"
+        assert s.track == "daemon/mp"
+        assert t.instants[0].name == "adopt"
+
+
+class TestCloseOpenSpans:
+    def test_closes_cpu_and_throttles(self):
+        t = Telemetry()
+        t.kernel_switch(FakeProc(1, "a"), 0)
+        s = server()
+        t.server_exhausted(s, 5)
+        t.close_open_spans(50)
+        assert {sp.name for sp in t.spans} == {"a", "throttled"}
+        assert all(sp.end == 50 for sp in t.spans)
+        # idempotent
+        t.close_open_spans(60)
+        assert len(t.spans) == 2
+
+    def test_span_categories(self):
+        t = Telemetry()
+        t.span("x", "n", "trk", 0, 1)
+        t.instant("y", "m", "trk", 2)
+        assert t.span_categories() == {"x", "y"}

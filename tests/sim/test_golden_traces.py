@@ -32,3 +32,14 @@ def test_golden_digest_unchanged(scenario):
 
 def test_digest_is_deterministic():
     assert golden_digest("rr") == golden_digest("rr")
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN_DIGESTS))
+def test_golden_digest_unchanged_under_telemetry(scenario):
+    """The repro.obs layer is read-only: attaching a hub must not move a
+    single context switch (the observability bit-identity contract)."""
+    assert golden_digest(scenario, telemetry=True) == GOLDEN_DIGESTS[scenario], (
+        f"attaching telemetry changed the simulation results of {scenario!r}: "
+        "an instrumentation hook is mutating simulator state (it must be "
+        "strictly read-only — see docs/observability.md)"
+    )

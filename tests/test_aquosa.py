@@ -58,6 +58,87 @@ class TestLifecycle:
             qres.qres_detach_thread(sid, proc)
 
 
+class TestErrorPaths:
+    """The C API's error codes all surface as QresError, consistently."""
+
+    def test_destroy_unknown_sid(self):
+        qres, _, _ = make()
+        with pytest.raises(QresError):
+            qres.qres_destroy_server(99)
+
+    def test_destroy_twice(self):
+        qres, _, _ = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        qres.qres_destroy_server(sid)
+        with pytest.raises(QresError):
+            qres.qres_destroy_server(sid)
+
+    def test_double_attach_same_server(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid, proc)
+        with pytest.raises(QresError):
+            qres.qres_attach_thread(sid, proc)
+
+    def test_double_attach_other_server(self):
+        qres, sched, kernel = make()
+        sid_a = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        sid_b = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid_a, proc)
+        with pytest.raises(QresError):
+            qres.qres_attach_thread(sid_b, proc)
+        # membership is unchanged by the failed call
+        assert sched.server_of(proc).sid == sid_a
+
+    def test_reattach_after_detach(self):
+        qres, sched, kernel = make()
+        sid_a = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        sid_b = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        proc = kernel.spawn("p", hog())
+        qres.qres_attach_thread(sid_a, proc)
+        qres.qres_detach_thread(sid_a, proc)
+        qres.qres_attach_thread(sid_b, proc)
+        assert sched.server_of(proc).sid == sid_b
+
+    def test_attach_to_destroyed_server(self):
+        qres, sched, kernel = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        qres.qres_destroy_server(sid)
+        proc = kernel.spawn("p", hog())
+        with pytest.raises(QresError):
+            qres.qres_attach_thread(sid, proc)
+
+    def test_set_params_on_destroyed_server(self):
+        qres, _, _ = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        qres.qres_destroy_server(sid)
+        with pytest.raises(QresError):
+            qres.qres_set_params(sid, budget_us=20_000, period_us=100_000)
+
+    def test_set_params_invalid_on_live_server(self):
+        qres, _, _ = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        with pytest.raises(QresError):
+            qres.qres_set_params(sid, budget_us=200_000, period_us=100_000)
+        # the reservation is untouched by the rejected call
+        assert qres.qres_get_params(sid) == (10_000, 100_000)
+
+    def test_sensors_on_destroyed_server(self):
+        qres, _, _ = make()
+        sid = qres.qres_create_server(budget_us=10_000, period_us=100_000)
+        qres.qres_destroy_server(sid)
+        for sensor in (
+            qres.qres_get_exec_time,
+            qres.qres_get_curr_budget,
+            qres.qres_get_deadline,
+            qres.qres_get_exhaustions,
+        ):
+            with pytest.raises(QresError):
+                sensor(sid)
+
+
 class TestSensors:
     def test_exec_time_in_microseconds(self):
         qres, sched, kernel = make()

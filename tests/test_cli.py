@@ -142,3 +142,31 @@ class TestBenchMicro:
         assert main(["bench", "--micro", "detector", "--output", str(out_path)]) == 0
         payload = json.loads(out_path.read_text())
         assert payload["micro"][0]["unit"] == "pairs/s"
+
+
+class TestTrace:
+    def test_trace_writes_valid_artifact(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "fig13.perfetto.json"
+        assert main(["trace", "fig13", "n_frames=40", "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        stats = validate_chrome_trace(doc)
+        assert {"server", "controller", "tracer"} <= stats["categories"]
+        assert len(stats["counter_tracks"]) >= 4
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+
+    def test_trace_csv_and_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "t.perfetto.json"
+        csv_path = tmp_path / "t.csv"
+        assert main(
+            ["trace", "qtrace-agent", "-o", str(out_path), "--csv", str(csv_path), "--summary"]
+        ) == 0
+        assert csv_path.read_text().startswith("kind,track,name,t_ns,value")
+        out = capsys.readouterr().out
+        assert "repro.obs summary" in out
+
+    def test_trace_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nosuch"])

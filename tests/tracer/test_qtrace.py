@@ -132,3 +132,77 @@ class TestDownload:
         tracer = QTracer(QTraceConfig(download_fixed_cost=1000, download_per_event_cost=10))
         assert tracer.download_cost(0) == 1000
         assert tracer.download_cost(5) == 1050
+
+
+class TestRingBufferEdges:
+    """Edge cases of the kernel-side circular buffer under live tracing."""
+
+    def test_overwrite_oldest_exactly_at_wrap(self):
+        # capacity sized so the (2 * n) events of n syscalls overflow it
+        # by exactly one: the single oldest record must be the one lost
+        kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+        tracer = QTracer(QTraceConfig(buffer_capacity=9))
+        kernel.add_tracer(tracer)
+        p = kernel.spawn("p", chatty(5))
+        tracer.trace_pid(p.pid)
+        kernel.run(SEC)
+        assert tracer.buffer.total == 10
+        assert tracer.buffer.dropped == 1
+        events = tracer.buffer.drain()
+        assert len(events) == 9
+        # the survivor set is the 9 newest, still in chronological order
+        assert events[0].kind is EventKind.SYSCALL_EXIT  # first entry was lost
+        assert all(a.time <= b.time for a, b in zip(events, events[1:]))
+        # drained means empty: the wrap state does not leak
+        assert tracer.buffer.drain() == []
+        assert tracer.buffer.full is False
+
+    def test_filter_change_mid_run(self):
+        kernel, tracer = make()
+
+        def mixed():
+            for _ in range(40):
+                yield Compute(10 * MS)
+                yield Syscall(SyscallNr.IOCTL)
+                yield Syscall(SyscallNr.READ)
+
+        p = kernel.spawn("p", mixed())
+        tracer.trace_pid(p.pid)
+        tracer.set_syscall_filter([SyscallNr.IOCTL])
+        kernel.run(200 * MS)
+        first = tracer.buffer.drain()
+        assert first and all(e.nr is SyscallNr.IOCTL for e in first)
+        # widen the filter while the workload keeps running
+        tracer.set_syscall_filter([SyscallNr.IOCTL, SyscallNr.READ])
+        kernel.run(400 * MS)
+        second = tracer.buffer.drain()
+        kinds = {e.nr for e in second}
+        assert kinds == {SyscallNr.IOCTL, SyscallNr.READ}
+        # narrow it again: only READ from here on
+        tracer.set_syscall_filter([SyscallNr.READ])
+        kernel.run(600 * MS)
+        third = tracer.buffer.drain()
+        assert third and all(e.nr is SyscallNr.READ for e in third)
+
+    def test_download_agent_empty_buffer_overhead(self):
+        # nothing is traced, so every ioctl downloads an empty batch; the
+        # agent's marginal CPU over a zero-cost twin must be exactly the
+        # fixed ioctl cost per cycle (no per-event term, no hidden work)
+        def run_agent(fixed_cost):
+            kernel = Kernel(RoundRobinScheduler(), KernelConfig(context_switch_cost=0))
+            tracer = QTracer(
+                QTraceConfig(download_fixed_cost=fixed_cost, download_per_event_cost=90)
+            )
+            kernel.add_tracer(tracer)
+            batches = []
+            tracer.add_sink(lambda batch, now: batches.append(len(batch)))
+            agent = tracer.spawn_download_agent(kernel, period=10 * MS)
+            kernel.run(100 * MS + 1)
+            return agent.cpu_time, batches
+
+        # baseline at 1 ns, the kernel's minimum syscall segment length
+        free_cpu, free_batches = run_agent(1)
+        paid_cpu, paid_batches = run_agent(8000)
+        assert paid_batches and set(paid_batches) == {0}
+        assert paid_batches == free_batches
+        assert paid_cpu - free_cpu == len(paid_batches) * (8000 - 1)
