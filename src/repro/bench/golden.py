@@ -22,6 +22,44 @@ import hashlib
 from repro.bench.scenarios import GOLDEN_DURATION_NS, build_scenario
 
 
+def attach_digest(kernel):
+    """Install a switch-trace digest recorder on ``kernel``.
+
+    Returns a ``finalize()`` callable: run the kernel (directly or
+    through any wrapper such as ``SelfTuningRuntime.run``), then call it
+    to fold the final clock, per-process state, and aggregate stats into
+    the SHA-256 and get the hex digest.  This is the digest machinery
+    behind :func:`golden_digest`, exposed so other bit-identity contracts
+    (e.g. :mod:`repro.faults` zero-intensity transparency) can assert
+    against the exact same fingerprint.
+    """
+    sha = hashlib.sha256()
+    update = sha.update
+
+    def record(proc, now: int) -> None:
+        update(b"%d:%d;" % (proc.pid, now))
+
+    kernel.switch_hook = record
+
+    def finalize() -> str:
+        update(b"|clock=%d" % kernel.clock)
+        for pid in sorted(kernel.processes):
+            p = kernel.processes[pid]
+            exit_time = -1 if p.exit_time is None else p.exit_time
+            update(
+                b"|%d:%d:%d:%d:%s"
+                % (pid, p.cpu_time, exit_time, p.syscall_count, p.state.value.encode())
+            )
+        s = kernel.stats
+        update(
+            b"|cs=%d,idle=%d,busy=%d,sys=%d,ev=%d"
+            % (s.context_switches, s.idle_time, s.busy_time, s.syscalls, s.dispatched_events)
+        )
+        return sha.hexdigest()
+
+    return finalize
+
+
 def golden_digest(
     name: str, duration_ns: int = GOLDEN_DURATION_NS, *, telemetry: bool = False
 ) -> str:
@@ -36,28 +74,9 @@ def golden_digest(
         from repro.obs.instrument import instrument_kernel
 
         instrument_kernel(kernel)
-    sha = hashlib.sha256()
-    update = sha.update
-
-    def record(proc, now: int) -> None:
-        update(b"%d:%d;" % (proc.pid, now))
-
-    kernel.switch_hook = record
+    finalize = attach_digest(kernel)
     kernel.run(duration_ns)
-    update(b"|clock=%d" % kernel.clock)
-    for pid in sorted(kernel.processes):
-        p = kernel.processes[pid]
-        exit_time = -1 if p.exit_time is None else p.exit_time
-        update(
-            b"|%d:%d:%d:%d:%s"
-            % (pid, p.cpu_time, exit_time, p.syscall_count, p.state.value.encode())
-        )
-    s = kernel.stats
-    update(
-        b"|cs=%d,idle=%d,busy=%d,sys=%d,ev=%d"
-        % (s.context_switches, s.idle_time, s.busy_time, s.syscalls, s.dispatched_events)
-    )
-    return sha.hexdigest()
+    return finalize()
 
 
 #: digests recorded on the pre-optimisation simulator (the PR 1 tree);

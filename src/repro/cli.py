@@ -10,6 +10,7 @@
     repro-exp bench --output BENCH.json # timed sweep, machine-readable
     repro-exp bench --micro             # hot-path microbenchmarks
     repro-exp trace fig13               # export a Perfetto/Chrome trace
+    repro-exp faults trace-loss         # faulted playback + guard report
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
@@ -148,6 +149,22 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument(
         "--summary", action="store_true", help="print a text digest of the recorded telemetry"
     )
+    faults_p = sub.add_parser(
+        "faults", help="run a fault-injection scenario and report the degradation guards"
+    )
+    faults_p.add_argument(
+        "scenario",
+        help="fault scenario (trace-loss, trace-jitter, ring-overrun, "
+        "clock-coarse, overload, mode-switch, saturation)",
+    )
+    faults_p.add_argument("overrides", nargs="*", help="key=value scenario overrides")
+    faults_p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="also export the telemetry as a Perfetto/Chrome trace JSON",
+    )
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -186,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench(args)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "faults":
+        return _faults(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -262,6 +281,25 @@ def _trace(args) -> int:
         print(f"[timeseries csv written to {args.csv}]")
     if args.summary:
         print(summary_text(telemetry))
+    return 0
+
+
+def _faults(args) -> int:
+    """Run a fault scenario; print the guard report, optionally export."""
+    from repro.faults.scenarios import FAULT_SCENARIOS, run_fault_scenario
+
+    if args.scenario not in FAULT_SCENARIOS:
+        raise SystemExit(
+            f"unknown fault scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(FAULT_SCENARIOS))}"
+        )
+    run = run_fault_scenario(args.scenario, _parse_overrides(args.overrides))
+    print(run.report_text())
+    if args.output:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(run.telemetry, args.output)
+        print(f"[trace written to {args.output}]")
     return 0
 
 

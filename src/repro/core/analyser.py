@@ -33,12 +33,27 @@ class AnalyserConfig:
     horizon_ns: int = 2 * SEC
     #: minimum number of events in the window before attempting detection
     min_events: int = 8
+    #: reject events stamped earlier than the newest accepted timestamp
+    #: (clean traces are monotone per download, so this only fires on a
+    #: corrupted timestamp source; see docs/fault-injection.md)
+    reject_backwards: bool = True
+    #: additionally reject events stamped *equal* to the newest accepted
+    #: timestamp.  Off by default: merged multicore event trains contain
+    #: legitimate equal timestamps.
+    reject_duplicates: bool = False
+    #: accept only period estimates inside ``(lo_ns, hi_ns)``; out-of-band
+    #: detections are discarded (counted, not stored).  None = no band.
+    period_band: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.horizon_ns <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon_ns}")
         if self.min_events < 1:
             raise ValueError(f"min_events must be >= 1, got {self.min_events}")
+        if self.period_band is not None:
+            lo, hi = self.period_band
+            if lo <= 0 or hi <= lo:
+                raise ValueError(f"period_band must satisfy 0 < lo < hi, got {self.period_band}")
 
 
 @dataclass(frozen=True)
@@ -67,20 +82,50 @@ class PeriodAnalyser:
         self.last_estimate: PeriodEstimate | None = None
         #: history of (analysis time, estimate-or-None)
         self.history: list[tuple[int, PeriodEstimate | None]] = []
+        #: guard rejections by kind (``backwards`` / ``duplicate`` / ``band``)
+        self.anomalies: dict[str, int] = {}
+        #: ring-overrun losses reported by the download path
+        self.overruns = 0
+        self._last_accepted: int | None = None
 
     # ------------------------------------------------------------------
     # event intake
     # ------------------------------------------------------------------
+    def _accept(self, t: int) -> bool:
+        """Anomaly guard: admit ``t`` into the window or count a rejection.
+
+        A corrupted download path can deliver timestamps that run
+        backwards or collapse onto one instant; admitting them would
+        poison the spectrum (a non-causal Dirac train has energy
+        everywhere).  Rejected events are counted in :attr:`anomalies`
+        and never reach the window.
+        """
+        last = self._last_accepted
+        if last is not None:
+            if self.config.reject_backwards and t < last:
+                self.anomalies["backwards"] = self.anomalies.get("backwards", 0) + 1
+                return False
+            if self.config.reject_duplicates and t == last:
+                self.anomalies["duplicate"] = self.anomalies.get("duplicate", 0) + 1
+                return False
+        self._last_accepted = t
+        self._times.append(t)
+        return True
+
     def add_times(self, times_ns) -> None:
         """Feed raw event timestamps (ns)."""
         for t in times_ns:
-            self._times.append(int(t))
+            self._accept(int(t))
 
     def add_batch(self, batch: list[TraceEvent], now: int) -> None:
         """Sink interface for :meth:`repro.tracer.qtrace.QTracer.add_sink`."""
         for ev in batch:
-            self._times.append(ev.time)
+            self._accept(ev.time)
         self._evict(now)
+
+    def note_overrun(self, n: int) -> None:
+        """Record ``n`` events lost to ring overwrite before download."""
+        self.overruns += n
 
     def _evict(self, now: int) -> None:
         cutoff = now - self.config.horizon_ns
@@ -122,9 +167,17 @@ class PeriodAnalyser:
         if result.frequency is None or result.frequency <= 0:
             self.history.append((stamp, None))
             return None
+        period_ns = int(round(SEC / result.frequency))
+        band = self.config.period_band
+        if band is not None and not band[0] <= period_ns <= band[1]:
+            # an implausible detection (coarsened clock, aliased spectrum):
+            # discard rather than actuate on it
+            self.anomalies["band"] = self.anomalies.get("band", 0) + 1
+            self.history.append((stamp, None))
+            return None
         estimate = PeriodEstimate(
             frequency=result.frequency,
-            period_ns=int(round(SEC / result.frequency)),
+            period_ns=period_ns,
             n_events=int(times.size),
             detail=result,
         )

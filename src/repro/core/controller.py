@@ -83,6 +83,16 @@ class TaskControllerConfig:
     period_tolerance: float = 0.08
     #: acceptable reservation-period range, ns
     period_bounds: tuple[int, int] = (5 * MS, 500 * MS)
+    #: detector-dropout guard: after this many consecutive starved
+    #: activations (analyser window below its ``min_events``) the
+    #: controller stops trusting the feedback law and falls back to the
+    #: last-good granted bandwidth, decayed geometrically.  None = off
+    #: (the seed behaviour: a starved feedback law free-runs).
+    dropout_after: int | None = None
+    #: per-fallback-activation decay factor applied to the last-good bw
+    dropout_decay: float = 0.9
+    #: bandwidth floor the decay never crosses
+    dropout_floor: float = 0.02
 
     def __post_init__(self) -> None:
         if self.sampling_period <= 0:
@@ -92,6 +102,12 @@ class TaskControllerConfig:
         lo, hi = self.period_bounds
         if not 0 < lo < hi:
             raise ValueError(f"invalid period_bounds {self.period_bounds}")
+        if self.dropout_after is not None and self.dropout_after < 1:
+            raise ValueError("dropout_after must be >= 1 (or None)")
+        if not 0.0 < self.dropout_decay <= 1.0:
+            raise ValueError("dropout_decay must be in (0, 1]")
+        if self.dropout_floor < 0.0:
+            raise ValueError("dropout_floor must be >= 0")
 
 
 class TaskController:
@@ -135,6 +151,13 @@ class TaskController:
         self._pending_count = 0
         #: virtual time of the previous activation (telemetry span start)
         self._last_activation: int | None = None
+        #: most recent grant actuated from a healthy (non-fallback)
+        #: activation — what the dropout guard falls back to
+        self._last_good: BandwidthRequest | None = None
+        #: consecutive starved activations (analyser below min_events)
+        self._starved_streak = 0
+        #: total fallback activations taken by the dropout guard
+        self.fallbacks = 0
 
     def current_period_estimate(self) -> int | None:
         """Latest *confirmed* period estimate (ns), if any."""
@@ -181,6 +204,15 @@ class TaskController:
         period_ns = self._confirmed_period
         self.period_history.append((now, period_ns))
 
+        cfg = self.config
+        if cfg.dropout_after is not None and self.analyser is not None:
+            if self.analyser.n_events < self.analyser.config.min_events:
+                self._starved_streak += 1
+            else:
+                self._starved_streak = 0
+            if self._starved_streak >= cfg.dropout_after and self._last_good is not None:
+                return self._fallback_activation(now, period_ns)
+
         sample = self.sensor()
         if self.feedback.SENSOR == "exhaustions":
             value = sample.exhaustions
@@ -192,11 +224,58 @@ class TaskController:
         granted = self.supervisor.submit(self.supervisor_key, request)
         self.actuate(granted)
         self.granted_history.append((now, granted))
+        if self._starved_streak == 0:
+            # only a grant computed from a healthy sensor stream is worth
+            # falling back to: law runs during the starved build-up to
+            # ``dropout_after`` may already be walking off the cliff
+            self._last_good = granted
         obs = self._obs
         if obs is not None:
             start = self._last_activation
             if start is None:
                 start = max(now - self.config.sampling_period, 0)
+            obs.controller_epoch(
+                self.name,
+                start,
+                now,
+                consumed=sample.consumed,
+                exhaustions=sample.exhaustions,
+                period_ns=period_ns,
+                requested_bw=request.bandwidth,
+                granted_bw=granted.bandwidth,
+            )
+        self._last_activation = now
+        return granted
+
+    def _fallback_activation(self, now: int, period_ns: int | None) -> BandwidthRequest:
+        """Detector dropout: hold the last-good bandwidth, decaying it.
+
+        The feedback law is *not* run (a starved sensor stream would walk
+        its state off a cliff — the catastrophic mode the ``robustness``
+        experiment demonstrates); instead the last healthy grant is
+        resubmitted with its bandwidth decayed by ``dropout_decay`` per
+        fallback activation, floored at ``dropout_floor``.  If the task
+        is still running it keeps a usable (slowly shrinking) reservation
+        until the detector recovers; if it is gone the bandwidth is
+        released gradually instead of being held forever.
+        """
+        cfg = self.config
+        last_good = self._last_good
+        assert last_good is not None
+        self.fallbacks += 1
+        steps = self._starved_streak - cfg.dropout_after + 1
+        bw = max(cfg.dropout_floor, last_good.bandwidth * cfg.dropout_decay**steps)
+        period = last_good.period
+        request = BandwidthRequest(budget=max(1, int(bw * period)), period=period)
+        granted = self.supervisor.submit(self.supervisor_key, request)
+        self.actuate(granted)
+        self.granted_history.append((now, granted))
+        obs = self._obs
+        if obs is not None:
+            sample = self.sensor()
+            start = self._last_activation
+            if start is None:
+                start = max(now - cfg.sampling_period, 0)
             obs.controller_epoch(
                 self.name,
                 start,

@@ -145,6 +145,10 @@ class SelfTuningRuntime:
             pid = proc.pid
 
             def sink(batch: list[TraceEvent], now: int, _a=analyser) -> None:
+                # the ring is shared, so any overwrite may have eaten this
+                # task's events — surface the loss to the anomaly counters
+                if self.tracer.last_overrun:
+                    _a.note_overrun(self.tracer.last_overrun)
                 _a.add_batch(
                     [e for e in batch if e.pid == pid and e.kind is EventKind.SYSCALL_ENTRY],
                     now,
@@ -236,6 +240,8 @@ class SelfTuningRuntime:
             pids = {proc.pid for proc in procs}
 
             def sink(batch: list[TraceEvent], now: int, _a=analyser) -> None:
+                if self.tracer.last_overrun:
+                    _a.note_overrun(self.tracer.last_overrun)
                 _a.add_batch(
                     [e for e in batch if e.pid in pids and e.kind is EventKind.SYSCALL_ENTRY],
                     now,

@@ -57,6 +57,8 @@ class Supervisor:
         self.u_lub = u_lub * capacity
         self._tasks: dict[int, _Registration] = {}
         self._next_key = 1
+        #: cumulative count of grants the starvation watchdog repaired
+        self.watchdog_repairs = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -114,6 +116,63 @@ class Supervisor:
     def granted(self, key: int) -> BandwidthRequest | None:
         """Most recent grant for task ``key`` (None before first submit)."""
         return self._tasks[key].granted
+
+    # ------------------------------------------------------------------
+    # starvation watchdog
+    # ------------------------------------------------------------------
+    def watchdog(self, now: int | None = None) -> int:
+        """Repair starved grants; returns the number of tasks repaired.
+
+        Two failure modes accumulate between submits (grants only move
+        when some controller submits):
+
+        1. a task's grant was compressed below its guaranteed ``u_min``
+           by a saturation episode and its own controller has gone quiet
+           (detector dropout), so nothing ever lifts it back;
+        2. departed tasks freed bandwidth (:meth:`unregister` does not
+           recompute) and the survivors are still carrying compressed
+           grants although everything now fits.
+
+        The watchdog restores ``u_min`` floors and re-runs Eq. 1 when the
+        books show stale compression.  A task already granted its floor
+        (or requesting above it) is untouched, so running the watchdog on
+        a healthy system changes nothing.
+        """
+        del now  # kernel-timer signature compatibility; Eq. 1 is clock-free
+        active = [r for r in self._tasks.values() if r.requested is not None]
+        if not active:
+            return 0
+        eps = 1e-12
+        starved = [
+            r
+            for r in active
+            if r.u_min > 0.0 and r.granted is not None and r.granted.bandwidth + eps < r.u_min
+        ]
+        for r in starved:
+            # re-assert the floor by bumping the books: the guaranteed
+            # minimum is what admission control promised this task, and a
+            # collapsed request (a feedback law squeezed into a
+            # self-reinforcing spiral) must not sign it away
+            assert r.requested is not None
+            floor_budget = max(1, int(r.u_min * r.requested.period))
+            r.requested = BandwidthRequest(
+                budget=max(floor_budget, r.requested.budget), period=r.requested.period
+            )
+        total_requested = sum(r.requested.bandwidth for r in active)  # type: ignore[union-attr]
+        total_granted = sum(r.granted.bandwidth for r in active if r.granted is not None)
+        stale = total_requested <= self.u_lub + eps and total_granted + eps < total_requested
+        if starved or stale:
+            self._recompute()
+        self.watchdog_repairs += len(starved)
+        return len(starved)
+
+    def start_watchdog(self, kernel, period: int) -> object:
+        """Run :meth:`watchdog` every ``period`` ns on ``kernel``'s clock.
+
+        Returns the kernel timer handle.  Opt-in: the seed configuration
+        never posts this calendar event.
+        """
+        return kernel.every(period, self.watchdog)
 
     def total_granted_bandwidth(self) -> float:
         """Σ of granted bandwidths."""

@@ -34,6 +34,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    robustness,
     tab01,
     tab03,
 )
@@ -60,6 +61,8 @@ REGISTRY = {
     "fig12": fig12,  # also Table 2
     "fig13": fig13,  # also Figure 14
     "tab03": tab03,
+    # fault-injection sweep (repro.faults): guards on vs off
+    "robustness": robustness,
     # ablations of the design choices the paper's text calls out
     "abl-predictors": _ablation(
         ablations.run_predictors, "Ablation: LFS++ prediction function (quantile/max/avg/EWMA)."

@@ -1,0 +1,107 @@
+"""Robustness sweep: fault intensity vs deadline misses, guards on/off.
+
+The qualitative claim under test is the paper's pitch that the §3/§4
+loop *degrades gracefully* when its observation channel degrades.  For a
+chosen fault family (any :mod:`repro.faults.scenarios` entry) the sweep
+runs the Figure 13 playback at increasing fault intensity, twice per
+point:
+
+- **hardened** — the degradation guards on: analyser anomaly rejection
+  and period band, controller last-good fallback with decay, and (for
+  the saturation fault) the ``u_min`` guarantee plus the supervisor's
+  starvation watchdog;
+- **unhardened** — the same fault hitting the seed configuration.
+
+Reported per intensity and arm: deadline-miss ratio (inter-frame time
+beyond the 80 ms threshold fig13 uses), mean relative period-estimate
+error after fault onset, frames completed, and the guard counters
+(fallbacks, watchdog repairs, injected faults).  Expected shape: the
+hardened miss ratio grows smoothly with intensity while the unhardened
+arm falls off a cliff once the fault defeats its assumption — the
+contrast is starkest for ``fault="saturation"``, where the unhardened
+task is compressed into starvation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.faults.scenarios import FAULT_SCENARIOS
+
+
+def _one_rep(fault: str, intensity: float, hardened: bool, n_frames: int, seed: int) -> dict:
+    """One faulted playback (one work unit); returns the metrics dict."""
+    run_fn = FAULT_SCENARIOS[fault]
+    return run_fn(
+        intensity=intensity, n_frames=n_frames, seed=seed, hardened=hardened
+    ).metrics
+
+
+def run(
+    *,
+    fault: str = "saturation",
+    intensities: tuple = (0.0, 0.25, 0.5, 0.75, 1.0),
+    reps: int = 2,
+    n_frames: int = 300,
+    seed0: int = 4200,
+    map_fn=map,
+) -> ExperimentResult:
+    """Sweep ``fault`` intensity, hardened vs unhardened.
+
+    ``map_fn`` shards the (intensity x arm x repetition) grid; every
+    repetition is an independent simulation seeded ``seed0 + r``.
+    """
+    if fault not in FAULT_SCENARIOS:
+        raise ValueError(f"unknown fault {fault!r}; known: {sorted(FAULT_SCENARIOS)}")
+    result = ExperimentResult(
+        experiment="robustness",
+        title=f"Graceful degradation under {fault!r} faults: guards on vs off",
+    )
+    grid = [
+        (intensity, hardened, seed0 + r)
+        for intensity in intensities
+        for hardened in (True, False)
+        for r in range(reps)
+    ]
+    units = list(
+        map_fn(
+            _rep_unit,
+            [(fault, intensity, hardened, n_frames, seed) for intensity, hardened, seed in grid],
+        )
+    )
+
+    curves = {True: Series(name="miss_ratio[hardened]"), False: Series(name="miss_ratio[unhardened]")}
+    for intensity in intensities:
+        for hardened in (True, False):
+            metrics = [
+                m
+                for (i, h, _), m in zip(grid, units)
+                if i == intensity and h == hardened
+            ]
+            miss = float(np.mean([m["miss_ratio"] for m in metrics]))
+            errors = [m["period_error"] for m in metrics if not np.isnan(m["period_error"])]
+            curves[hardened].add(float(intensity), miss)
+            result.add_row(
+                fault=fault,
+                intensity=float(intensity),
+                guards="on" if hardened else "off",
+                miss_ratio=miss,
+                period_error=float(np.mean(errors)) if errors else None,
+                frames_played=float(np.mean([m["frames_played"] for m in metrics])),
+                fallbacks=int(sum(m["controller_fallbacks"] for m in metrics)),
+                watchdog_repairs=int(sum(m["watchdog_repairs"] for m in metrics)),
+                overruns=int(sum(m["tracer_overruns"] for m in metrics)),
+            )
+    result.series.extend(curves.values())
+    result.notes.append(
+        "expected: hardened miss ratio degrades smoothly with intensity; "
+        "unhardened collapses once the fault defeats its assumption "
+        "(starkest for fault='saturation')"
+    )
+    return result
+
+
+def _rep_unit(args: tuple) -> dict:
+    """Picklable work unit for process-pool ``map_fn`` sharding."""
+    return _one_rep(*args)

@@ -1,0 +1,45 @@
+"""``repro.faults`` — deterministic fault injection for the tuning loop.
+
+The paper's architecture is sold on graceful degradation: §4.1's trace
+buffer loses events by design, §4.2's spectrum estimate is explicitly a
+heuristic, and §3's supervisor must keep the system schedulable whatever
+the task controllers ask for.  This package stresses those promises.  It
+provides:
+
+- :mod:`~repro.faults.plan` — :class:`FaultPlan`, piecewise-constant
+  fault-intensity schedules over virtual time;
+- :mod:`~repro.faults.injectors` — the catalogue: trace tampering, ring
+  pressure, workload overload/mode switches, clock coarsening,
+  supervisor saturation;
+- :mod:`~repro.faults.harness` — :class:`FaultHarness`, composing
+  injectors into one campaign with shared telemetry;
+- :mod:`~repro.faults.scenarios` — ready-made faulted playbacks behind
+  ``repro-exp faults <scenario>``.
+
+Everything is seeded and deterministic, and a zero-intensity plan is
+bit-identical to no injection (see ``docs/fault-injection.md``).
+"""
+
+from repro.faults.base import FaultInjector
+from repro.faults.harness import FaultHarness
+from repro.faults.injectors import (
+    ClockCoarsening,
+    RingPressure,
+    SupervisorSaturation,
+    TraceTamper,
+    WorkloadFaults,
+)
+from repro.faults.plan import FaultPlan, FaultWindow, combined_is_zero
+
+__all__ = [
+    "ClockCoarsening",
+    "FaultHarness",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "RingPressure",
+    "SupervisorSaturation",
+    "TraceTamper",
+    "WorkloadFaults",
+    "combined_is_zero",
+]

@@ -1,0 +1,92 @@
+"""Injector base class and the bookkeeping shared by every fault.
+
+A fault injector is a small object holding one or more
+:class:`~repro.faults.plan.FaultPlan` schedules, a private seeded RNG
+(independent of every workload RNG, so arming an injector never perturbs
+a workload's random stream), and counters of what it actually injected.
+Subclasses implement ``arm(...)`` against their target (tracer, kernel,
+supervisor, workload program) and call :meth:`FaultInjector._note` /
+:meth:`FaultInjector._span` for every injected fault, which both feeds
+the counters the CLI report prints and — when a :mod:`repro.obs` hub is
+attached — emits a span/instant on a ``faults/<kind>`` track so Perfetto
+traces show cause (the injected fault) and effect (the controller's
+reaction) side by side.
+
+Two contracts, mirroring :mod:`repro.obs`:
+
+- **zero-intensity transparency** — ``arm()`` with a zero plan installs
+  nothing (see :mod:`repro.faults.plan`);
+- **observer-grade telemetry** — the ``_obs`` hook sites follow the
+  class-level ``None`` fast-path convention of the rest of the stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.spans import OpenSpan
+
+
+class FaultInjector:
+    """Common state of every injector: plan(s), RNG, counters, telemetry."""
+
+    #: short identifier used for telemetry tracks and CLI reports
+    kind = "fault"
+
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path, same
+    #: convention as the instrumented simulator classes
+    _obs = None
+
+    def __init__(self, *, seed: int = 0) -> None:
+        """Initialise counters and the injector-private RNG."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        #: total faults injected (all kinds)
+        self.injected = 0
+        #: per-event-kind injection counters (e.g. ``{"drop": 17}``)
+        self.counts: dict[str, int] = {}
+        self._armed = False
+        self._window_span: OpenSpan | None = None
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------
+    def _note(self, event: str, now: int, **args) -> None:
+        """Count one injected fault; emit a telemetry instant if attached."""
+        self.injected += 1
+        self.counts[event] = self.counts.get(event, 0) + 1
+        obs = self._obs
+        if obs is not None:
+            obs.fault_injected(self.kind, event, now, total=self.injected, **args)
+
+    def _window_begin(self, event: str, now: int, **args) -> None:
+        """Open the telemetry span covering one active fault window."""
+        self.injected += 1
+        self.counts[event] = self.counts.get(event, 0) + 1
+        obs = self._obs
+        if obs is not None and self._window_span is None:
+            self._window_span = obs.fault_window_begin(self.kind, event, now, **args)
+
+    def _window_end(self, now: int) -> None:
+        """Close the currently open fault-window span (no-op when none)."""
+        obs = self._obs
+        span = self._window_span
+        self._window_span = None
+        if obs is not None and span is not None:
+            obs.end(span, now)
+
+    def close(self, now: int) -> None:
+        """End-of-run hook: close a window span the run ended inside of.
+
+        A fault window may outlive the simulation (the default scenarios
+        stop mid-window for short runs); without this the open span would
+        never reach the exported trace.  Safe to call repeatedly.
+        """
+        self._window_end(now)
+
+    def summary(self) -> dict:
+        """Counters in report form: ``{"kind": ..., "injected": ..., ...}``."""
+        return {"kind": self.kind, "injected": self.injected, **self.counts}

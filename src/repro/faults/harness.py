@@ -1,0 +1,56 @@
+"""Compose several injectors into one fault campaign.
+
+A :class:`FaultHarness` is a thin container: scenarios build their
+injectors individually (each ``arm()`` takes different targets), then
+register them here so telemetry attachment and reporting have a single
+handle.  The harness inherits both package contracts — attaching a
+telemetry hub is read-only, and a harness whose every injector holds a
+zero plan changes nothing about the run (the zero-identity test arms a
+full harness at intensity 0 and asserts bit-identical digests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.faults.base import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
+
+
+class FaultHarness:
+    """A named bag of injectors plus campaign-level bookkeeping."""
+
+    def __init__(self, injectors: Iterable[FaultInjector] = ()) -> None:
+        """Collect ``injectors`` (more can be added with :meth:`add`)."""
+        self.injectors: list[FaultInjector] = list(injectors)
+
+    def add(self, injector: FaultInjector) -> FaultInjector:
+        """Register one more injector; returns it for chaining with ``arm``."""
+        self.injectors.append(injector)
+        return injector
+
+    def attach_telemetry(self, hub: Telemetry) -> None:
+        """Point every injector's ``_obs`` hook at ``hub`` (read-only)."""
+        for injector in self.injectors:
+            injector._obs = hub
+
+    def close(self, now: int) -> None:
+        """Close any fault-window spans still open at end of run."""
+        for injector in self.injectors:
+            injector.close(now)
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected across the whole campaign."""
+        return sum(inj.injected for inj in self.injectors)
+
+    @property
+    def armed(self) -> bool:
+        """True when at least one injector actually installed itself."""
+        return any(inj._armed for inj in self.injectors)
+
+    def summary(self) -> list[dict]:
+        """Per-injector counter dicts, in registration order."""
+        return [inj.summary() for inj in self.injectors]

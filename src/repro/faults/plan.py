@@ -1,0 +1,159 @@
+"""Virtual-time fault schedules (:class:`FaultPlan`).
+
+The paper's self-tuning loop is built to survive imperfect observation:
+§4.1's trace buffer *overwrites oldest events by design*, and §3's
+supervisor must keep legacy tasks schedulable when the §4.2/§4.3 spectrum
+estimate is noisy.  A :class:`FaultPlan` is the schedule half of that
+stress story: a piecewise-constant intensity signal over virtual time
+that every injector in :mod:`repro.faults.injectors` consults to decide
+*when* and *how hard* to misbehave.
+
+Intensity is a dimensionless knob in ``[0, 1]``; each injector documents
+how it maps intensity onto its own physical fault (drop probability,
+buffer-shrink fraction, compute inflation, ...).
+
+The load-bearing contract is **zero-intensity transparency**: a plan
+whose every window has intensity ``0.0`` (:attr:`FaultPlan.is_zero`)
+must be indistinguishable from no plan at all — injectors armed with it
+install no hooks, post no calendar events, and draw no random numbers,
+so the run is *bit-identical* to an uninjected one
+(``tests/faults/test_zero_identity.py`` asserts this against the same
+digest machinery as :mod:`repro.bench.golden`).
+
+>>> from repro.faults import FaultPlan
+>>> plan = FaultPlan.steps([(0, None, 0.2), (4, 8, 0.9)])
+>>> [plan.intensity_at(t) for t in (0, 4, 7, 8)]  # last window wins
+[0.2, 0.9, 0.9, 0.2]
+>>> plan.edges()
+[0, 4, 8]
+>>> plan.scaled(0.0).is_zero  # scaled to nothing == never armed
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One constant-intensity interval ``[start, end)`` of virtual time.
+
+    ``end is None`` means the window stays open until the end of the run.
+    """
+
+    #: window start, ns (inclusive)
+    start: int
+    #: window end, ns (exclusive); None = open-ended
+    end: int | None
+    #: fault intensity in [0, 1] while the window is active
+    intensity: float
+
+    def __post_init__(self) -> None:
+        """Validate the window bounds and the intensity range."""
+        if self.start < 0:
+            raise ValueError(f"window start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"window end must exceed start, got [{self.start}, {self.end})")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
+
+    def active_at(self, t: int) -> bool:
+        """Whether the window covers virtual time ``t``."""
+        return t >= self.start and (self.end is None or t < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault intensity over virtual time.
+
+    Windows are evaluated in order and the *last* matching window wins,
+    so later entries refine earlier ones (e.g. a constant background
+    intensity overridden by a stronger burst).  Outside every window the
+    intensity is ``0.0``.
+    """
+
+    #: the schedule; empty = never inject
+    windows: tuple[FaultWindow, ...] = ()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> FaultPlan:
+        """The do-nothing plan (no windows; identical to no injection)."""
+        return FaultPlan()
+
+    @staticmethod
+    def constant(intensity: float, *, start: int = 0) -> FaultPlan:
+        """Intensity ``intensity`` from ``start`` until the end of the run."""
+        if intensity == 0.0:
+            return FaultPlan()
+        return FaultPlan((FaultWindow(start, None, intensity),))
+
+    @staticmethod
+    def burst(start: int, end: int, intensity: float) -> FaultPlan:
+        """One finite window of the given intensity."""
+        if intensity == 0.0:
+            return FaultPlan()
+        return FaultPlan((FaultWindow(start, end, intensity),))
+
+    @staticmethod
+    def steps(steps: Iterable[tuple[int, int | None, float]]) -> FaultPlan:
+        """Build a plan from ``(start, end, intensity)`` triples."""
+        return FaultPlan(tuple(FaultWindow(s, e, i) for s, e, i in steps))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def intensity_at(self, t: int) -> float:
+        """Intensity in effect at virtual time ``t`` (last window wins)."""
+        value = 0.0
+        for w in self.windows:
+            if w.active_at(t):
+                value = w.intensity
+        return value
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no window can ever produce a non-zero intensity.
+
+        This is the zero-intensity transparency gate: injectors armed
+        with a zero plan must not install hooks or post calendar events.
+        """
+        return all(w.intensity == 0.0 for w in self.windows)
+
+    def edges(self) -> list[int]:
+        """Sorted distinct times at which the intensity may change.
+
+        Injectors that maintain *state* (a shrunk buffer, registered
+        bandwidth hogs) schedule one calendar callback per edge instead
+        of polling.
+        """
+        times: set[int] = set()
+        for w in self.windows:
+            times.add(w.start)
+            if w.end is not None:
+                times.add(w.end)
+        return sorted(times)
+
+    def scaled(self, factor: float) -> FaultPlan:
+        """A copy with every intensity multiplied by ``factor`` (clamped to 1).
+
+        The ``robustness`` experiment sweeps a scenario by scaling one
+        reference plan rather than rebuilding schedules per point.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return FaultPlan(
+            tuple(
+                FaultWindow(w.start, w.end, min(1.0, w.intensity * factor))
+                for w in self.windows
+            )
+        )
+
+
+def combined_is_zero(plans: Sequence[FaultPlan | None]) -> bool:
+    """True when every plan in ``plans`` is absent or zero."""
+    return all(p is None or p.is_zero for p in plans)

@@ -283,15 +283,47 @@ class Telemetry:
     # tracer
     # ------------------------------------------------------------------
     def tracer_download(
-        self, start: int, end: int, *, batch: int, occupancy: int, dropped: int, cost_ns: int = 0
+        self,
+        start: int,
+        end: int,
+        *,
+        batch: int,
+        occupancy: int,
+        dropped: int,
+        overrun: int = 0,
+        cost_ns: int = 0,
     ) -> None:
-        """One buffer download (direct drain or agent ioctl)."""
-        self.span("tracer", "download", "qtrace", start, end, batch=batch, cost_ns=cost_ns)
+        """One buffer download (direct drain or agent ioctl).
+
+        ``dropped`` is the ring's lifetime overwrite count; ``overrun``
+        is the per-download delta (events lost since the previous
+        download), surfaced as its own counter so overrun bursts are
+        visible without differencing.
+        """
+        self.span(
+            "tracer", "download", "qtrace", start, end, batch=batch, cost_ns=cost_ns,
+            overrun=overrun,
+        )
         if self.config.record_tracer_counters:
             self.gauge("qtrace", "occupancy", occupancy, start)
             self.gauge("qtrace", "occupancy", 0, end)
             self.counter("qtrace", "dropped", dropped, end)
             self.histogram("qtrace", "batch_size", batch, end)
+            if overrun:
+                self.counter("qtrace", "overrun", dropped, end)
+
+    # ------------------------------------------------------------------
+    # fault injection (:mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def fault_injected(self, kind: str, event: str, now: int, *, total: int, **args) -> None:
+        """One injected fault (instant + running counter on ``faults/<kind>``)."""
+        track = f"faults/{kind}"
+        self.instant("fault", event, track, now, **args)
+        self.counter(track, "injected", total, now)
+
+    def fault_window_begin(self, kind: str, event: str, now: int, **args) -> OpenSpan:
+        """Open the span covering one active fault window."""
+        return self.begin("fault", event, f"faults/{kind}", now, **args)
 
     # ------------------------------------------------------------------
     # daemon

@@ -37,6 +37,11 @@ from repro.tracer.events import EventKind, RingBuffer, TraceEvent
 #: Signature of a batch consumer registered with :meth:`QTracer.add_sink`.
 BatchSink = Callable[[list[TraceEvent], int], None]
 
+#: Signature of the optional download-path corruption stage
+#: (:attr:`QTracer.tamper`): receives the drained batch and the download
+#: time, returns the batch actually delivered to the sinks.
+TamperHook = Callable[[list[TraceEvent], int], list[TraceEvent]]
+
 
 @dataclass
 class QTraceConfig:
@@ -71,6 +76,20 @@ class QTracer:
         self._sinks: list[BatchSink] = []
         #: per-(pid, syscall) entry counters, for Figure 4 statistics
         self.call_counts: dict[tuple[int, SyscallNr], int] = {}
+        #: optional corruption stage applied to every downloaded batch
+        #: before the sinks see it (:mod:`repro.faults` installs these);
+        #: None = deliver batches verbatim
+        self.tamper: TamperHook | None = None
+        #: when True the download path is wedged: ``drain`` returns
+        #: nothing and the agent skips its ioctl, so the kernel keeps
+        #: overwriting oldest events (ring-overrun pressure)
+        self.stalled = False
+        #: events lost to ring overwrite across the whole run, as observed
+        #: by the download path (buffer swaps preserve the count)
+        self.overrun_total = 0
+        #: events lost to overwrite since the previous download
+        self.last_overrun = 0
+        self._overruns_seen = 0
 
     # ------------------------------------------------------------------
     # configuration (what the real patch accepts through the chardev)
@@ -119,15 +138,43 @@ class QTracer:
     # ------------------------------------------------------------------
     # download side
     # ------------------------------------------------------------------
+    def _account_overrun(self) -> int:
+        """Fold newly observed ring overwrites into the overrun counters.
+
+        Returns the number of events lost since the previous download —
+        the explicit overrun count each download surfaces instead of
+        letting :attr:`RingBuffer.dropped` grow silently.
+        """
+        lost = self.buffer.dropped - self._overruns_seen
+        self._overruns_seen = self.buffer.dropped
+        self.last_overrun = lost
+        self.overrun_total += lost
+        return lost
+
+    def overruns(self) -> int:
+        """Lifetime events lost to ring overwrite, downloads included or not.
+
+        Unlike :attr:`overrun_total` (which only advances when a download
+        actually runs), this also counts losses the download path has not
+        surfaced yet — e.g. overwrites piling up while :attr:`stalled`.
+        """
+        return self.overrun_total + (self.buffer.dropped - self._overruns_seen)
+
     def drain(self, now: int) -> list[TraceEvent]:
         """Drain the buffer and feed every sink (zero-cost, kernel-side).
 
         Use :meth:`spawn_download_agent` when the download cost itself is
-        part of the experiment.
+        part of the experiment.  Returns the empty batch without touching
+        the buffer while :attr:`stalled` is set.
         """
+        if self.stalled:
+            return []
         obs = self._obs
         occupancy = len(self.buffer) if obs is not None else 0
         batch = self.buffer.drain()
+        overrun = self._account_overrun()
+        if self.tamper is not None:
+            batch = self.tamper(batch, now)
         for sink in self._sinks:
             sink(batch, now)
         if obs is not None:
@@ -137,6 +184,7 @@ class QTracer:
                 batch=len(batch),
                 occupancy=occupancy,
                 dropped=self.buffer.dropped,
+                overrun=overrun,
             )
         return batch
 
@@ -160,11 +208,16 @@ class QTracer:
             while True:
                 cycle += 1
                 now = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(cycle * period))
+                if tracer.stalled:
+                    continue  # wedged: skip the ioctl, let the ring wrap
                 started = now
                 occupancy = len(tracer.buffer)
                 batch = tracer.buffer.drain()
+                overrun = tracer._account_overrun()
                 cost = tracer.download_cost(len(batch))
                 now = yield Syscall(SyscallNr.IOCTL, cost=cost)
+                if tracer.tamper is not None:
+                    batch = tracer.tamper(batch, now)
                 for sink in tracer._sinks:
                     sink(batch, now)
                 obs = tracer._obs
@@ -175,6 +228,7 @@ class QTracer:
                         batch=len(batch),
                         occupancy=occupancy,
                         dropped=tracer.buffer.dropped,
+                        overrun=overrun,
                         cost_ns=cost,
                     )
 

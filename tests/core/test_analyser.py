@@ -109,3 +109,69 @@ class TestBatchSink:
             analyser.add_batch(batch, now=(chunk_start + 10) * 40 * MS)
         estimate = analyser.analyse(60 * 40 * MS)
         assert estimate.frequency == pytest.approx(25.0, abs=0.1)
+
+
+class TestAnomalyGuards:
+    def test_backwards_rejected_and_counted(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times([0, 40 * MS, 80 * MS, 60 * MS, 120 * MS])
+        assert analyser.n_events == 4
+        assert analyser.anomalies == {"backwards": 1}
+
+    def test_backwards_admitted_when_guard_off(self):
+        analyser = PeriodAnalyser(cfg(reject_backwards=False))
+        analyser.add_times([0, 40 * MS, 20 * MS])
+        assert analyser.n_events == 3
+        assert analyser.anomalies == {}
+
+    def test_duplicates_admitted_by_default(self):
+        # merged multicore event trains contain legitimate equal stamps
+        analyser = PeriodAnalyser(cfg())
+        analyser.add_times([0, 40 * MS, 40 * MS])
+        assert analyser.n_events == 3
+
+    def test_duplicates_rejected_when_selected(self):
+        analyser = PeriodAnalyser(cfg(reject_duplicates=True))
+        analyser.add_times([0, 40 * MS, 40 * MS, 80 * MS])
+        assert analyser.n_events == 3
+        assert analyser.anomalies == {"duplicate": 1}
+
+    def test_detection_survives_corrupt_interleaving(self):
+        # a clean 25 Hz train with backwards junk after every event: the
+        # guard drops the junk, and the estimate stays on the true line
+        analyser = PeriodAnalyser(cfg())
+        corrupted = []
+        for t in train(40 * MS, 60):
+            corrupted.append(t)
+            corrupted.append(max(0, t - 17 * MS))
+        analyser.add_times(corrupted)
+        estimate = analyser.analyse(60 * 40 * MS)
+        assert estimate is not None
+        assert estimate.frequency == pytest.approx(25.0, abs=0.1)
+        assert analyser.anomalies["backwards"] == 59
+
+    def test_band_discards_out_of_band_estimate(self):
+        analyser = PeriodAnalyser(cfg(period_band=(50 * MS, 200 * MS)))
+        analyser.add_times(train(40 * MS, 60))
+        assert analyser.analyse(60 * 40 * MS) is None
+        assert analyser.anomalies == {"band": 1}
+        assert analyser.last_estimate is None
+        assert analyser.history[-1][1] is None
+
+    def test_band_admits_in_band_estimate(self):
+        analyser = PeriodAnalyser(cfg(period_band=(10 * MS, 200 * MS)))
+        analyser.add_times(train(40 * MS, 60))
+        estimate = analyser.analyse(60 * 40 * MS)
+        assert estimate is not None
+        assert estimate.period_ns == pytest.approx(40 * MS, rel=0.01)
+
+    @pytest.mark.parametrize("band", [(0, 10), (10, 10), (20, 10)])
+    def test_band_validation(self, band):
+        with pytest.raises(ValueError):
+            AnalyserConfig(period_band=band)
+
+    def test_note_overrun_accumulates(self):
+        analyser = PeriodAnalyser(cfg())
+        analyser.note_overrun(3)
+        analyser.note_overrun(2)
+        assert analyser.overruns == 5

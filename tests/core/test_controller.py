@@ -167,3 +167,105 @@ class TestPeriodHysteresis:
         for k in range(1, 5):
             granted = controller.activate(k * 100 * MS)
         assert granted.period == 40 * MS
+
+
+class TestDropoutFallback:
+    """The detector-dropout guard: hold last-good bandwidth, decaying."""
+
+    def _starved_controller(self, dropout_after=2, decay=0.5, floor=0.005):
+        analyser = PeriodAnalyser(
+            AnalyserConfig(spectrum=SpectrumConfig(), horizon_ns=SEC, min_events=4)
+        )
+        controller, actuated, state = make_controller(
+            analyser=analyser,
+            config=TaskControllerConfig(
+                use_period_estimate=False,
+                dropout_after=dropout_after,
+                dropout_decay=decay,
+                dropout_floor=floor,
+            ),
+        )
+        return controller, analyser, actuated, state
+
+    @staticmethod
+    def _feed(analyser, start=0):
+        analyser.add_times(range(start, start + 8 * 40 * MS, 40 * MS))
+
+    def test_fallback_after_streak_decays_last_good(self):
+        controller, analyser, _, state = self._starved_controller()
+        self._feed(analyser)
+        state["sample"] = ServerSample(consumed=30 * MS, exhaustions=0)
+        g0 = controller.activate(100 * MS)  # healthy: becomes last-good
+        assert controller.fallbacks == 0
+        # starve the detector: evict the entire analysis window
+        analyser.add_batch([], now=10 * SEC)
+        assert analyser.n_events == 0
+        controller.activate(200 * MS)  # streak 1 < 2: law still runs
+        assert controller.fallbacks == 0
+        g2 = controller.activate(300 * MS)  # streak 2: fallback engages
+        assert controller.fallbacks == 1
+        # the fallback decays the last HEALTHY grant, not whatever the
+        # law did while its sensor stream was already starved
+        assert g2.bandwidth == pytest.approx(g0.bandwidth * 0.5, rel=1e-2)
+        g3 = controller.activate(400 * MS)  # decay compounds per activation
+        assert controller.fallbacks == 2
+        assert g3.bandwidth == pytest.approx(g0.bandwidth * 0.25, rel=1e-2)
+
+    def test_decay_respects_floor(self):
+        controller, analyser, _, state = self._starved_controller(floor=0.10)
+        self._feed(analyser)
+        state["sample"] = ServerSample(consumed=30 * MS, exhaustions=0)
+        controller.activate(100 * MS)
+        analyser.add_batch([], now=10 * SEC)
+        granted = None
+        for k in range(2, 20):
+            granted = controller.activate(k * 100 * MS)
+        assert granted.bandwidth == pytest.approx(0.10, rel=1e-2)
+
+    def test_recovery_resets_streak(self):
+        controller, analyser, _, state = self._starved_controller()
+        self._feed(analyser)
+        state["sample"] = ServerSample(consumed=30 * MS, exhaustions=0)
+        controller.activate(100 * MS)
+        analyser.add_batch([], now=10 * SEC)
+        controller.activate(200 * MS)
+        controller.activate(300 * MS)
+        assert controller.fallbacks == 1
+        # detector recovers: a fresh window of events ends the fallback
+        self._feed(analyser, start=10 * SEC)
+        controller.activate(400 * MS)
+        assert controller.fallbacks == 1
+        controller.activate(500 * MS)
+        assert controller.fallbacks == 1  # streak must rebuild from zero
+
+    def test_no_fallback_without_a_healthy_grant(self):
+        # starved from the very first activation: there is no last-good
+        # bandwidth to fall back to, so the law keeps running
+        controller, _, _, state = self._starved_controller()
+        state["sample"] = ServerSample(consumed=0, exhaustions=0)
+        for k in range(1, 5):
+            controller.activate(k * 100 * MS)
+        assert controller.fallbacks == 0
+
+    def test_guard_off_by_default(self):
+        analyser = PeriodAnalyser(
+            AnalyserConfig(spectrum=SpectrumConfig(), horizon_ns=SEC, min_events=4)
+        )
+        controller, _, state = make_controller(analyser=analyser)
+        state["sample"] = ServerSample(consumed=30 * MS, exhaustions=0)
+        for k in range(1, 5):
+            controller.activate(k * 100 * MS)
+        assert controller.fallbacks == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_after": 0},
+            {"dropout_decay": 0.0},
+            {"dropout_decay": 1.5},
+            {"dropout_floor": -0.1},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TaskControllerConfig(**kwargs)

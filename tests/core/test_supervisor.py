@@ -135,3 +135,65 @@ class TestInvariantProperty:
             sup.submit(key, req(bw))
         for key, bw in zip(keys, bandwidths):
             assert sup.granted(key).bandwidth <= bw + 1e-6
+
+
+class TestStarvationWatchdog:
+    def test_healthy_system_untouched(self):
+        sup = Supervisor()
+        key = sup.register(u_min=0.2)
+        sup.submit(key, req(0.5))
+        assert sup.watchdog() == 0
+        assert sup.watchdog_repairs == 0
+        assert sup.granted(key).bandwidth == pytest.approx(0.5)
+
+    def test_restores_collapsed_request_to_floor(self):
+        # the starvation spiral: a feedback law squeezed under compression
+        # consumes less, so it requests less, so it is squeezed further —
+        # until its own request has signed away the guaranteed minimum
+        sup = Supervisor()
+        victim = sup.register(u_min=0.2)
+        sup.submit(victim, req(0.02))
+        assert sup.granted(victim).bandwidth == pytest.approx(0.02)
+        assert sup.watchdog() == 1
+        assert sup.watchdog_repairs == 1
+        assert sup.granted(victim).bandwidth >= 0.2 - 1e-9
+
+    def test_stale_compression_recomputed_after_departure(self):
+        sup = Supervisor(u_lub=0.9)
+        stayer = sup.register()
+        leaver = sup.register()
+        sup.submit(stayer, req(0.6))
+        sup.submit(leaver, req(0.6))
+        assert sup.granted(stayer).bandwidth < 0.6  # Eq. 1 compression
+        sup.unregister(leaver)
+        # unregister deliberately does not recompute: the grant is stale
+        assert sup.granted(stayer).bandwidth < 0.6
+        assert sup.watchdog() == 0  # nobody starved below a u_min floor...
+        assert sup.granted(stayer).bandwidth == pytest.approx(0.6)  # ...books fixed
+
+    def test_no_repair_without_submissions(self):
+        sup = Supervisor()
+        sup.register(u_min=0.3)  # registered but never submitted
+        assert sup.watchdog() == 0
+        assert sup.watchdog_repairs == 0
+
+    def test_repeated_runs_are_idempotent(self):
+        sup = Supervisor()
+        victim = sup.register(u_min=0.2)
+        sup.submit(victim, req(0.02))
+        assert sup.watchdog() == 1
+        assert sup.watchdog() == 0
+        assert sup.watchdog_repairs == 1
+
+    def test_kernel_timer_wiring(self):
+        from repro.sched.cbs import CbsScheduler
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel(CbsScheduler())
+        sup = Supervisor()
+        victim = sup.register(u_min=0.25)
+        sup.submit(victim, req(0.02))
+        sup.start_watchdog(kernel, 10 * MS)
+        kernel.run(25 * MS)
+        assert sup.watchdog_repairs >= 1
+        assert sup.granted(victim).bandwidth >= 0.25 - 1e-9

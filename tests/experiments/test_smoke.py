@@ -28,6 +28,7 @@ class TestRegistry:
             "fig12",
             "fig13",
             "tab03",
+            "robustness",
         }
         ablations_ = {
             "abl-predictors",
@@ -95,3 +96,18 @@ class TestSimulationExperiments:
         result = fig11.run(reps=6, tracing_times_s=(2.0,))
         row = result.rows[0]
         assert row["fraction_30_40hz"] >= 0.5
+
+    def test_robustness(self):
+        from repro.experiments import robustness
+
+        result = robustness.run(
+            fault="saturation", intensities=(0.0, 1.0), reps=1, n_frames=100
+        )
+        rows = {(r["intensity"], r["guards"]): r for r in result.rows}
+        assert set(rows) == {(0.0, "on"), (0.0, "off"), (1.0, "on"), (1.0, "off")}
+        # the degradation guards must not make the stressed run worse...
+        assert rows[(1.0, "on")]["miss_ratio"] <= rows[(1.0, "off")]["miss_ratio"] + 1e-9
+        # ...and under full saturation the unhardened arm starves (loses
+        # frames) while the hardened arm keeps playing
+        assert rows[(1.0, "on")]["frames_played"] >= rows[(1.0, "off")]["frames_played"]
+        assert rows[(1.0, "on")]["watchdog_repairs"] > 0

@@ -1,0 +1,86 @@
+"""FaultPlan / FaultWindow: schedules, zero-transparency gate, edges."""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultWindow, combined_is_zero
+from repro.sim.time import MS, SEC
+
+
+class TestFaultWindow:
+    def test_active_range_half_open(self):
+        w = FaultWindow(100, 200, 0.5)
+        assert not w.active_at(99)
+        assert w.active_at(100)
+        assert w.active_at(199)
+        assert not w.active_at(200)
+
+    def test_open_ended(self):
+        w = FaultWindow(5 * SEC, None, 1.0)
+        assert w.active_at(5 * SEC)
+        assert w.active_at(10**15)
+        assert not w.active_at(5 * SEC - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(-1, None, 0.5)
+        with pytest.raises(ValueError):
+            FaultWindow(100, 100, 0.5)  # empty interval
+        with pytest.raises(ValueError):
+            FaultWindow(0, None, 1.5)  # intensity out of range
+        with pytest.raises(ValueError):
+            FaultWindow(0, None, -0.1)
+
+
+class TestFaultPlan:
+    def test_zero_plan_is_zero_everywhere(self):
+        plan = FaultPlan.zero()
+        assert plan.is_zero
+        assert plan.intensity_at(0) == 0.0
+        assert plan.intensity_at(10 * SEC) == 0.0
+        assert plan.edges() == []
+
+    def test_constant(self):
+        plan = FaultPlan.constant(0.3, start=2 * SEC)
+        assert plan.intensity_at(0) == 0.0
+        assert plan.intensity_at(2 * SEC) == 0.3
+        assert plan.intensity_at(100 * SEC) == 0.3
+        assert not plan.is_zero
+
+    def test_constant_zero_collapses_to_empty(self):
+        # the zero-transparency gate: intensity 0 must not create windows
+        assert FaultPlan.constant(0.0).windows == ()
+        assert FaultPlan.burst(0, SEC, 0.0).windows == ()
+
+    def test_burst(self):
+        plan = FaultPlan.burst(SEC, 2 * SEC, 0.8)
+        assert plan.intensity_at(SEC - 1) == 0.0
+        assert plan.intensity_at(SEC) == 0.8
+        assert plan.intensity_at(2 * SEC) == 0.0
+
+    def test_last_window_wins(self):
+        plan = FaultPlan.steps(
+            [(0, None, 0.1), (SEC, 2 * SEC, 0.9)]  # background + stronger burst
+        )
+        assert plan.intensity_at(500 * MS) == 0.1
+        assert plan.intensity_at(1500 * MS) == 0.9
+        assert plan.intensity_at(3 * SEC) == 0.1
+
+    def test_edges_sorted_distinct(self):
+        plan = FaultPlan.steps([(0, SEC, 0.1), (SEC, 2 * SEC, 0.2), (0, None, 0.05)])
+        assert plan.edges() == [0, SEC, 2 * SEC]
+
+    def test_scaled(self):
+        plan = FaultPlan.burst(0, SEC, 0.4)
+        assert plan.scaled(0.5).intensity_at(0) == pytest.approx(0.2)
+        assert plan.scaled(10.0).intensity_at(0) == 1.0  # clamped
+        assert plan.scaled(0.0).is_zero
+        with pytest.raises(ValueError):
+            plan.scaled(-1.0)
+
+    def test_all_zero_windows_is_zero(self):
+        plan = FaultPlan((FaultWindow(0, SEC, 0.0),))
+        assert plan.is_zero
+
+    def test_combined_is_zero(self):
+        assert combined_is_zero([None, FaultPlan.zero(), FaultPlan.constant(0.0)])
+        assert not combined_is_zero([FaultPlan.zero(), FaultPlan.constant(0.1)])

@@ -1,18 +1,33 @@
-"""Run the doctests embedded in the library's docstrings."""
+"""Run the doctests embedded in the library's docstrings and in docs/.
+
+Also hosts the documentation gates CI runs standalone: every example in
+the ``docs/*.md`` pages must execute (``doctest.testfile``), and every
+markdown cross-reference must resolve (``scripts/check_doc_links.py``).
+"""
 
 import doctest
+import importlib.util
+import sys
+from pathlib import Path
 
 import pytest
 
 import repro.analysis.response
+import repro.faults.plan
 import repro.sched.fp
 import repro.sim.time
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
 
 MODULES = [
     repro.sim.time,
     repro.sched.fp,
     repro.analysis.response,
+    repro.faults.plan,
 ]
+
+DOC_PAGES = sorted(DOCS.glob("*.md"))
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
@@ -25,3 +40,40 @@ def test_doctests(module):
 def test_doctests_actually_exist():
     total = sum(len(doctest.DocTestFinder().find(m)) for m in MODULES)
     assert total > 0
+
+
+@pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
+def test_docs_examples_run(page):
+    # same semantics as CI's `python -m doctest docs/<page>.md`; pages
+    # without `>>>` examples trivially pass (attempted == 0)
+    result = doctest.testfile(str(page), module_relative=False)
+    assert result.failed == 0
+
+
+def test_docs_examples_actually_exist():
+    parser = doctest.DocTestParser()
+    total = sum(
+        len(parser.get_examples(page.read_text(encoding="utf-8")))
+        for page in DOC_PAGES
+    )
+    assert total > 0  # at least one page carries runnable examples
+
+
+def _load_link_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO / "scripts" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve():
+    checker = _load_link_checker()
+    assert checker.check_links() == []
+
+
+def test_docs_index_reaches_every_page():
+    checker = _load_link_checker()
+    assert checker.check_index_coverage() == []
