@@ -15,7 +15,7 @@ from repro.experiments import fig01
 def test_fig01_minimum_bandwidth_curve(run_once):
     result = run_once(fig01.run, t_step_ms=1.0)
     curve = result.series_by_name("min_bandwidth")
-    by_t = dict(zip(curve.x, curve.y))
+    by_t = dict(zip(curve.x, curve.y, strict=True))
 
     # utilisation floor met exactly at sub-multiples of P
     for t in (100.0, 50.0, 25.0, 20.0, 10.0):

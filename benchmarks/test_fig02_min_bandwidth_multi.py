@@ -30,6 +30,6 @@ def test_fig02_shared_reservation_waste(run_once):
 
     # EDF inside the server never needs more than RM inside
     edf = result.series_by_name("single_reservation_edf")
-    for rm_v, edf_v in zip(shared.y, edf.y):
+    for rm_v, edf_v in zip(shared.y, edf.y, strict=True):
         if rm_v == rm_v and edf_v == edf_v:
             assert edf_v <= rm_v + 1e-6

@@ -19,7 +19,7 @@ def test_fig10_peak_family_emerges(cached_run):
 
     # noise floor decays with tracing time
     floors = [rows[t]["noise_floor"] for t in (0.2, 0.5, 1.0, 2.0, 4.0)]
-    assert all(a >= b for a, b in zip(floors, floors[1:]))
+    assert all(a >= b for a, b in zip(floors, floors[1:], strict=False))
 
     # normalised spectra have max 1 by construction
     for series in result.series:

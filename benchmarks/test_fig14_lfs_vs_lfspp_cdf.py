@@ -27,7 +27,7 @@ def test_fig14_cdf_tails(cached_run):
     # CDFs are proper: nondecreasing, ending at 1
     for series in (lfs_cdf, lfspp_cdf):
         ps = series.y
-        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:], strict=False))
         assert ps[-1] <= 1.0 + 1e-9
 
     rows = {r["law"]: r for r in result.rows}

@@ -100,11 +100,8 @@ def check_links() -> list[str]:
             if not resolved.exists():
                 problems.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
                 continue
-            if fragment and resolved.suffix == ".md":
-                if fragment not in anchors_in(resolved):
-                    problems.append(
-                        f"{doc.relative_to(REPO)}: dead anchor -> {target}"
-                    )
+            if fragment and resolved.suffix == ".md" and fragment not in anchors_in(resolved):
+                problems.append(f"{doc.relative_to(REPO)}: dead anchor -> {target}")
     return problems
 
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Audit inline lint waivers: every one must carry a reason.
+
+The linter itself reports reason-less waivers as ``WV001``, but only on
+files it lints; this script walks the given trees (default: ``src``)
+independently so CI fails even if a waiver hides in a file outside the
+lint run's scope.  A waiver is the comment form parsed by
+:mod:`repro.analysis.lint.waivers`:
+
+    # repro: allow[RULE]  -- reason
+
+Usage: ``python scripts/check_waivers.py [paths...]`` from the repo
+root; exits non-zero with one line per offending waiver, and prints a
+summary of the waiver budget either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.lint.waivers import Waiver, parse_waivers  # noqa: E402
+
+
+def collect_waivers(paths: list[Path]) -> list[Waiver]:
+    """Parse every waiver comment under ``paths``."""
+    waivers: list[Waiver] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            rel = file.relative_to(REPO) if file.is_relative_to(REPO) else file
+            source = file.read_text(encoding="utf-8")
+            waivers.extend(parse_waivers(source, path=rel.as_posix()))
+    return waivers
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    roots = [Path(a).resolve() for a in args] or [REPO / "src"]
+    for root in roots:
+        if not root.exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+    waivers = collect_waivers(roots)
+    reasonless = [w for w in waivers if not w.reason]
+    for w in reasonless:
+        print(
+            f"{w.path}:{w.line}: waiver for {', '.join(w.rules)} has no "
+            f"reason; write `# repro: allow[RULE]  -- why`"
+        )
+    print(f"waiver budget: {len(waivers)} waiver(s), {len(reasonless)} without a reason")
+    return 1 if reasonless else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

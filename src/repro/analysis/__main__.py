@@ -1,0 +1,11 @@
+"""``python -m repro.analysis`` — run the determinism linter.
+
+Equivalent to ``repro-exp lint``; see :mod:`repro.analysis.lint`.
+"""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.tasks import Task
 

@@ -1,0 +1,121 @@
+"""Cross-file facts the rules need (a cheap whole-project pre-pass).
+
+Three symbol tables are collected before any rule runs:
+
+- ``slots_classes`` — names of classes whose body assigns ``__slots__``
+  (rule SC003 flags monkey-patching these);
+- ``instruction_classes`` — names of classes that are (or extend) the
+  simulator's instruction taxonomy (rule SC001 flags constructing one as
+  a bare statement instead of ``yield``-ing it);
+- ``set_attrs`` — attribute names annotated or initialised as
+  ``set``/``frozenset`` anywhere in the project, so rule DT005 can flag
+  ``for pid in server.members`` even when the class lives in another
+  file.
+
+The pre-pass is purely syntactic: it never imports the scanned code, so
+linting stays safe on broken or hostile sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.astutil import annotation_is_set
+
+#: The instruction classes of :mod:`repro.sim.instructions`; seeds the
+#: instruction table so fixtures need not re-declare them.
+INSTRUCTION_SEEDS = frozenset({"Compute", "Syscall", "Fire", "Label", "Instruction"})
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """Symbol tables shared by every rule invocation of one lint run."""
+
+    slots_classes: frozenset[str] = frozenset()
+    instruction_classes: frozenset[str] = INSTRUCTION_SEEDS
+    #: Attribute names known (project-wide) to hold ``set``/``frozenset``.
+    set_attrs: frozenset[str] = frozenset()
+    #: Paths that failed to parse during the pre-pass (reported once).
+    unparsed: tuple[str, ...] = ()
+
+
+@dataclass
+class _Collector:
+    """Mutable accumulator the pre-pass folds module trees into."""
+
+    slots_classes: set[str] = field(default_factory=set)
+    instruction_classes: set[str] = field(default_factory=lambda: set(INSTRUCTION_SEEDS))
+    set_attrs: set[str] = field(default_factory=set)
+    unparsed: list[str] = field(default_factory=list)
+
+    def _add_set_attrs(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AnnAssign):
+                continue
+            if not annotation_is_set(node.annotation):
+                continue
+            # instance attribute (`self.x: set[int] = ...`) or a class-body
+            # declaration (`members: set[int]`): both name a set-typed slot.
+            if isinstance(node.target, ast.Attribute):
+                self.set_attrs.add(node.target.attr)
+
+    def add_tree(self, tree: ast.Module) -> None:
+        """Fold one module's classes and set-typed attributes in."""
+        self._add_set_attrs(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and annotation_is_set(stmt.annotation)
+                ):
+                    self.set_attrs.add(stmt.target.id)
+            base_names = {
+                base.id if isinstance(base, ast.Name) else base.attr
+                for base in node.bases
+                if isinstance(base, (ast.Name, ast.Attribute))
+            }
+            if base_names & self.instruction_classes:
+                self.instruction_classes.add(node.name)
+            for stmt in node.body:
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                if any(isinstance(t, ast.Name) and t.id == "__slots__" for t in targets):
+                    self.slots_classes.add(node.name)
+
+    def freeze(self) -> ProjectContext:
+        """Snapshot the accumulator into an immutable context."""
+        return ProjectContext(
+            slots_classes=frozenset(self.slots_classes),
+            instruction_classes=frozenset(self.instruction_classes),
+            set_attrs=frozenset(self.set_attrs),
+            unparsed=tuple(self.unparsed),
+        )
+
+
+def build_context(sources: dict[str, str]) -> ProjectContext:
+    """Fold ``{path: source}`` into a :class:`ProjectContext`.
+
+    Instruction-class collection iterates to a fixed point so a chain of
+    subclasses spread over several files still resolves (two passes
+    suffice per level of the chain; realistic depth is tiny).
+    """
+    collector = _Collector()
+    trees: list[ast.Module] = []
+    for path, source in sources.items():
+        try:
+            trees.append(ast.parse(source, filename=path))
+        except (SyntaxError, ValueError):
+            collector.unparsed.append(path)
+    before = -1
+    while before != len(collector.instruction_classes):
+        before = len(collector.instruction_classes)
+        for tree in trees:
+            collector.add_tree(tree)
+    return collector.freeze()

@@ -1,0 +1,286 @@
+"""Lint driver: file discovery, scoping, rule execution, waiver audit.
+
+The engine parses every file once, builds the cross-file
+:class:`~repro.analysis.lint.context.ProjectContext`, runs each rule
+over the files its scope covers, and then settles the waiver ledger:
+an inline waiver suppresses matching diagnostics on its target line,
+a reason-less waiver is reported as ``WV001`` and a waiver that
+suppresses nothing as ``WV002`` — so the suppression surface can only
+shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.analysis.lint.context import ProjectContext, build_context
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import RULES, ParsedModule, Rule
+from repro.analysis.lint.waivers import Waiver, parse_waivers
+
+#: Path fragments (posix) a rule is restricted to by default.  Rules
+#: absent from this table run everywhere.  The determinism pack guards
+#: the simulation core; wall-clock reads in the experiment *harness*
+#: (timing how long a sweep took) are legitimate.
+SIM_DIRS = (
+    "repro/sim/",
+    "repro/sched/",
+    "repro/core/",
+    "repro/workloads/",
+    "repro/faults/",
+)
+
+DEFAULT_SCOPE: dict[str, tuple[str, ...]] = {
+    "DT001": SIM_DIRS,
+    "DT002": SIM_DIRS,
+    "DT003": SIM_DIRS,
+    "DT004": ("repro/sched/", "repro/faults/"),
+    "DT005": SIM_DIRS,
+}
+
+#: Waiver-audit pseudo-rules (engine-level; they have no ``check``).
+WV001 = ("WV001", "waiver without a reason")
+WV002 = ("WV002", "waiver that suppresses nothing")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to lint and how strictly to scope it."""
+
+    rules: tuple[Rule, ...] = tuple(RULES.values())
+    #: Apply :data:`DEFAULT_SCOPE` path restrictions (tests disable this
+    #: to run any rule against arbitrary fixture paths).
+    scoped: bool = True
+    #: Audit waivers (WV001/WV002); fixture tests may disable.
+    audit_waivers: bool = True
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    waivers: list[Waiver] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Active (non-waived) error diagnostics."""
+        return [d for d in self.diagnostics if not d.waived and d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Active (non-waived) warning diagnostics."""
+        return [d for d in self.diagnostics if not d.waived and d.severity is Severity.WARNING]
+
+    @property
+    def waived(self) -> list[Diagnostic]:
+        """Diagnostics suppressed by an inline waiver."""
+        return [d for d in self.diagnostics if d.waived]
+
+    def failed(self, *, strict: bool = False) -> bool:
+        """Whether the run should exit non-zero."""
+        if self.errors:
+            return True
+        return strict and bool(self.warnings)
+
+    def to_json(self) -> dict[str, Any]:
+        """Machine-readable report (schema v1, see docs/static-analysis.md)."""
+        return {
+            "version": 1,
+            "tool": "repro.analysis.lint",
+            "files": self.files,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "waivers": [
+                {
+                    "path": w.path,
+                    "line": w.line,
+                    "rules": list(w.rules),
+                    "reason": w.reason,
+                }
+                for w in self.waivers
+            ],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "waived": len(self.waived),
+                "files": self.files,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [d.render() for d in self.diagnostics if not d.waived]
+        lines.append(
+            f"{self.files} file(s): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.waived)} waived"
+        )
+        return "\n".join(lines)
+
+
+def _rule_applies(rule_id: str, path: str, config: LintConfig) -> bool:
+    if not config.scoped:
+        return True
+    fragments = DEFAULT_SCOPE.get(rule_id)
+    if fragments is None:
+        return True
+    posix = Path(path).as_posix()
+    return any(fragment in posix for fragment in fragments)
+
+
+def _apply_waivers(
+    diagnostics: list[Diagnostic],
+    waivers: Sequence[Waiver],
+    used: set[Waiver],
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        matched = None
+        for waiver in waivers:
+            if waiver.target_line == diag.line and waiver.covers(diag.rule):
+                matched = waiver
+                break
+        if matched is not None:
+            used.add(matched)
+            out.append(diag.with_waiver(matched.reason))
+        else:
+            out.append(diag)
+    return out
+
+
+def lint_sources(
+    sources: dict[str, str],
+    *,
+    config: LintConfig | None = None,
+    ctx: ProjectContext | None = None,
+) -> LintReport:
+    """Lint in-memory ``{path: source}`` files (the engine's heart)."""
+    config = config or LintConfig()
+    if ctx is None:
+        ctx = build_context(sources)
+    report = LintReport(files=len(sources))
+    for path, source in sources.items():
+        try:
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            offset = (getattr(exc, "offset", 1) or 1) - 1
+            report.diagnostics.append(
+                Diagnostic(
+                    rule="E999",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    col=offset,
+                    message=f"source failed to parse: {exc}",
+                )
+            )
+            continue
+        module = ParsedModule(path=path, source=source, tree=tree)
+        file_diags: list[Diagnostic] = []
+        for rule in config.rules:
+            if not _rule_applies(rule.id, path, config):
+                continue
+            file_diags.extend(rule.check(module, ctx))
+        file_diags.sort(key=lambda d: (d.line, d.col, d.rule))
+        waivers = parse_waivers(source, path)
+        report.waivers.extend(waivers)
+        used: set[Waiver] = set()
+        file_diags = _apply_waivers(file_diags, waivers, used)
+        report.diagnostics.extend(file_diags)
+        if config.audit_waivers:
+            for waiver in waivers:
+                if waiver.reason is None:
+                    report.diagnostics.append(
+                        Diagnostic(
+                            rule=WV001[0],
+                            severity=Severity.ERROR,
+                            path=path,
+                            line=waiver.line,
+                            col=0,
+                            message=(
+                                "waiver without a reason; write "
+                                "`# repro: allow[RULE]  -- why`"
+                            ),
+                        )
+                    )
+                if waiver not in used:
+                    report.diagnostics.append(
+                        Diagnostic(
+                            rule=WV002[0],
+                            severity=Severity.ERROR,
+                            path=path,
+                            line=waiver.line,
+                            col=0,
+                            message=(
+                                f"waiver for {', '.join(waiver.rules)} "
+                                f"suppresses nothing; delete it"
+                            ),
+                        )
+                    )
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return report
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory source string; returns its diagnostics.
+
+    Convenience wrapper used by rule unit tests and doc examples:
+
+    >>> diags = lint_source(
+    ...     "import time\\nt0 = time.time()\\n",
+    ...     path="repro/sim/demo.py",
+    ... )
+    >>> [(d.rule, d.line) for d in diags]
+    [('DT001', 2)]
+    """
+    return lint_sources({path: source}, config=config).diagnostics
+
+
+def discover_files(paths: Iterable[str | os.PathLike[str]]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py" and path.is_file():
+            out.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str | os.PathLike[str]],
+    *,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint files and directories on disk."""
+    files = discover_files(paths)
+    cwd = Path.cwd()
+    sources: dict[str, str] = {}
+    for file in files:
+        try:
+            rel = file.resolve().relative_to(cwd)
+            key = rel.as_posix()
+        except ValueError:
+            key = file.as_posix()
+        sources[key] = file.read_text(encoding="utf-8")
+    return lint_sources(sources, config=config)

@@ -1,0 +1,178 @@
+"""MP pack — safety of the PR-1 process-pool harness.
+
+The experiment runner fans work out over ``multiprocessing`` with the
+spawn/forkserver start methods; everything crossing the pool boundary is
+pickled.  A lambda or nested function handed to a ``map_fn`` hook dies
+with an opaque ``PicklingError`` only when ``--jobs > 1`` is actually
+used, and a worker that rebinds module globals produces results that
+differ between serial and sharded runs — exactly the bit-identity the
+harness promises.  Both hazards are statically visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.context import ProjectContext
+from repro.analysis.lint.diagnostics import Severity
+from repro.analysis.lint.rules import ParsedModule, Rule
+
+
+def _module_level_defs(tree: ast.Module) -> set[str]:
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _nested_defs(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function."""
+    nested: set[str] = set()
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(fn):
+            if sub is fn:
+                continue
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(sub.name)
+    return nested
+
+
+def _map_fn_callables(tree: ast.Module) -> Iterator[tuple[ast.expr, str]]:
+    """Yield (node, role) for every callable handed to a map_fn hook.
+
+    Covers the two sides of the contract: ``f(..., map_fn=<callable>)``
+    (installing the map) and ``map_fn(<work_fn>, ...)`` (dispatching work
+    through it).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if kw.arg == "map_fn":
+                yield kw.value, "map_fn= argument"
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "map_fn" and node.args:
+            yield node.args[0], "work callable of a map_fn(...) dispatch"
+
+
+def _check_picklable(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    nested = _nested_defs(module.tree)
+    for callable_node, role in _map_fn_callables(module.tree):
+        if isinstance(callable_node, ast.Lambda):
+            yield MP001.diagnostic(
+                module,
+                callable_node,
+                f"lambda as {role}; lambdas cannot be pickled to "
+                f"spawn/forkserver pool workers — use a module-level "
+                f"function",
+            )
+        elif isinstance(callable_node, ast.Name) and callable_node.id in nested:
+            yield MP001.diagnostic(
+                module,
+                callable_node,
+                f"nested function `{callable_node.id}` as {role}; closures "
+                f"cannot be pickled to pool workers — hoist it to module "
+                f"level",
+            )
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _check_global_mutation(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    tree = module.tree
+    worker_names = {
+        node.id
+        for node, _role in _map_fn_callables(tree)
+        if isinstance(node, ast.Name)
+    } & _module_level_defs(tree)
+    if not worker_names:
+        return
+    module_names = _module_level_names(tree)
+    for fn in tree.body:
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if fn.name not in worker_names:
+            continue
+        local_names = {
+            a.arg
+            for a in (
+                *fn.args.posonlyargs,
+                *fn.args.args,
+                *fn.args.kwonlyargs,
+            )
+        }
+        declared_global: set[str] = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+                yield MP002.diagnostic(
+                    module,
+                    sub,
+                    f"pool worker `{fn.name}` declares "
+                    f"`global {', '.join(sub.names)}`; rebinding module "
+                    f"state in a worker diverges from the serial run (each "
+                    f"process mutates its own copy)",
+                )
+            elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base is not target
+                        and base.id in module_names
+                        and base.id not in local_names
+                        and base.id not in declared_global
+                    ):
+                        yield MP002.diagnostic(
+                            module,
+                            target,
+                            f"pool worker `{fn.name}` mutates module-level "
+                            f"`{base.id}`; per-process copies diverge from "
+                            f"the serial run — pass state through the work "
+                            f"unit or use an explicit per-process memo",
+                        )
+
+
+MP001 = Rule(
+    id="MP001",
+    pack="MP",
+    title="unpicklable callable handed to a map_fn hook",
+    severity=Severity.ERROR,
+    rationale=(
+        "Work crossing the process-pool boundary is pickled; lambdas and "
+        "closures fail only at --jobs > 1, far from where they were written."
+    ),
+    check=_check_picklable,
+)
+
+MP002 = Rule(
+    id="MP002",
+    pack="MP",
+    title="pool worker mutates module globals",
+    severity=Severity.ERROR,
+    rationale=(
+        "Each pool process mutates its own copy of module state, so sharded "
+        "results silently diverge from the serial run the harness promises "
+        "to reproduce bit-identically."
+    ),
+    check=_check_global_mutation,
+)
+
+RULES = (MP001, MP002)

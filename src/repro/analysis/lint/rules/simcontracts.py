@@ -1,0 +1,240 @@
+"""SC pack — contracts of the discrete-event simulation kernel.
+
+These rules encode invariants that the kernel cannot cheaply check at
+runtime: an instruction that is constructed but never ``yield``-ed is
+silently dead (the process just skips the work), a calendar closure that
+captures a loop variable fires with the *last* iteration's binding, and
+monkey-patching a ``__slots__`` class breaks the bound-method caches the
+PR-2 hot paths rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.context import ProjectContext
+from repro.analysis.lint.diagnostics import Severity
+from repro.analysis.lint.rules import ParsedModule, Rule
+from repro.analysis.lint.astutil import loaded_names, target_names
+
+#: Methods that post a callback onto the kernel calendar.
+CALENDAR_METHODS = frozenset({"at", "every", "push"})
+
+
+def _is_generator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether ``fn``'s own body (not nested defs) contains a yield."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _check_unyielded_syscall(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_generator(fn):
+            continue
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            call = node.value
+            if isinstance(call.func, ast.Name) and call.func.id in ctx.instruction_classes:
+                yield SC001.diagnostic(
+                    module,
+                    node,
+                    f"instruction `{call.func.id}(...)` constructed but not "
+                    f"`yield`-ed in a process generator; the kernel never "
+                    f"sees it and the work silently vanishes",
+                )
+
+
+class _CalendarClosureVisitor(ast.NodeVisitor):
+    """Flag calendar callbacks that capture enclosing loop variables."""
+
+    def __init__(self, module: ParsedModule) -> None:
+        """Track loop-variable scopes for one module walk."""
+        self.module = module
+        self.diagnostics: list = []
+        self.loop_targets_stack: list[set[str]] = []
+        #: functions defined inside a loop, name -> def node
+        self.loop_defs_stack: list[dict[str, ast.AST]] = []
+
+    def _fresh_scope(self, node: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.loop_targets_stack.append(set())
+        self.loop_defs_stack.append({})
+        self.generic_visit(node)
+        self.loop_targets_stack.pop()
+        self.loop_defs_stack.pop()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        """Module body is its own (loop-free) scope."""
+        self._fresh_scope(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Record loop-nested defs, then recurse into a fresh scope."""
+        if self.loop_targets_stack and self.loop_targets_stack[-1]:
+            # nested def inside a loop: remember it for by-name handoff
+            self.loop_defs_stack[-1][node.name] = node
+        self._fresh_scope(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_For(self, node: ast.For) -> None:
+        """Bind the loop targets for the duration of the loop body."""
+        targets = self.loop_targets_stack[-1] if self.loop_targets_stack else set()
+        added = set(target_names(node.target)) - targets
+        targets |= added
+        self.generic_visit(node)
+        targets -= added
+
+    def _captured(self, callback: ast.expr) -> set[str]:
+        """Loop variables a callback argument captures by reference."""
+        if not self.loop_targets_stack:
+            return set()
+        targets = self.loop_targets_stack[-1]
+        if not targets:
+            return set()
+        if isinstance(callback, ast.Lambda):
+            params = {a.arg for a in (
+                *callback.args.posonlyargs,
+                *callback.args.args,
+                *callback.args.kwonlyargs,
+            )}
+            if callback.args.vararg:
+                params.add(callback.args.vararg.arg)
+            if callback.args.kwarg:
+                params.add(callback.args.kwarg.arg)
+            return (loaded_names(callback.body) - params) & targets
+        if isinstance(callback, ast.Name):
+            fn = self.loop_defs_stack[-1].get(callback.id)
+            if fn is not None:
+                params = {a.arg for a in fn.args.args}  # type: ignore[attr-defined]
+                return (loaded_names(fn) - params) & targets
+        return set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Inspect calendar-posting calls for captured loop variables."""
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and fn.attr in CALENDAR_METHODS:
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                captured = self._captured(arg)
+                if captured:
+                    names = ", ".join(sorted(captured))
+                    self.diagnostics.append(
+                        SC002.diagnostic(
+                            self.module,
+                            arg,
+                            f"calendar callback captures loop variable(s) "
+                            f"{names} by reference; every posted event will "
+                            f"see the last iteration's value — bind with a "
+                            f"default argument or a payload instead",
+                        )
+                    )
+        self.generic_visit(node)
+
+
+def _check_calendar_closures(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    visitor = _CalendarClosureVisitor(module)
+    visitor.visit(module.tree)
+    yield from visitor.diagnostics
+
+
+def _enclosing_class_names(tree: ast.Module) -> dict[int, str]:
+    """Map id() of every node to the name of its enclosing class body."""
+    owner: dict[int, str] = {}
+    for cls in ast.walk(tree):
+        if isinstance(cls, ast.ClassDef):
+            for sub in ast.walk(cls):
+                owner.setdefault(id(sub), cls.name)
+    return owner
+
+
+def _check_slots_patch(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    if not ctx.slots_classes:
+        return
+    owner = _enclosing_class_names(module.tree)
+    for node in ast.walk(module.tree):
+        patched: str | None = None
+        cls_name: str | None = None
+        anchor: ast.AST = node
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in ctx.slots_classes
+                ):
+                    cls_name = target.value.id
+                    patched = f"{cls_name}.{target.attr}"
+                    anchor = target
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Name)
+                and fn.id == "setattr"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in ctx.slots_classes
+            ):
+                cls_name = node.args[0].id
+                patched = f"setattr({cls_name}, ...)"
+        if patched is None:
+            continue
+        if owner.get(id(node)) == cls_name:
+            continue  # assignment inside the class's own body
+        yield SC003.diagnostic(
+            module,
+            anchor,
+            f"monkey-patch of `__slots__` class attribute `{patched}`; the "
+            f"kernel caches bound methods of these classes on its hot path, "
+            f"so runtime patching is silently ignored or inconsistent",
+        )
+
+
+SC001 = Rule(
+    id="SC001",
+    pack="SC",
+    title="instruction constructed but not yielded",
+    severity=Severity.ERROR,
+    rationale=(
+        "Programs hand instructions to the kernel by yielding them; a bare "
+        "`Compute(...)` statement builds the object and throws it away."
+    ),
+    check=_check_unyielded_syscall,
+)
+
+SC002 = Rule(
+    id="SC002",
+    pack="SC",
+    title="calendar callback captures a loop variable",
+    severity=Severity.WARNING,
+    rationale=(
+        "Closures capture variables by reference; every event posted in the "
+        "loop fires with the final iteration's binding (Python's classic "
+        "late-binding trap, on a path where it corrupts the simulation)."
+    ),
+    check=_check_calendar_closures,
+)
+
+SC003 = Rule(
+    id="SC003",
+    pack="SC",
+    title="monkey-patching a __slots__ class",
+    severity=Severity.ERROR,
+    rationale=(
+        "__slots__ classes sit on the simulator's hottest paths and their "
+        "methods are cached as bound references; patching the class at "
+        "runtime desynchronises those caches."
+    ),
+    check=_check_slots_patch,
+)
+
+RULES = (SC001, SC002, SC003)

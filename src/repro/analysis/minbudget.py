@@ -19,14 +19,16 @@ bounds the absolute error on the returned budget.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.analysis.demand import edf_dbf, edf_deadline_points, rm_arrival_points, rm_rbf
 from repro.analysis.supply import cbs_dedicated_sbf, periodic_sbf
 from repro.analysis.tasks import Task
 
 
-def _binary_search_budget(period: float, feasible, tol: float) -> float | None:
+def _binary_search_budget(
+    period: float, feasible: Callable[[float], bool], tol: float
+) -> float | None:
     """Smallest Q in (0, period] with ``feasible(Q)`` true, or None."""
     if not feasible(period):
         return None

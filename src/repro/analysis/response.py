@@ -15,7 +15,7 @@ real-time literature leans on (and the paper cites through [16, 19]):
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.tasks import Task, total_utilisation
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 
@@ -19,6 +20,7 @@ class Task:
     deadline: float | None = None
 
     def __post_init__(self) -> None:
+        """Validate the task parameters."""
         if self.cost <= 0 or self.period <= 0:
             raise ValueError(f"cost and period must be positive, got {self}")
         if self.deadline is not None and self.deadline <= 0:
@@ -37,6 +39,6 @@ class Task:
         return self.cost / self.period
 
 
-def total_utilisation(tasks) -> float:
+def total_utilisation(tasks: Iterable[Task]) -> float:
     """Σ C_i / P_i of a collection of :class:`Task`."""
     return sum(t.utilisation for t in tasks)

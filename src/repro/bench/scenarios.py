@@ -13,7 +13,7 @@ optimisation.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.sched import (
     CbsScheduler,

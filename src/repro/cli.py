@@ -165,6 +165,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also export the telemetry as a Perfetto/Chrome trace JSON",
     )
+    lint_p = sub.add_parser(
+        "lint", help="determinism & sim-invariant static analysis of the source tree"
+    )
+    from repro.analysis.lint.cli import build_parser as _build_lint_parser
+
+    _build_lint_parser(lint_p)
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -205,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(args)
     if args.command == "faults":
         return _faults(args)
+    if args.command == "lint":
+        from repro.analysis.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -333,7 +343,7 @@ def _analyze(args) -> None:
           f"(period {estimate.period_ns / 1e6:.3f} ms, from {estimate.n_events} events)")
     if estimate.detail is not None and estimate.detail.candidates:
         top = sorted(
-            zip(estimate.detail.candidates, estimate.detail.harmonic_sums),
+            zip(estimate.detail.candidates, estimate.detail.harmonic_sums, strict=True),
             key=lambda cs: -cs[1],
         )[:5]
         print("top candidates (freq Hz : harmonic sum):")

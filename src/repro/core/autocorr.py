@@ -158,10 +158,11 @@ class IntervalHistogramDetector:
             lo, hi_b = max(0, i - 2), min(c.size - 1, i + 2)
             window = c[lo : hi_b + 1]
             mass = window.sum()
-            if mass > 0:
-                centroid = float((lags[lo : hi_b + 1] * window).sum() / mass)
-            else:
-                centroid = float(lags[i])
+            centroid = (
+                float((lags[lo : hi_b + 1] * window).sum() / mass)
+                if mass > 0
+                else float(lags[i])
+            )
             candidates.append(int(round(centroid)))
 
         # steps 3-4: per-multiple support
@@ -207,7 +208,7 @@ class IntervalHistogramDetector:
         if best_support <= 0:
             return IntervalEstimate(None, refined, supports, pairs)
         cutoff = (1.0 - cfg.octave_tolerance) * best_support
-        period = min(t for t, s in zip(refined, supports) if s >= cutoff)
+        period = min(t for t, s in zip(refined, supports, strict=True) if s >= cutoff)
         return IntervalEstimate(
             period_ns=period,
             candidates=refined,

@@ -16,7 +16,8 @@ activation it
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 from repro.core.analyser import PeriodAnalyser
 from repro.core.lfspp import BandwidthRequest
@@ -214,10 +215,7 @@ class TaskController:
                 return self._fallback_activation(now, period_ns)
 
         sample = self.sensor()
-        if self.feedback.SENSOR == "exhaustions":
-            value = sample.exhaustions
-        else:
-            value = sample.consumed
+        value = sample.exhaustions if self.feedback.SENSOR == "exhaustions" else sample.consumed
         request = self.feedback.update(
             value, period_ns, now, exhaustions_total=sample.exhaustions
         )

@@ -167,9 +167,11 @@ class SelfTuningDaemon:
                 and estimate.detail.peak_to_mean >= self.config.min_confidence
             ):
                 probe.detections.append(estimate.period_ns)
-            if now - probe.started >= self.config.probe_duration:
-                if self._conclude(probe, now):
-                    adopted_this_round = True
+            if (
+                now - probe.started >= self.config.probe_duration
+                and self._conclude(probe, now)
+            ):
+                adopted_this_round = True
         if adopted_this_round:
             # an adoption changes the scheduling topology: a best-effort
             # process observed *before* a competitor moved into its own

@@ -17,7 +17,7 @@ against a pid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.analyser import AnalyserConfig, PeriodAnalyser
 from repro.core.controller import FeedbackLaw, ServerSample, TaskController, TaskControllerConfig

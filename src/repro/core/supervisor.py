@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.core.lfspp import BandwidthRequest
 
@@ -33,7 +33,7 @@ class _Registration:
     requested: BandwidthRequest | None = None
     #: invoked whenever this task's grant changes because of *another*
     #: task's request (the submitting task gets its grant returned)
-    actuate: Optional[Callable[[BandwidthRequest], None]] = None
+    actuate: Callable[[BandwidthRequest], None] | None = None
 
 
 class Supervisor:
@@ -195,7 +195,7 @@ class Supervisor:
                 max(r.requested.bandwidth - r.u_min, 0.0) * r.weight for r in active  # type: ignore[union-attr]
             ]
             total_excess = sum(excess)
-            for r, exc in zip(active, excess):
+            for r, exc in zip(active, excess, strict=True):
                 req = r.requested
                 assert req is not None
                 share = (exc / total_excess) * available if total_excess > 0 else 0.0

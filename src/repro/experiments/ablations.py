@@ -255,10 +255,11 @@ def run_tracer_input(*, reps: int = 15) -> ExperimentResult:
             tracer.trace_pid(proc.pid)
             wakeup.trace_pid(proc.pid)
             kernel.run(4 * SEC)
-            if source == "syscalls":
-                times = [e.time for e in tracer.buffer.drain() if e.pid == proc.pid]
-            else:
-                times = [e.time for e in wakeup.drain()]
+            times = (
+                [e.time for e in tracer.buffer.drain() if e.pid == proc.pid]
+                if source == "syscalls"
+                else [e.time for e in wakeup.drain()]
+            )
             volumes.append(len(times))
             f = detect(times, periodic_spectrum)
             if f is not None:
@@ -282,12 +283,11 @@ def run_tracer_input(*, reps: int = 15) -> ExperimentResult:
             wakeup.install(scenario.kernel)
             wakeup.trace_pid(scenario.player_pid)
             scenario.kernel.run(4 * SEC)
-            if source == "syscalls":
-                times = [
-                    e.time for e in scenario.tracer.buffer.drain() if e.pid == scenario.player_pid
-                ]
-            else:
-                times = [e.time for e in wakeup.drain()]
+            times = (
+                [e.time for e in scenario.tracer.buffer.drain() if e.pid == scenario.player_pid]
+                if source == "syscalls"
+                else [e.time for e in wakeup.drain()]
+            )
             volumes.append(len(times))
             f = detect(times, MP3_SPECTRUM)
             if f is not None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 
 @dataclass
@@ -67,7 +67,7 @@ class ExperimentResult:
                 out.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols))
         for s in self.series:
             out.append(f"-- series: {s.name} ({len(s.x)} points)")
-            for i, (x, y) in enumerate(zip(s.x, s.y)):
+            for i, (x, y) in enumerate(zip(s.x, s.y, strict=True)):
                 err = f" +/- {_fmt(s.yerr[i])}" if s.yerr is not None else ""
                 out.append(f"   {_fmt(x):>12}  {_fmt(y)}{err}")
         for n in self.notes:
@@ -96,7 +96,7 @@ class ExperimentResult:
             has_err = s.yerr is not None
             header = ["series", "name", "x", "y"] + (["yerr"] if has_err else [])
             writer.writerow(header)
-            for i, (x, y) in enumerate(zip(s.x, s.y)):
+            for i, (x, y) in enumerate(zip(s.x, s.y, strict=True)):
                 row = ["series", s.name, x, y]
                 if has_err:
                     row.append(s.yerr[i])

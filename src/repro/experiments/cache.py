@@ -34,6 +34,7 @@ The default cache directory is ``$REPRO_CACHE_DIR`` when set, else
 from __future__ import annotations
 
 import hashlib
+import contextlib
 import json
 import os
 import pickle
@@ -217,10 +218,8 @@ class ResultCache:
         except Exception:
             # corrupted / stale-format entry: evict and recompute
             for p in (pkl, meta):
-                try:
+                with contextlib.suppress(OSError):
                     p.unlink()
-                except OSError:
-                    pass
             self.misses += 1
             return None
         self.hits += 1
@@ -268,10 +267,8 @@ class ResultCache:
                 write(fh)
             os.replace(tmp, dest)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
 
     def clear(self) -> int:

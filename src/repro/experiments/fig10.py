@@ -55,7 +55,7 @@ def _spectrum_unit(
     peak = amp.max() if amp.size else 1.0
     norm = amp / peak if peak > 0 else amp
     curve = Series(name=f"tracing_{t_s}s")
-    for f, a in zip(freqs, norm):
+    for f, a in zip(freqs, norm, strict=True):
         curve.add(float(f), float(a))
 
     # peak-family visibility: normalised amplitude at the harmonics

@@ -100,13 +100,13 @@ def run(*, n_frames: int = 1400, seed: int = 13) -> ExperimentResult:
             s_ift.add(i + 1, float(v))
         result.series.append(s_ift)
         s_bw = Series(name=f"reserved_fraction[{name}]")
-        for t, b in zip(data["bw_time_s"], data["bw"]):
+        for t, b in zip(data["bw_time_s"], data["bw"], strict=True):
             s_bw.add(float(t), float(b))
         result.series.append(s_bw)
         # Fig. 14 CDFs
         xs, ps = cdf_points(ift)
         s_cdf = Series(name=f"ift_cdf[{name}]")
-        for x, p in zip(xs[:: max(1, len(xs) // 200)], ps[:: max(1, len(xs) // 200)]):
+        for x, p in zip(xs[:: max(1, len(xs) // 200)], ps[:: max(1, len(xs) // 200)], strict=True):
             s_cdf.add(float(x), float(p))
         result.series.append(s_cdf)
 

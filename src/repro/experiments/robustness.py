@@ -76,7 +76,7 @@ def run(
         for hardened in (True, False):
             metrics = [
                 m
-                for (i, h, _), m in zip(grid, units)
+                for (i, h, _), m in zip(grid, units, strict=True)
                 if i == intensity and h == hardened
             ]
             miss = float(np.mean([m["miss_ratio"] for m in metrics]))

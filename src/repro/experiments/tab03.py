@@ -72,7 +72,7 @@ def run(
     )
     n = len(loads)
     stats = map_fn(run_one, list(loads), [n_frames] * n, [seed] * n)
-    for load, (mean, std) in zip(loads, stats):
+    for load, (mean, std) in zip(loads, stats, strict=True):
         result.add_row(
             periodic_workload_pct=round(load * 100),
             avg_ift_ms=mean,

@@ -11,7 +11,8 @@ full harness at intensity 0 and asserts bit-identical digests).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.faults.base import FaultInjector
 

@@ -96,6 +96,7 @@ class TraceTamper(FaultInjector):
         p_drop = self.drop.intensity_at(now)
         p_dup = self.duplicate.intensity_at(now)
         i_jit = self.jitter.intensity_at(now)
+        # repro: allow[DT004]  -- exact-zero is the transparency gate: 0.0 is representable
         if not batch or (p_drop == 0.0 and p_dup == 0.0 and i_jit == 0.0):
             return batch
         rng = self._rng
@@ -177,10 +178,11 @@ class RingPressure(FaultInjector):
                 tracer.stalled = False
                 self._window_end(now)
             return
-        if intensity > 0.0:
-            capacity = max(self.min_capacity, round(self._base_capacity * (1.0 - intensity)))
-        else:
-            capacity = self._base_capacity
+        capacity = (
+            max(self.min_capacity, round(self._base_capacity * (1.0 - intensity)))
+            if intensity > 0.0
+            else self._base_capacity
+        )
         if capacity != tracer.buffer.capacity:
             if capacity < self._base_capacity:
                 self._window_begin("shrink", now, capacity=capacity, intensity=intensity)
@@ -334,6 +336,7 @@ class ClockCoarsening(FaultInjector):
     def _apply(self, batch: list[TraceEvent], now: int) -> list[TraceEvent]:
         """Quantise one batch (identity outside fault windows)."""
         intensity = self.plan.intensity_at(now)
+        # repro: allow[DT004]  -- exact-zero is the transparency gate: 0.0 is representable
         if not batch or intensity == 0.0:
             return batch
         grain = max(1, int(intensity * self.granularity_ns))

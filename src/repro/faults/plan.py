@@ -33,7 +33,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,7 @@ class FaultPlan:
     @staticmethod
     def constant(intensity: float, *, start: int = 0) -> FaultPlan:
         """Intensity ``intensity`` from ``start`` until the end of the run."""
+        # repro: allow[DT004]  -- exact-zero is the transparency gate: 0.0 is representable
         if intensity == 0.0:
             return FaultPlan()
         return FaultPlan((FaultWindow(start, None, intensity),))
@@ -95,6 +96,7 @@ class FaultPlan:
     @staticmethod
     def burst(start: int, end: int, intensity: float) -> FaultPlan:
         """One finite window of the given intensity."""
+        # repro: allow[DT004]  -- exact-zero is the transparency gate: 0.0 is representable
         if intensity == 0.0:
             return FaultPlan()
         return FaultPlan((FaultWindow(start, end, intensity),))
@@ -122,6 +124,7 @@ class FaultPlan:
         This is the zero-intensity transparency gate: injectors armed
         with a zero plan must not install hooks or post calendar events.
         """
+        # repro: allow[DT004]  -- exact-zero is the transparency gate: 0.0 is representable
         return all(w.intensity == 0.0 for w in self.windows)
 
     def edges(self) -> list[int]:

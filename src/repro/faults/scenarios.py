@@ -20,7 +20,7 @@ with the deadline-miss ratio and the guard counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

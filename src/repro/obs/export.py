@@ -105,7 +105,7 @@ def chrome_trace(telemetry: Telemetry) -> dict:
         )
     for series in telemetry.metrics.values():
         counter_name = f"{series.track}.{series.name}"
-        for t, v in zip(series.times, series.values):
+        for t, v in zip(series.times, series.values, strict=True):
             events.append(
                 {
                     "ph": "C",
@@ -142,7 +142,7 @@ def timeseries_csv(telemetry: Telemetry) -> str:
     writer = csv.writer(buf)
     writer.writerow(["kind", "track", "name", "t_ns", "value"])
     for series in telemetry.metrics.values():
-        for t, v in zip(series.times, series.values):
+        for t, v in zip(series.times, series.values, strict=True):
             writer.writerow([series.kind, series.track, series.name, t, v])
     return buf.getvalue()
 

@@ -17,7 +17,7 @@ of virtual time, thousands — not millions — of events).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.obs.instrument import instrument_kernel, instrument_runtime
 from repro.obs.telemetry import Telemetry, TelemetryConfig

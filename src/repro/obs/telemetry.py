@@ -28,7 +28,7 @@ The hub offers a generic recording API (:meth:`span`, :meth:`begin` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.obs.metrics import MetricSeries
 from repro.obs.spans import Instant, OpenSpan, Span
@@ -59,7 +59,7 @@ class Telemetry:
 
     def __init__(self, config: TelemetryConfig | None = None) -> None:
         self.config = config or TelemetryConfig()
-        self.kernel: Optional[Kernel] = None
+        self.kernel: Kernel | None = None
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         #: (track, name) -> series

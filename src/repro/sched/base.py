@@ -18,7 +18,7 @@ kernel handle via :meth:`Scheduler.bind`.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
@@ -29,33 +29,33 @@ class Scheduler(abc.ABC):
     """Abstract scheduling policy."""
 
     def __init__(self) -> None:
-        self.kernel: "Kernel | None" = None
+        self.kernel: Kernel | None = None
 
-    def bind(self, kernel: "Kernel") -> None:
+    def bind(self, kernel: Kernel) -> None:
         """Attach to a kernel (called once by :class:`~repro.sim.kernel.Kernel`)."""
         self.kernel = kernel
 
     @abc.abstractmethod
-    def on_ready(self, proc: "Process", now: int) -> None:
+    def on_ready(self, proc: Process, now: int) -> None:
         """``proc`` became runnable at ``now`` (admission or wake-up)."""
 
     @abc.abstractmethod
-    def on_block(self, proc: "Process", now: int) -> None:
+    def on_block(self, proc: Process, now: int) -> None:
         """``proc`` blocked at ``now``."""
 
-    def on_exit(self, proc: "Process", now: int) -> None:
+    def on_exit(self, proc: Process, now: int) -> None:
         """``proc`` exited at ``now``; default defers to :meth:`on_block`."""
         self.on_block(proc, now)
 
     @abc.abstractmethod
-    def pick(self, now: int) -> Optional["Process"]:
+    def pick(self, now: int) -> Process | None:
         """Return the process that should occupy the CPU at ``now``."""
 
     @abc.abstractmethod
-    def charge(self, proc: "Process", delta: int, now: int) -> None:
+    def charge(self, proc: Process, delta: int, now: int) -> None:
         """Account ``delta`` ns of CPU just consumed by ``proc`` ending at ``now``."""
 
-    def time_until_internal_event(self, proc: "Process", now: int) -> Optional[int]:
+    def time_until_internal_event(self, proc: Process, now: int) -> int | None:
         """Upper bound (ns from ``now``) on how long ``proc`` may run
         before this scheduler needs to re-decide; ``None`` means no bound."""
         return None
@@ -69,12 +69,12 @@ class SmpScheduler(Scheduler):
     """
 
     @abc.abstractmethod
-    def pick_n(self, now: int, n: int) -> "list[Optional[Process]]":
+    def pick_n(self, now: int, n: int) -> list[Process | None]:
         """Return the processes to run on CPUs ``0..n-1`` (None = idle).
 
         The returned processes must be distinct and runnable.
         """
 
-    def pick(self, now: int) -> "Optional[Process]":
+    def pick(self, now: int) -> Process | None:
         """Uniprocessor compatibility: the most urgent pick."""
         return self.pick_n(now, 1)[0]

@@ -32,13 +32,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
 from repro.sim.time import MS
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
     from repro.sim.kernel import Kernel
 
 
@@ -139,7 +140,7 @@ class CbsScheduler(Scheduler):
     #: sites are read-only and sit off the per-quantum ``charge`` path —
     #: only server lifecycle edges (create/destroy/exhaust/replenish/
     #: set-params) are reported.
-    _obs = None
+    _obs: Telemetry | None = None
 
     def __init__(self, *, background_slice: int = 20 * MS, intra_server_slice: int = 4 * MS) -> None:
         super().__init__()
@@ -171,7 +172,7 @@ class CbsScheduler(Scheduler):
 
     def destroy_server(self, server: Server) -> None:
         """Remove a reservation; attached processes fall back to background."""
-        for pid in list(server.members):
+        for pid in sorted(server.members):
             proc = self._find_proc(server, pid)
             if proc is not None:
                 self.detach(proc)
@@ -324,7 +325,7 @@ class CbsScheduler(Scheduler):
             if s.has_work() and not s.throttled and s.q > 0
         ]
 
-    def pick(self, now: int) -> Optional[Process]:
+    def pick(self, now: int) -> Process | None:
         # manual argmin over (deadline, sid) — equivalent to
         # min(self._eligible_servers(), key=...) without building the list
         # or a key tuple per server; pick() runs once per kernel iteration
@@ -374,7 +375,7 @@ class CbsScheduler(Scheduler):
             server.q = max(server.q, 0)
             self._on_exhaustion(server, now)
 
-    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+    def time_until_internal_event(self, proc: Process, now: int) -> int | None:
         server: Server | None = proc.sched_data  # type: ignore[assignment]
         if server is not None and not server.throttled:
             bound = server.q

@@ -12,7 +12,7 @@ release) its absolute deadline becomes ``wake time + relative deadline``.
 
 from __future__ import annotations
 
-from typing import Optional
+
 
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
@@ -55,7 +55,7 @@ class EdfScheduler(Scheduler):
         if proc in self._ready:
             self._ready.remove(proc)
 
-    def pick(self, now: int) -> Optional[Process]:
+    def pick(self, now: int) -> Process | None:
         if not self._ready:
             return None
         return min(self._ready, key=lambda p: (self._abs_deadline.get(p.pid, 2**62), p.pid))

@@ -9,7 +9,7 @@ Both uses are covered here.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
@@ -55,7 +55,7 @@ class FixedPriorityScheduler(Scheduler):
         if proc in self._ready:
             self._ready.remove(proc)
 
-    def pick(self, now: int) -> Optional[Process]:
+    def pick(self, now: int) -> Process | None:
         if not self._ready:
             return None
         # stable min: FIFO among equal priorities because _ready preserves

@@ -15,7 +15,7 @@ Two flavours:
 
 from __future__ import annotations
 
-from typing import Optional
+
 
 from repro.sched.base import SmpScheduler
 from repro.sched.cbs import CbsScheduler
@@ -26,11 +26,11 @@ from repro.sim.process import Process
 class GlobalEdfScheduler(EdfScheduler, SmpScheduler):
     """Task-level global EDF: the n earliest deadlines occupy the CPUs."""
 
-    def pick_n(self, now: int, n: int) -> list[Optional[Process]]:
+    def pick_n(self, now: int, n: int) -> list[Process | None]:
         ordered = sorted(
             self._ready, key=lambda p: (self._abs_deadline.get(p.pid, 2**62), p.pid)
         )
-        picks: list[Optional[Process]] = list(ordered[:n])
+        picks: list[Process | None] = list(ordered[:n])
         picks += [None] * (n - len(picks))
         return picks
 
@@ -38,8 +38,8 @@ class GlobalEdfScheduler(EdfScheduler, SmpScheduler):
 class GlobalCbsScheduler(CbsScheduler, SmpScheduler):
     """Server-level global EDF over CBS reservations."""
 
-    def pick_n(self, now: int, n: int) -> list[Optional[Process]]:
-        picks: list[Optional[Process]] = []
+    def pick_n(self, now: int, n: int) -> list[Process | None]:
+        picks: list[Process | None] = []
         for server in sorted(self._eligible_servers(), key=lambda s: (s.deadline, s.sid)):
             if len(picks) >= n:
                 break

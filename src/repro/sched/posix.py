@@ -8,7 +8,7 @@ download agent share the CPU under the stock time-sharing policy.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+
 
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
@@ -35,7 +35,7 @@ class RoundRobinScheduler(Scheduler):
             self._queue.remove(proc)
             self._slice_left = self.timeslice
 
-    def pick(self, now: int) -> Optional[Process]:
+    def pick(self, now: int) -> Process | None:
         return self._queue[0] if self._queue else None
 
     def charge(self, proc: Process, delta: int, now: int) -> None:
@@ -45,7 +45,7 @@ class RoundRobinScheduler(Scheduler):
             if len(self._queue) > 1 and self._queue[0] is proc:
                 self._queue.rotate(-1)
 
-    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+    def time_until_internal_event(self, proc: Process, now: int) -> int | None:
         if len(self._queue) <= 1:
             return None
         return max(self._slice_left, 1)

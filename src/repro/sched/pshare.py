@@ -14,7 +14,7 @@ badly-chosen server period.
 
 from __future__ import annotations
 
-from typing import Optional
+
 
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
@@ -58,7 +58,7 @@ class StrideScheduler(Scheduler):
         if proc in self._ready:
             self._ready.remove(proc)
 
-    def pick(self, now: int) -> Optional[Process]:
+    def pick(self, now: int) -> Process | None:
         if not self._ready:
             return None
         best = min(self._ready, key=lambda p: (self._pass.get(p.pid, 0), p.pid))
@@ -73,7 +73,7 @@ class StrideScheduler(Scheduler):
             left = self.quantum
         self._remaining[proc.pid] = left
 
-    def time_until_internal_event(self, proc: Process, now: int) -> Optional[int]:
+    def time_until_internal_event(self, proc: Process, now: int) -> int | None:
         if len(self._ready) <= 1:
             return None
         return max(self._remaining.get(proc.pid, self.quantum), 1)

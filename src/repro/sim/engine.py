@@ -16,7 +16,8 @@ memory a cancel-heavy workload, e.g. a timer wheel under churn, can pin).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 
 class ScheduledEvent:
@@ -43,7 +44,7 @@ class ScheduledEvent:
         self.payload = payload
         self.cancelled = cancelled
         #: owning queue while the entry sits in the heap (None once popped)
-        self._queue: "EventQueue | None" = None
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""

@@ -19,7 +19,8 @@ paper's Table 1 experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Protocol
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Protocol
 
 from repro.sim.engine import EventQueue, ScheduledEvent
 from repro.sim.instructions import (
@@ -33,6 +34,9 @@ from repro.sim.instructions import (
     WaitEvent,
 )
 from repro.sim.process import Process, ProcState, Program, Segment, SegmentKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
 from repro.sim.syscalls import SyscallNr
 from repro.sched.base import Scheduler
 
@@ -102,7 +106,7 @@ class Kernel:
     #: test.  :func:`repro.obs.instrument.instrument_kernel` overwrites it
     #: with an instance attribute.  Hooks are strictly read-only: they
     #: must never perturb simulation state, the calendar, or RNG streams.
-    _obs = None
+    _obs: Telemetry | None = None
 
     def __init__(self, scheduler: Scheduler, config: KernelConfig | None = None) -> None:
         self.config = config or KernelConfig()
@@ -244,7 +248,7 @@ class Kernel:
         proc.woken_at = now
         self.scheduler.on_ready(proc, now)
 
-    def _block(self, proc: Process, spec, now: int) -> bool:
+    def _block(self, proc: Process, spec: SleepUntil | SleepFor, now: int) -> bool:
         """Suspend ``proc`` per ``spec``.  Returns False if the block is a
         no-op (sleep deadline already passed)."""
         if isinstance(spec, SleepUntil):
@@ -304,7 +308,7 @@ class Kernel:
             for probe in probes:
                 probe(proc, now, instr.payload)
 
-    def _resolve_instr(self, proc: Process, instr: Instruction):
+    def _resolve_instr(self, proc: Process, instr: Instruction) -> None:
         """Slow path of the instruction dispatch: accept subclasses of the
         known instructions (cached per concrete class afterwards)."""
         for cls, handler in (

@@ -61,7 +61,7 @@ class MultiCoreKernel(Kernel):
             else:
                 pending.append(proc)
         free = [i for i in range(self.n_cpus) if placed[i] is None]
-        for proc, cpu in zip(pending, free):
+        for proc, cpu in zip(pending, free, strict=False):
             placed[cpu] = proc
             self.stats.context_switches += 1
             last = self._last_cpu.get(proc.pid)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.sim.instructions import BlockSpec, Instruction, Syscall
 
@@ -48,8 +48,8 @@ class Segment:
         self,
         kind: SegmentKind,
         remaining: int,
-        syscall: Optional[Syscall] = None,
-        block: Optional[BlockSpec] = None,
+        syscall: Syscall | None = None,
+        block: BlockSpec | None = None,
         entry_time: int = -1,  # when the syscall entry was stamped
     ) -> None:
         self.kind = kind

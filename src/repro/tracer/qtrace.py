@@ -25,7 +25,7 @@ for experiments that do not care about download overhead, call
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.sim.instructions import SleepUntil, Syscall
 from repro.sim.kernel import Kernel

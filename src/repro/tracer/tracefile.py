@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.sim.syscalls import SyscallNr
 from repro.tracer.events import EventKind, TraceEvent
@@ -75,7 +75,7 @@ def parse_trace(stream: io.TextIOBase) -> list[TraceEvent]:
 
 def load_trace(path: str | Path) -> list[TraceEvent]:
     """Load a trace saved with :func:`save_trace`."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return parse_trace(fh)
 
 

@@ -7,7 +7,7 @@ plotting-library dependencies so the repository stays runnable offline.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ def ascii_timeline(
     if x_hi == x_lo:
         x_hi = x_lo + 1.0
     grid = [[" "] * cols for _ in range(rows)]
-    for x, y in zip(xs, ys):
+    for x, y in zip(xs, ys, strict=True):
         col = int((x - x_lo) / (x_hi - x_lo) * (cols - 1))
         row = int((y - y_lo) / (y_hi - y_lo) * (rows - 1))
         grid[rows - 1 - row][col] = marker
@@ -73,10 +73,8 @@ def ascii_timeline(
     for i, row_chars in enumerate(grid):
         if i == 0:
             label = f"{y_hi:8.3g} |"
-        elif i == rows - 1:
-            label = f"{y_lo:8.3g} |"
         else:
-            label = " " * 8 + " |"
+            label = f"{y_lo:8.3g} |" if i == rows - 1 else " " * 8 + " |"
         lines.append(label + "".join(row_chars))
     lines.append(" " * 9 + "+" + "-" * cols)
     lines.append(" " * 10 + f"{x_lo:.3g}" + " " * max(1, cols - 12) + f"{x_hi:.3g}")
@@ -98,7 +96,7 @@ def ascii_histogram(
     counts, edges = np.histogram(arr, bins=bins)
     peak = counts.max() if counts.max() > 0 else 1
     lines = []
-    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:], strict=True):
         bar = marker * int(round(count / peak * width))
         lines.append(f"{fmt.format(lo)} - {fmt.format(hi)} |{bar} {count}")
     return "\n".join(lines)

@@ -66,7 +66,7 @@ def ffmpeg_transcode(config: FfmpegConfig | None = None) -> Program:
     rng = np.random.default_rng(cfg.seed)
 
     def body() -> Program:
-        for frame in range(cfg.n_frames):
+        for _frame in range(cfg.n_frames):
             cost = max(1, int(rng.normal(cfg.frame_cost, cfg.cost_jitter * cfg.frame_cost)))
             # interleave the I/O through the frame's compute
             calls = cfg.calls_per_frame

@@ -1,0 +1,4 @@
+import time
+
+started = time.perf_counter()
+## path: repro/experiments/harness_timing.py

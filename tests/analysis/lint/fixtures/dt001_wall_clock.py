@@ -1,0 +1,12 @@
+import time
+from time import perf_counter as pc
+
+
+def stamp(kernel):
+    t0 = time.time()
+    t1 = pc()
+    t2 = kernel.clock
+    return t0, t1, t2
+## path: repro/sim/fx.py
+## expect: DT001 @ 6:9
+## expect: DT001 @ 7:9

@@ -1,0 +1,15 @@
+import os
+import random
+import numpy as np
+
+x = random.random()
+rng_bad = random.Random()
+rng_ok = random.Random(42)
+blob = os.urandom(8)
+np.random.seed(7)
+gen_ok = np.random.default_rng(7)
+## path: repro/workloads/fx.py
+## expect: DT002 @ 5:4
+## expect: DT002 @ 6:10
+## expect: DT002 @ 8:7
+## expect: DT002 @ 9:0

@@ -1,0 +1,8 @@
+def build(kernel):
+    yield Compute(1.5e6)
+    yield Compute(int(1.5e6))
+    kernel.run(until=0.25 * 10**9)
+    kernel.run(until=250_000_000)
+## path: repro/sim/fx.py
+## expect: DT003 @ 2:18
+## expect: DT003 @ 4:21

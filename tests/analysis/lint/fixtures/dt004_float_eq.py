@@ -1,0 +1,8 @@
+def decide(server, bandwidth):
+    if bandwidth == 0.5:
+        return True
+    if server.deadline == 1_000_000:
+        return False
+    return None
+## path: repro/sched/fx.py
+## expect: DT004 @ 2:7

@@ -1,0 +1,21 @@
+class Server:
+    def __init__(self):
+        self.members: set[int] = set()
+
+    def walk(self, extra):
+        for pid in self.members:
+            yield pid
+        for pid in sorted(self.members):
+            yield pid
+        for item in {1, 2, 3}:
+            yield item
+        for item in extra:
+            yield item
+
+
+def drain(server: Server):
+    return [pid for pid in list(server.members)]
+## path: repro/sched/fx.py
+## expect: DT005 @ 6:19
+## expect: DT005 @ 10:20
+## expect: DT005 @ 17:32

@@ -1,0 +1,15 @@
+def run_one(unit):
+    return unit * 2
+
+
+def sweep(runner, units):
+    runner.run(units, map_fn=lambda us: [run_one(u) for u in us])
+    runner.run(units, map_fn=run_one)
+
+    def local_fn(us):
+        return [run_one(u) for u in us]
+
+    runner.run(units, map_fn=local_fn)
+## path: repro/experiments/fx.py
+## expect: MP001 @ 6:29
+## expect: MP001 @ 12:29

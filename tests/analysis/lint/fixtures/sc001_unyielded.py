@@ -1,0 +1,13 @@
+def proc_bad():
+    Compute(5)
+    yield Compute(6)
+
+
+def proc_ok():
+    yield Compute(5)
+
+
+def helper_not_a_generator():
+    Compute(5)
+## path: repro/workloads/fx.py
+## expect: SC001 @ 2:4

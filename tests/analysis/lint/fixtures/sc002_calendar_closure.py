@@ -1,0 +1,6 @@
+def schedule(kernel, edges):
+    for edge in edges:
+        kernel.at(edge, lambda now: apply(edge, now))
+        kernel.at(edge, lambda now, e=edge: apply(e, now))
+## path: repro/faults/fx.py
+## expect: SC002 @ 3:24

@@ -1,0 +1,16 @@
+class Segment:
+    __slots__ = ("kind", "remaining")
+    KIND_DEFAULT = "compute"
+
+
+class Floppy:
+    pass
+
+
+def patch_it(fn):
+    Segment.remaining = fn
+    setattr(Segment, "kind", fn)
+    Floppy.anything = fn
+## path: repro/sim/fx.py
+## expect: SC003 @ 11:4
+## expect: SC003 @ 12:4

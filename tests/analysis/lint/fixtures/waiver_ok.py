@@ -1,0 +1,8 @@
+import time
+
+t0 = time.time()  # repro: allow[DT001]  -- replay stamp recorded outside the sim clock
+# repro: allow[DT001]  -- own-line waiver covers the next line
+t1 = time.time()
+## path: repro/sim/fx.py
+## waived: DT001 @ 3:5
+## waived: DT001 @ 5:5

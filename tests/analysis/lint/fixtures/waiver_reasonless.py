@@ -1,0 +1,6 @@
+import time
+
+t0 = time.time()  # repro: allow[DT001]
+## path: repro/sim/fx.py
+## expect: WV001 @ 3:0
+## waived: DT001 @ 3:5

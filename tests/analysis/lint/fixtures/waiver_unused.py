@@ -1,0 +1,3 @@
+value = 1  # repro: allow[DT001]  -- nothing to suppress here
+## path: repro/sim/fx.py
+## expect: WV002 @ 1:0

@@ -1,0 +1,95 @@
+"""Fixture-driven rule tests.
+
+Each file under ``fixtures/`` is a small program with trailing
+directive comments describing the diagnostics the linter must emit:
+
+``## path: repro/sim/fx.py``
+    Virtual path the fixture is linted under (drives rule scoping).
+``## expect: RULE @ line:col``
+    Exactly one *active* diagnostic with this rule id and span.
+``## waived: RULE @ line:col``
+    Exactly one *waived* diagnostic with this rule id and span.
+
+The harness asserts the full diagnostic set — no extra findings, no
+missing ones — so every rule is pinned positively (it fires where it
+must) and negatively (it stays silent everywhere else in the fixture).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.engine import lint_sources
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+DIRECTIVE_RE = re.compile(r"^## (?P<kind>path|expect|waived):\s*(?P<body>.+?)\s*$")
+SPAN_RE = re.compile(r"^(?P<rule>[A-Z]+\d+) @ (?P<line>\d+):(?P<col>\d+)$")
+
+
+def load_fixture(path: Path) -> tuple[str, str, list[tuple], list[tuple]]:
+    """Parse one fixture into (virtual_path, source, expects, waived)."""
+    virtual_path = None
+    expects: list[tuple] = []
+    waived: list[tuple] = []
+    source = path.read_text(encoding="utf-8")
+    for line in source.splitlines():
+        match = DIRECTIVE_RE.match(line)
+        if not match:
+            continue
+        kind, body = match.group("kind"), match.group("body")
+        if kind == "path":
+            virtual_path = body
+            continue
+        span = SPAN_RE.match(body)
+        assert span, f"{path.name}: malformed directive {line!r}"
+        triple = (
+            span.group("rule"),
+            int(span.group("line")),
+            int(span.group("col")),
+        )
+        (expects if kind == "expect" else waived).append(triple)
+    assert virtual_path, f"{path.name}: missing `## path:` directive"
+    return virtual_path, source, expects, waived
+
+
+def all_fixtures() -> list[Path]:
+    """Every fixture file (broken-syntax ones carry a .txt suffix)."""
+    files = sorted(
+        p
+        for p in FIXTURE_DIR.iterdir()
+        if p.suffix in {".py", ".txt"} and p.is_file()
+    )
+    assert files, "fixture directory is empty"
+    return files
+
+
+@pytest.mark.parametrize("fixture", all_fixtures(), ids=lambda p: p.stem)
+def test_fixture(fixture: Path) -> None:
+    virtual_path, source, expects, waived = load_fixture(fixture)
+    report = lint_sources({virtual_path: source})
+    active = sorted((d.rule, d.line, d.col) for d in report.diagnostics if not d.waived)
+    suppressed = sorted((d.rule, d.line, d.col) for d in report.diagnostics if d.waived)
+    assert active == sorted(expects), (
+        f"{fixture.name}: active diagnostics mismatch\n"
+        f"  got:      {active}\n  expected: {sorted(expects)}"
+    )
+    assert suppressed == sorted(waived), (
+        f"{fixture.name}: waived diagnostics mismatch\n"
+        f"  got:      {suppressed}\n  expected: {sorted(waived)}"
+    )
+
+
+def test_every_rule_has_a_fixture() -> None:
+    """Each registered rule id appears in at least one expectation."""
+    from repro.analysis.lint.rules import RULES
+
+    covered: set[str] = set()
+    for fixture in all_fixtures():
+        _, _, expects, waived = load_fixture(fixture)
+        covered.update(rule for rule, _, _ in expects)
+        covered.update(rule for rule, _, _ in waived)
+    missing = sorted(set(RULES) - covered)
+    assert not missing, f"rules without fixture coverage: {missing}"

@@ -1,0 +1,59 @@
+"""Unit tests for the inline waiver parser."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.waivers import parse_waivers
+
+
+def test_trailing_waiver_targets_its_own_line():
+    ws = parse_waivers("x = now()  # repro: allow[DT001]  -- replay stamp\n")
+    assert len(ws) == 1
+    w = ws[0]
+    assert w.rules == ("DT001",)
+    assert w.reason == "replay stamp"
+    assert not w.own_line
+    assert w.target_line == 1
+
+
+def test_own_line_waiver_targets_next_line():
+    src = "# repro: allow[DT001]  -- startup stamp\nx = now()\n"
+    ws = parse_waivers(src)
+    assert len(ws) == 1
+    assert ws[0].own_line
+    assert ws[0].line == 1
+    assert ws[0].target_line == 2
+
+
+def test_reasonless_waiver_has_none_reason():
+    ws = parse_waivers("x = 1  # repro: allow[DT001]\n")
+    assert ws[0].reason is None
+
+
+def test_multiple_rules_and_pack_prefix():
+    ws = parse_waivers("x = 1  # repro: allow[DT001, SC]  -- test rig\n")
+    assert ws[0].rules == ("DT001", "SC")
+    assert ws[0].covers("DT001")
+    assert not ws[0].covers("DT002")
+    assert ws[0].covers("SC003")
+    assert not ws[0].covers("MP001")
+
+
+def test_waiver_inside_string_literal_is_ignored():
+    src = 's = "# repro: allow[DT001]  -- not a comment"\n'
+    assert parse_waivers(src) == []
+
+
+def test_non_waiver_comments_are_ignored():
+    assert parse_waivers("x = 1  # plain comment\n") == []
+    assert parse_waivers("x = 1  # repro: something else\n") == []
+
+
+def test_unparseable_source_yields_no_waivers():
+    assert parse_waivers("def broken(:\n") == []
+
+
+def test_indented_own_line_waiver():
+    src = "def f():\n    # repro: allow[MP]  -- fixture\n    mutate()\n"
+    ws = parse_waivers(src)
+    assert ws[0].own_line
+    assert ws[0].target_line == 3

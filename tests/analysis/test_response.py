@@ -30,7 +30,7 @@ class TestLiuLayland:
 
     def test_monotone_decreasing(self):
         values = [liu_layland_bound(n) for n in range(1, 20)]
-        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
     def test_invalid_n(self):
         with pytest.raises(ValueError):

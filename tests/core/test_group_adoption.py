@@ -57,7 +57,7 @@ class TestGroupAdoption:
 
     def test_both_threads_progress(self):
         rt, procs, task = self._run()
-        for proc, cfg in zip(procs, self.CONFIGS):
+        for proc, cfg in zip(procs, self.CONFIGS, strict=True):
             expected = cfg.utilisation * 12 * SEC
             assert proc.cpu_time >= 0.85 * expected
 

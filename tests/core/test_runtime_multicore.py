@@ -61,7 +61,7 @@ class TestGlobalMulticoreRuntime:
             probes.append(probe)
             players.append(player)
         rt.run(12 * SEC)
-        for player, probe in zip(players, probes):
+        for player, probe in zip(players, probes, strict=True):
             assert player.frames_played == 300
             ift = np.array(probe.inter_frame_times) / MS
             assert abs(ift.mean() - 40.0) < 2.0

@@ -122,7 +122,7 @@ class TestInvariantProperty:
     def test_total_never_exceeds_u_lub(self, bandwidths):
         sup = Supervisor(u_lub=0.85)
         keys = [sup.register() for _ in bandwidths]
-        for key, bw in zip(keys, bandwidths):
+        for key, bw in zip(keys, bandwidths, strict=True):
             sup.submit(key, req(bw))
         assert sup.total_granted_bandwidth() <= 0.85 + 1e-6
 
@@ -131,9 +131,9 @@ class TestInvariantProperty:
     def test_grants_never_exceed_requests(self, bandwidths):
         sup = Supervisor(u_lub=0.85)
         keys = [sup.register() for _ in bandwidths]
-        for key, bw in zip(keys, bandwidths):
+        for key, bw in zip(keys, bandwidths, strict=True):
             sup.submit(key, req(bw))
-        for key, bw in zip(keys, bandwidths):
+        for key, bw in zip(keys, bandwidths, strict=True):
             assert sup.granted(key).bandwidth <= bw + 1e-6
 
 

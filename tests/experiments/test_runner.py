@@ -114,7 +114,7 @@ class TestRunMany:
     def test_parallel_matches_serial(self):
         serial = run_many(["dummy", "plain"], {"dummy": {"reps": 6}}, jobs=1)
         parallel = run_many(["dummy", "plain"], {"dummy": {"reps": 6}}, jobs=2)
-        for s, p in zip(serial, parallel):
+        for s, p in zip(serial, parallel, strict=True):
             assert s.result.to_jsonable() == p.result.to_jsonable()
 
     def test_parallel_matches_serial_under_spawn(self):

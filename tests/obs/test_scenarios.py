@@ -37,7 +37,7 @@ class TestFig13Scenario:
             key=lambda s: s.start,
         )
         assert len(epochs) >= 10
-        for a, b in zip(epochs, epochs[1:]):
+        for a, b in zip(epochs, epochs[1:], strict=False):
             assert b.start == a.end  # consecutive sampling windows
 
 

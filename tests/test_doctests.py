@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+import repro.analysis.lint.engine
+import repro.analysis.lint.waivers
 import repro.analysis.response
 import repro.faults.plan
 import repro.sched.fp
@@ -25,6 +27,8 @@ MODULES = [
     repro.sched.fp,
     repro.analysis.response,
     repro.faults.plan,
+    repro.analysis.lint.engine,
+    repro.analysis.lint.waivers,
 ]
 
 DOC_PAGES = sorted(DOCS.glob("*.md"))

@@ -77,7 +77,7 @@ class TestRecording:
         entries = [e for e in events if e.kind is EventKind.SYSCALL_ENTRY]
         exits = [e for e in events if e.kind is EventKind.SYSCALL_EXIT]
         assert len(entries) == len(exits) == 4
-        for en, ex in zip(entries, exits):
+        for en, ex in zip(entries, exits, strict=True):
             assert ex.time > en.time
 
     def test_exits_can_be_disabled(self):
@@ -152,7 +152,7 @@ class TestRingBufferEdges:
         assert len(events) == 9
         # the survivor set is the 9 newest, still in chronological order
         assert events[0].kind is EventKind.SYSCALL_EXIT  # first entry was lost
-        assert all(a.time <= b.time for a, b in zip(events, events[1:]))
+        assert all(a.time <= b.time for a, b in zip(events, events[1:], strict=False))
         # drained means empty: the wrap state does not leak
         assert tracer.buffer.drain() == []
         assert tracer.buffer.full is False
