@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI gate: fail on micro-benchmark throughput regressions.
+
+Compares the ``micro`` section of two ``BENCH_*.json`` reports (schema
+``repro-bench/1``).  A guarded metric whose throughput drops below
+``--threshold`` (default 0.8, i.e. a >20% drop) of the baseline fails
+the gate; the ``fastforward`` metric additionally must keep its
+wall-clock speedup at or above ``--min-speedup`` (default 10, the
+acceptance bar of the fast-forward PR).
+
+Timings on shared CI runners are noisy, which is why only *large* drops
+fail and why the summary is written even on success — the trajectory
+matters more than any single point.  When ``$GITHUB_STEP_SUMMARY`` is
+set, a markdown table is appended to it.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/baselines/BENCH_baseline.json \
+        --current BENCH_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: metrics the gate guards; anything else in the report is informational
+GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector")
+
+#: the fast-forward speedup floor (full-run wall clock / fast-forward
+#: wall clock on the long periodic horizon)
+DEFAULT_MIN_SPEEDUP = 10.0
+
+
+def load_micro(path: Path) -> dict[str, dict]:
+    """``name -> record`` map of the report's micro section."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != "repro-bench/1":
+        raise SystemExit(f"{path}: unexpected schema {payload.get('schema')!r}")
+    return {record["name"]: record for record in payload.get("micro", [])}
+
+
+def compare(
+    baseline: dict[str, dict], current: dict[str, dict], threshold: float, min_speedup: float
+) -> tuple[list[tuple], list[str]]:
+    """Returns (table rows, failure messages)."""
+    rows: list[tuple] = []
+    failures: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            rows.append((name, base, cur, None, "missing"))
+            if cur is None and name in GUARDED_METRICS:
+                failures.append(f"{name}: guarded metric missing from the current report")
+            continue
+        ratio = cur["value"] / base["value"] if base["value"] else float("inf")
+        guarded = name in GUARDED_METRICS
+        status = "ok"
+        if guarded and ratio < threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur['value']:,.0f} {cur['unit']} is "
+                f"{ratio:.2f}x the baseline {base['value']:,.0f} "
+                f"(threshold {threshold:.2f})"
+            )
+        elif not guarded:
+            status = "info"
+        rows.append((name, base, cur, ratio, status))
+    ff = current.get("fastforward")
+    if ff is not None:
+        speedup = ff.get("extra", {}).get("speedup")
+        if speedup is None:
+            failures.append("fastforward: report carries no speedup measurement")
+        elif speedup < min_speedup:
+            failures.append(
+                f"fastforward: wall-clock speedup {speedup:.1f}x fell below "
+                f"the {min_speedup:.0f}x floor"
+            )
+    return rows, failures
+
+
+def render_markdown(rows: list[tuple], failures: list[str], threshold: float) -> str:
+    lines = [
+        "## Micro-benchmark regression gate",
+        "",
+        f"Guarded metrics fail below {threshold:.0%} of baseline throughput.",
+        "",
+        "| metric | baseline | current | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base, cur, ratio, status in rows:
+        base_s = f"{base['value']:,.0f} {base['unit']}" if base else "—"
+        cur_s = f"{cur['value']:,.0f} {cur['unit']}" if cur else "—"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "—"
+        mark = {"ok": "✅", "info": "ℹ️", "missing": "⚠️", "REGRESSION": "❌"}[status]
+        lines.append(f"| `{name}` | {base_s} | {cur_s} | {ratio_s} | {mark} {status} |")
+    ff_row = next((r for r in rows if r[0] == "fastforward" and r[2] is not None), None)
+    if ff_row is not None:
+        speedup = ff_row[2].get("extra", {}).get("speedup")
+        if speedup is not None:
+            lines.append("")
+            lines.append(f"Fast-forward wall-clock speedup: **{speedup:.1f}x**.")
+    if failures:
+        lines.append("")
+        lines.append("### Failures")
+        lines.extend(f"- {failure}" for failure in failures)
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("--current", required=True, type=Path, help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="minimum current/baseline throughput ratio for guarded metrics",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="minimum fast-forward wall-clock speedup",
+    )
+    args = parser.parse_args()
+
+    baseline = load_micro(args.baseline)
+    current = load_micro(args.current)
+    rows, failures = compare(baseline, current, args.threshold, args.min_speedup)
+
+    for name, base, cur, ratio, status in rows:
+        base_v = f"{base['value']:,.0f}" if base else "—"
+        cur_v = f"{cur['value']:,.0f}" if cur else "—"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "—"
+        print(f"  {name:12s} {base_v:>18s} -> {cur_v:>18s}  {ratio_s:>7s}  {status}")
+
+    markdown = render_markdown(rows, failures, args.threshold)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(markdown)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate: all guarded metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,9 @@ DEFAULT_SCOPE: dict[str, tuple[str, ...]] = {
     "DT003": SIM_DIRS,
     "DT004": ("repro/sched/", "repro/faults/"),
     "DT005": SIM_DIRS,
+    # digest construction only: elsewhere dict views are insertion-ordered
+    # and deterministic, but a digest must be canonical across histories
+    "DT006": ("repro/sim/cycles",),
 }
 
 #: Waiver-audit pseudo-rules (engine-level; they have no ``check``).

@@ -312,6 +312,60 @@ def _check_set_iteration(module: ParsedModule, ctx: ProjectContext) -> Iterator:
     yield from visitor.diagnostics
 
 
+#: Dict-view accessors whose iteration order is insertion history.
+DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _dict_view_call(expr: ast.expr) -> ast.Call | None:
+    """``d.keys()`` / ``d.values()`` / ``d.items()``, else ``None``."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in DICT_VIEW_METHODS
+        and not expr.args
+        and not expr.keywords
+    ):
+        return expr
+    return None
+
+
+def _iterated_dict_view(iter_expr: ast.expr) -> ast.Call | None:
+    """The dict view iterated by ``iter_expr``, seen through order wrappers."""
+    found = _dict_view_call(iter_expr)
+    if found is not None:
+        return found
+    if isinstance(iter_expr, ast.Call):
+        fn = iter_expr.func
+        if (
+            isinstance(fn, ast.Name)
+            and fn.id in _SetIterVisitor.ORDER_WRAPPERS
+            and iter_expr.args
+        ):
+            return _dict_view_call(iter_expr.args[0])
+    return None
+
+
+def _check_dict_view_iteration(module: ParsedModule, ctx: ProjectContext) -> Iterator:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For):
+            iters = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            iters = [gen.iter for gen in node.generators]
+        else:
+            continue
+        for iter_expr in iters:
+            found = _iterated_dict_view(iter_expr)
+            if found is not None:
+                yield DT006.diagnostic(
+                    module,
+                    found,
+                    "dict-view iteration in digest-construction code follows "
+                    "insertion history, which differs between a stepped and a "
+                    "fast-forwarded run; wrap it in `sorted(...)` so the "
+                    "digest is canonical",
+                )
+
+
 DT001 = Rule(
     id="DT001",
     pack="DT",
@@ -373,4 +427,18 @@ DT005 = Rule(
     check=_check_set_iteration,
 )
 
-RULES = (DT001, DT002, DT003, DT004, DT005)
+DT006 = Rule(
+    id="DT006",
+    pack="DT",
+    title="unsorted dict-view iteration in digest construction",
+    severity=Severity.ERROR,
+    rationale=(
+        "A state digest must be a canonical function of the state, but "
+        "dict iteration order is insertion history — two bit-identical "
+        "simulator states reached along different paths would hash "
+        "differently and break cycle detection."
+    ),
+    check=_check_dict_view_iteration,
+)
+
+RULES = (DT001, DT002, DT003, DT004, DT005, DT006)

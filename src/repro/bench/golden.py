@@ -60,6 +60,42 @@ def attach_digest(kernel):
     return finalize
 
 
+def equivalence_digest(
+    name: str, duration_ns: int = GOLDEN_DURATION_NS, *, fast_forward: bool = False
+):
+    """Run scenario ``name`` and digest trace + final state + metrics.
+
+    Extends :func:`attach_digest` with per-process latency accumulators
+    (count, total, max, and the exact float mean/std reprs) and the
+    scheduler's monotone cycle counters (CBS consumed/exhaustions), so the
+    fast-forward extrapolation of :mod:`repro.sim.cycles` is held to the
+    same bit-identity bar as the stepped simulation.
+
+    Returns ``(digest, report)``; ``report`` is the
+    :class:`repro.sim.cycles.FastForwardReport` when ``fast_forward`` is
+    set, else ``None``.
+    """
+    kernel = build_scenario(name)
+    finalize = attach_digest(kernel)
+    report = None
+    if fast_forward:
+        from repro.sim.cycles import run_fast_forward
+
+        report = run_fast_forward(kernel, duration_ns)
+    else:
+        kernel.run(duration_ns)
+    sha = hashlib.sha256(finalize().encode())
+    for pid in sorted(kernel.processes):
+        lat = kernel.processes[pid].sched_latency
+        sha.update(
+            f"|lat:{pid}:{lat.n}:{lat.total}:{lat.max}:{lat.mean!r}:{lat.std!r}".encode()
+        )
+    counters = kernel.scheduler.cycle_counters()
+    for key in sorted(counters):
+        sha.update(f"|ctr:{key}={counters[key]}".encode())
+    return sha.hexdigest(), report
+
+
 def golden_digest(
     name: str, duration_ns: int = GOLDEN_DURATION_NS, *, telemetry: bool = False
 ) -> str:

@@ -1,6 +1,6 @@
 """Microbenchmarks of the simulator and analyser hot paths.
 
-Five throughput metrics, one per hot path the profile concentrates in:
+Six throughput metrics, one per hot path the profile concentrates in:
 
 - ``calendar`` — :class:`repro.sim.engine.EventQueue` push/peek/cancel/pop
   operations per second on a deterministic mixed workload;
@@ -12,7 +12,10 @@ Five throughput metrics, one per hot path the profile concentrates in:
 - ``detector`` — pairwise intervals examined per second by
   :meth:`repro.core.autocorr.IntervalHistogramDetector.interval_histogram`;
 - ``sim-obs`` — the ``sim`` scenario with a :mod:`repro.obs` telemetry
-  hub attached, tracking the recording overhead against the bare run.
+  hub attached, tracking the recording overhead against the bare run;
+- ``fastforward`` — simulated-ns/sec through the schedule-cycle
+  fast-forward of :mod:`repro.sim.cycles` on a long periodic horizon,
+  with the full-run baseline and the wall-clock speedup in ``extra``.
 
 ``repro-exp bench --micro`` runs them and emits the numbers into the
 ``BENCH_*.json`` report (schema ``repro-bench/1``, ``micro`` key), so the
@@ -240,6 +243,50 @@ def bench_sim_obs(duration_s: float = 2.0, repeats: int = 4) -> MicroResult:
     )
 
 
+def bench_fastforward(duration_s: float = 60.0) -> MicroResult:
+    """Fast-forward speedup on a long purely-periodic horizon.
+
+    Runs the ``periodic-cbs-background`` scenario (commensurate periods,
+    exhaustions every job — the busiest eligible mix) for ``duration_s``
+    simulated seconds twice: stepped in full, then through
+    :func:`repro.sim.cycles.run_fast_forward`.  The headline value is the
+    fast-forwarded simulated-ns/sec; ``extra`` carries the full-run
+    throughput and the wall-clock speedup the regression gate guards
+    (the ISSUE bar is >= 10x).
+    """
+    from repro.bench.scenarios import build_scenario
+    from repro.sim.cycles import run_fast_forward
+
+    scenario = "periodic-cbs-background"
+    duration_ns = int(duration_s * SEC)
+    t0 = time.perf_counter()
+    kernel_full = build_scenario(scenario)
+    kernel_full.run(duration_ns)
+    full_elapsed = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernel_ff = build_scenario(scenario)
+    report = run_fast_forward(kernel_ff, duration_ns)
+    ff_elapsed = time.perf_counter() - t0
+    if kernel_ff.stats.context_switches != kernel_full.stats.context_switches:
+        raise AssertionError("fast-forward diverged from the full run")
+    return MicroResult(
+        name="fastforward",
+        value=duration_ns / ff_elapsed,
+        unit="sim-ns/s",
+        elapsed_s=full_elapsed + ff_elapsed,
+        work=duration_ns,
+        params={"scenario": scenario, "duration_s": duration_s},
+        extra={
+            "speedup": full_elapsed / ff_elapsed,
+            "full_value": duration_ns / full_elapsed,
+            "detected": report.detected,
+            "cycles_skipped": report.cycles_skipped,
+            "skipped_ns": report.skipped_ns,
+            "hyperperiod": report.hyperperiod,
+        },
+    )
+
+
 #: name -> zero-argument benchmark callable (defaults are the canonical
 #: sizes the trajectory is tracked at)
 MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
@@ -248,6 +295,7 @@ MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
     "spectrum": bench_spectrum,
     "detector": bench_detector,
     "sim-obs": bench_sim_obs,
+    "fastforward": bench_fastforward,
 }
 
 

@@ -120,11 +120,105 @@ GOLDEN_SCENARIOS: dict[str, Callable[[], Kernel]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# purely periodic scenarios (the fast-forwardable steady-state mixes)
+# ----------------------------------------------------------------------
+#: three infinite zero-jitter tasks with commensurate periods: hyperperiod
+#: 32 ms, so :mod:`repro.sim.cycles` detects the steady-state cycle within
+#: a handful of boundaries
+_PERIODIC_TASKS = (
+    PeriodicTaskConfig(cost=2 * MS, period=8 * MS, seed=21),
+    PeriodicTaskConfig(cost=3 * MS, period=16 * MS, phase=1 * MS, seed=22),
+    PeriodicTaskConfig(cost=4 * MS, period=32 * MS, phase=3 * MS, seed=23),
+)
+
+
+def _spawn_periodic(kernel: Kernel):
+    """The fixed purely periodic mix shared by every scheduler."""
+    t1 = kernel.spawn("p8", periodic_task(_PERIODIC_TASKS[0]))
+    t2 = kernel.spawn("p16", periodic_task(_PERIODIC_TASKS[1]))
+    t3 = kernel.spawn("p32", periodic_task(_PERIODIC_TASKS[2]))
+    return t1, t2, t3
+
+
+def _periodic_cbs(policy: str) -> Kernel:
+    scheduler = CbsScheduler()
+    kernel = Kernel(scheduler)
+    t1, t2, t3 = _spawn_periodic(kernel)
+    srv1 = scheduler.create_server(
+        ServerParams(budget=2500 * US, period=8 * MS, policy=policy), "p8"
+    )
+    scheduler.attach(t1, srv1)
+    # "background" gets a budget below the 3 ms job cost so the exhaustion
+    # path fires every job yet the schedule stays cyclic (the task finishes
+    # in the best-effort class before its next release); hard/soft get a
+    # feasible budget — an under-provisioned hard/soft server would lag
+    # further behind every period and never reach a steady state
+    t2_budget = 2500 * US if policy == "background" else 3500 * US
+    srv2 = scheduler.create_server(
+        ServerParams(budget=t2_budget, period=16 * MS, policy=policy), "p16"
+    )
+    scheduler.attach(t2, srv2)
+    # t3 stays in the best-effort background class
+    return kernel
+
+
+def _periodic_edf() -> Kernel:
+    scheduler = EdfScheduler()
+    kernel = Kernel(scheduler)
+    t1, t2, _t3 = _spawn_periodic(kernel)
+    scheduler.attach(t1, 8 * MS)
+    scheduler.attach(t2, 16 * MS)
+    return kernel
+
+
+def _periodic_fp() -> Kernel:
+    scheduler = FixedPriorityScheduler()
+    kernel = Kernel(scheduler)
+    t1, t2, t3 = _spawn_periodic(kernel)
+    scheduler.attach(t1, 0)
+    scheduler.attach(t2, 1)
+    scheduler.attach(t3, 2)
+    return kernel
+
+
+def _periodic_stride() -> Kernel:
+    scheduler = StrideScheduler()
+    kernel = Kernel(scheduler)
+    t1, t2, t3 = _spawn_periodic(kernel)
+    scheduler.attach(t1, 4)
+    scheduler.attach(t2, 2)
+    scheduler.attach(t3, 1)
+    return kernel
+
+
+def _periodic_rr() -> Kernel:
+    kernel = Kernel(RoundRobinScheduler())
+    _spawn_periodic(kernel)
+    return kernel
+
+
+#: the eligible fast-forward scenarios: same policy spread as the golden
+#: set, over the purely periodic mix
+PERIODIC_SCENARIOS: dict[str, Callable[[], Kernel]] = {
+    "periodic-cbs-hard": lambda: _periodic_cbs("hard"),
+    "periodic-cbs-soft": lambda: _periodic_cbs("soft"),
+    "periodic-cbs-background": lambda: _periodic_cbs("background"),
+    "periodic-edf": _periodic_edf,
+    "periodic-fp": _periodic_fp,
+    "periodic-stride": _periodic_stride,
+    "periodic-rr": _periodic_rr,
+}
+
+#: every canonical scenario (golden digests + periodic fast-forward mixes)
+ALL_SCENARIOS: dict[str, Callable[[], Kernel]] = {**GOLDEN_SCENARIOS, **PERIODIC_SCENARIOS}
+
+
 def build_scenario(name: str) -> Kernel:
-    """Fresh kernel for golden scenario ``name`` (see :data:`GOLDEN_SCENARIOS`)."""
+    """Fresh kernel for canonical scenario ``name`` (see :data:`ALL_SCENARIOS`)."""
     try:
-        return GOLDEN_SCENARIOS[name]()
+        return ALL_SCENARIOS[name]()
     except KeyError:
         raise KeyError(
-            f"unknown scenario {name!r}; known: {sorted(GOLDEN_SCENARIOS)}"
+            f"unknown scenario {name!r}; known: {sorted(ALL_SCENARIOS)}"
         ) from None

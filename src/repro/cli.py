@@ -126,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the hot-path microbenchmarks instead of the experiment "
         "sweep (positional args then select metrics: calendar, sim, "
-        "spectrum, detector, sim-obs)",
+        "spectrum, detector, sim-obs, fastforward)",
     )
     _add_exec_flags(bench_p)
     trace_p = sub.add_parser(
@@ -171,6 +171,25 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.lint.cli import build_parser as _build_lint_parser
 
     _build_lint_parser(lint_p)
+    sim_p = sub.add_parser(
+        "simulate",
+        help="run a canonical scenario and print its equivalence digest "
+        "(optionally through the schedule-cycle fast-forward)",
+    )
+    sim_p.add_argument(
+        "scenario", help="canonical scenario name (see repro.bench.scenarios)"
+    )
+    sim_p.add_argument(
+        "--duration", type=float, default=2.0, help="simulated horizon, seconds"
+    )
+    sim_p.add_argument(
+        "--fast-forward",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="skip repeated schedule cycles analytically (default: off, so "
+        "golden traces are produced by full stepping)",
+    )
+    sim_p.add_argument("--json", action="store_true", help="machine-readable output")
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -215,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.lint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "simulate":
+        return _simulate(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -264,6 +285,51 @@ def _bench_micro(args) -> int:
     path = args.output or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
     write_bench_json(path, [], micro=results)
     print(f"[bench report written to {path}]")
+    return 0
+
+
+def _simulate(args) -> int:
+    """Run a canonical scenario; print its digest and fast-forward report."""
+    import json
+
+    from repro.bench.golden import equivalence_digest
+    from repro.bench.scenarios import ALL_SCENARIOS
+    from repro.sim.time import SEC
+
+    if args.scenario not in ALL_SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; known: {', '.join(sorted(ALL_SCENARIOS))}"
+        )
+    duration_ns = int(args.duration * SEC)
+    digest, report = equivalence_digest(
+        args.scenario, duration_ns, fast_forward=args.fast_forward
+    )
+    if args.json:
+        payload = {
+            "scenario": args.scenario,
+            "duration_ns": duration_ns,
+            "digest": digest,
+            "fast_forward": report.to_jsonable() if report is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.scenario}: digest {digest}")
+    if report is not None:
+        if report.detected:
+            print(
+                f"fast-forward: cycle of {report.cycle_len} ns detected at "
+                f"{report.cycle_start} ns after {report.boundaries_sampled} "
+                f"boundary samples; skipped {report.cycles_skipped} cycles "
+                f"({report.skipped_ns} simulated ns)"
+            )
+        elif report.enabled:
+            print(
+                f"fast-forward: enabled (hyperperiod {report.hyperperiod} ns, "
+                f"{report.boundaries_sampled} boundaries sampled) but no cycle "
+                "repeated within the horizon"
+            )
+        else:
+            print(f"fast-forward: disabled ({report.reason})")
     return 0
 
 

@@ -225,3 +225,30 @@ def expected_operations(config: SpectrumConfig, n_events: int) -> int:
     the horizon; callers that know those factors can pass their product.)
     """
     return config.n_samples * n_events
+
+
+def replicate_series(times_ns: np.ndarray, cycle_len_ns: int, cycles: int) -> np.ndarray:
+    """Stitch ``cycles`` extra repetitions of one recorded cycle of event
+    times onto the original series, integer-exactly.
+
+    This is the spectrum-input counterpart of the fast-forward
+    extrapolation in :mod:`repro.sim.cycles`: when a schedule cycle of
+    length ``cycle_len_ns`` repeats ``cycles`` more times, the syscall (or
+    label) timestamp series of the skipped span is the recorded cycle
+    shifted by ``k * cycle_len_ns``.  All arithmetic stays in ``int64`` —
+    a float round-trip could move an event by a nanosecond and change a
+    digest.
+
+    >>> import numpy as np
+    >>> replicate_series(np.array([10, 30], dtype=np.int64), 100, 2)
+    array([ 10,  30, 110, 130, 210, 230])
+    """
+    if cycle_len_ns <= 0:
+        raise ValueError(f"cycle_len_ns must be positive, got {cycle_len_ns}")
+    if cycles < 0:
+        raise ValueError(f"cycles must be non-negative, got {cycles}")
+    base = np.asarray(times_ns, dtype=np.int64)
+    if cycles == 0 or base.size == 0:
+        return base.copy()
+    parts = [base + np.int64(k * cycle_len_ns) for k in range(cycles + 1)]
+    return np.concatenate(parts)

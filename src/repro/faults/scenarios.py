@@ -149,6 +149,10 @@ def _playback(
         u_min=u_min if hardened else 0.0,
     )
     arm(rt, harness)
+    # mark the kernel as fault-injected — even at zero intensity — so the
+    # schedule-cycle fast-forward of :mod:`repro.sim.cycles` refuses to
+    # extrapolate a run whose timeline a fault plan may perturb
+    rt.kernel.fault_plan = harness
     harness.attach_telemetry(telemetry)
     if watchdog and hardened:
         rt.supervisor.start_watchdog(rt.kernel, 500 * MS)

@@ -60,6 +60,47 @@ class Scheduler(abc.ABC):
         before this scheduler needs to re-decide; ``None`` means no bound."""
         return None
 
+    # ------------------------------------------------------------------
+    # schedule-cycle support (:mod:`repro.sim.cycles`)
+    # ------------------------------------------------------------------
+    def cycle_state(self, now: int) -> object | None:
+        """Digestible policy state, with absolute times relative to ``now``.
+
+        Two instants with equal :func:`repro.sim.cycles.state_digest` must
+        behave identically forever, so everything the policy's future
+        decisions depend on belongs here (ready-queue order, budgets,
+        deadlines-minus-now, slice remainders).  Monotone output counters
+        (consumed time, exhaustion tallies) must be left out — they grow
+        without bound and are extrapolated separately via
+        :meth:`cycle_counters`.  ``None`` (the default) marks the policy as
+        unsupported: fast-forward auto-disables.
+        """
+        return None
+
+    def shift_times(self, delta: int) -> None:
+        """Shift every absolute-time field ``delta`` ns into the future.
+
+        Called once per fast-forward skip, after the kernel clock and event
+        calendar have been relocated.  The default is a no-op for policies
+        that keep no absolute times (FP, RR, stride).
+        """
+
+    def cycle_periods(self) -> tuple[int, ...]:
+        """Policy-internal periods to fold into the hyperperiod (CBS server
+        periods); default none."""
+        return ()
+
+    def cycle_counters(self) -> dict[str, int]:
+        """Monotone output counters excluded from :meth:`cycle_state`.
+
+        Keyed by a stable name; the fast-forward extrapolation replays one
+        cycle's deltas via :meth:`advance_cycle_counters`.
+        """
+        return {}
+
+    def advance_cycle_counters(self, deltas: dict[str, int], cycles: int) -> None:
+        """Add ``cycles`` extra repetitions of per-cycle counter ``deltas``."""
+
 
 class SmpScheduler(Scheduler):
     """A scheduler that can occupy several CPUs at once.

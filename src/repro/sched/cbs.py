@@ -392,3 +392,68 @@ class CbsScheduler(Scheduler):
             left = self._bg_slice_left
             return left if left > 1 else 1
         return None
+
+    # ------------------------------------------------------------------
+    # schedule-cycle support (:mod:`repro.sim.cycles`)
+    # ------------------------------------------------------------------
+    def cycle_state(self, now: int) -> object:
+        """Per-server CBS state with deadlines relative to ``now``.
+
+        An *idle-stale* server (no ready work, not throttled, deadline in
+        the past) masks its ``(q, deadline)`` pair to ``None``: the wake-up
+        rule is guaranteed to reset both on the next arrival, so the stale
+        absolute values are unobservable and must not block a cycle match.
+        Every other server keeps the raw pair — a future deadline matters
+        to the bandwidth-safety test even while the server idles.
+        """
+        server_entries = []
+        for sid in sorted(self.servers):
+            s = self.servers[sid]
+            if not s.ready and not s.throttled and s.deadline <= now:
+                budget_state: tuple[int, int] | None = None
+            else:
+                budget_state = (s.q, s.deadline - now)
+            server_entries.append(
+                (
+                    sid,
+                    budget_state,
+                    s.throttled,
+                    tuple(p.pid for p in s.ready),
+                    tuple(sorted(s.members)),
+                    s.slice_left,
+                    s.params.budget,
+                    s.params.period,
+                    s.params.policy,
+                )
+            )
+        return (
+            "cbs",
+            tuple(server_entries),
+            tuple(p.pid for p in self._bg),
+            self._bg_slice_left,
+        )
+
+    def shift_times(self, delta: int) -> None:
+        """Relocate every server deadline (replenishment events move with
+        the kernel calendar)."""
+        for sid in sorted(self.servers):
+            self.servers[sid].deadline += delta
+
+    def cycle_periods(self) -> tuple[int, ...]:
+        """Server periods participate in the hyperperiod: replenishments
+        and deadline postponements happen on the server grid."""
+        return tuple(self.servers[sid].params.period for sid in sorted(self.servers))
+
+    def cycle_counters(self) -> dict[str, int]:
+        counters: dict[str, int] = {}
+        for sid in sorted(self.servers):
+            s = self.servers[sid]
+            counters[f"server{sid}.consumed"] = s.consumed
+            counters[f"server{sid}.exhaustions"] = s.exhaustions
+        return counters
+
+    def advance_cycle_counters(self, deltas: dict[str, int], cycles: int) -> None:
+        for sid in sorted(self.servers):
+            s = self.servers[sid]
+            s.consumed += cycles * deltas.get(f"server{sid}.consumed", 0)
+            s.exhaustions += cycles * deltas.get(f"server{sid}.exhaustions", 0)

@@ -17,6 +17,11 @@ from __future__ import annotations
 from repro.sched.base import Scheduler
 from repro.sim.process import Process
 
+#: absolute-deadline sentinel for best-effort tasks — far enough in the
+#: future to lose every comparison, and (unlike real deadlines) never
+#: shifted by the fast-forward relocation
+_BEST_EFFORT = 2**62
+
 
 class EdfScheduler(Scheduler):
     """Preemptive EDF over processes with per-wakeup absolute deadlines."""
@@ -47,7 +52,7 @@ class EdfScheduler(Scheduler):
             self._abs_deadline[proc.pid] = now + rel
         else:
             # best-effort task: schedule it behind everything real-time
-            self._abs_deadline.setdefault(proc.pid, 2**62)
+            self._abs_deadline.setdefault(proc.pid, _BEST_EFFORT)
         if proc not in self._ready:
             self._ready.append(proc)
 
@@ -58,7 +63,22 @@ class EdfScheduler(Scheduler):
     def pick(self, now: int) -> Process | None:
         if not self._ready:
             return None
-        return min(self._ready, key=lambda p: (self._abs_deadline.get(p.pid, 2**62), p.pid))
+        return min(self._ready, key=lambda p: (self._abs_deadline.get(p.pid, _BEST_EFFORT), p.pid))
 
     def charge(self, proc: Process, delta: int, now: int) -> None:
         pass  # plain EDF has no budgets
+
+    def cycle_state(self, now: int) -> object:
+        """Ready order plus deadlines relative to ``now`` (BE tasks masked)."""
+        entries = []
+        for proc in self._ready:
+            deadline = self._abs_deadline.get(proc.pid, _BEST_EFFORT)
+            entries.append((proc.pid, "be" if deadline >= _BEST_EFFORT else deadline - now))
+        return ("edf", tuple(entries))
+
+    def shift_times(self, delta: int) -> None:
+        """Relocate every real absolute deadline (the BE sentinel stays put)."""
+        for pid in sorted(self._abs_deadline):
+            deadline = self._abs_deadline[pid]
+            if deadline < _BEST_EFFORT:
+                self._abs_deadline[pid] = deadline + delta

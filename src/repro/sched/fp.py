@@ -64,3 +64,7 @@ class FixedPriorityScheduler(Scheduler):
 
     def charge(self, proc: Process, delta: int, now: int) -> None:
         pass  # no budgets
+
+    def cycle_state(self, now: int) -> object:
+        """Ready order with priorities (arrival order carries the FIFO ties)."""
+        return ("fp", tuple((p.pid, self.priority_of(p)) for p in self._ready))

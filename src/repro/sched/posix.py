@@ -49,3 +49,7 @@ class RoundRobinScheduler(Scheduler):
         if len(self._queue) <= 1:
             return None
         return max(self._slice_left, 1)
+
+    def cycle_state(self, now: int) -> object:
+        """Run-queue rotation plus the remaining slice of the head."""
+        return ("rr", tuple(p.pid for p in self._queue), self._slice_left)

@@ -77,3 +77,24 @@ class StrideScheduler(Scheduler):
         if len(self._ready) <= 1:
             return None
         return max(self._remaining.get(proc.pid, self.quantum), 1)
+
+    def cycle_state(self, now: int) -> object:
+        """Passes relative to the global pass, quantum remainders, tickets.
+
+        Absolute passes grow without bound, but only their differences
+        drive decisions (and :meth:`on_ready` clamps sleepers up to the
+        global pass), so the digest normalises them against
+        ``_global_pass``; ready processes always sit at or above it.
+        """
+        gpass = self._global_pass
+        pids = sorted(set(self._pass) | set(self._remaining) | set(self._tickets))
+        entries = tuple(
+            (
+                pid,
+                max(self._pass.get(pid, 0) - gpass, 0),
+                self._remaining.get(pid, self.quantum),
+                self._tickets.get(pid, 1),
+            )
+            for pid in pids
+        )
+        return ("stride", entries, tuple(p.pid for p in self._ready))

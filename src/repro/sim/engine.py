@@ -134,6 +134,31 @@ class EventQueue:
                 return ev
         return None
 
+    def snapshot(self) -> list[ScheduledEvent]:
+        """Live pending events in dispatch order ``(time, seq)``.
+
+        A read-only view for state digests (:mod:`repro.sim.cycles`); the
+        heap itself is untouched.
+        """
+        return [entry[2] for entry in sorted(self._heap) if not entry[2].cancelled]
+
+    def shift_times(self, delta: int) -> None:
+        """Shift every pending event ``delta`` ns into the future.
+
+        A uniform shift preserves the ``(time, seq)`` order of every pair
+        of entries, so the heap invariant survives an in-place rewrite and
+        no re-heapify is needed.  Used by the fast-forward extrapolation to
+        relocate the whole calendar when whole schedule cycles are skipped.
+        """
+        if delta == 0:
+            return
+        if delta < 0:
+            raise ValueError(f"shift must be non-negative, got {delta}")
+        heap = self._heap
+        for i, (time, seq, ev) in enumerate(heap):
+            ev.time = time + delta
+            heap[i] = (time + delta, seq, ev)
+
     def pop_due(self, now: int) -> ScheduledEvent | None:
         """Pop the earliest event if it is due at or before ``now``."""
         heap = self._heap

@@ -108,6 +108,11 @@ class Kernel:
     #: must never perturb simulation state, the calendar, or RNG streams.
     _obs: Telemetry | None = None
 
+    #: marker set by the fault-injection layer (:mod:`repro.faults`) on any
+    #: kernel that has a fault plan wired up — even a zero-intensity one.
+    #: :mod:`repro.sim.cycles` refuses to fast-forward such runs.
+    fault_plan: object | None = None
+
     def __init__(self, scheduler: Scheduler, config: KernelConfig | None = None) -> None:
         self.config = config or KernelConfig()
         self.clock = 0
@@ -415,8 +420,16 @@ class Kernel:
             self.stats.dispatched_events += 1
             ev.callback(self.clock, ev.payload)
 
-    def run(self, until: int) -> None:
+    def run(self, until: int, *, stop_before_switch: bool = False) -> None:
         """Advance virtual time to ``until`` (absolute ns).
+
+        With ``stop_before_switch`` the loop returns *before starting* a
+        context switch whose cost would carry the clock past ``until``,
+        leaving the switch (and all of its state changes) to the next
+        ``run`` call.  Chunked runs then stay bit-identical to a single
+        monolithic run: the default behaviour clips a straddling switch's
+        cost at ``until``, which a re-entered run would charge in full.
+        Callers must tolerate the clock stopping short of ``until``.
 
         This is the hottest loop of the simulator; scheduler/calendar
         methods and config fields are cached in locals, and the due-event
@@ -464,6 +477,8 @@ class Kernel:
                 continue
             current = self._current
             if proc is not current:
+                if stop_before_switch and cs_cost > 0 and clock + cs_cost > until:
+                    return
                 if current is not None and current.state is running:
                     current.state = ready
                 stats.context_switches += 1

@@ -84,8 +84,13 @@ class MultiCoreKernel(Kernel):
                     proc.sched_latency.add(self.clock - proc.woken_at)
                     proc.woken_at = None
 
-    def run(self, until: int) -> None:
-        """Advance virtual time to ``until`` on every CPU."""
+    def run(self, until: int, *, stop_before_switch: bool = False) -> None:
+        """Advance virtual time to ``until`` on every CPU.
+
+        ``stop_before_switch`` is accepted for signature compatibility with
+        :meth:`repro.sim.kernel.Kernel.run` and ignored: multicore kernels
+        are never fast-forwarded (cycle detection is uniprocessor-only).
+        """
         if until < self.clock:
             raise ValueError(f"cannot run backwards: clock={self.clock}, until={until}")
         scheduler: SmpScheduler = self.scheduler  # type: ignore[assignment]

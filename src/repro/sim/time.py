@@ -9,6 +9,9 @@ kernel").
 
 from __future__ import annotations
 
+import math
+from collections.abc import Iterable
+
 #: One nanosecond (the base unit).
 NS = 1
 #: One microsecond in nanoseconds.
@@ -47,6 +50,23 @@ def from_millis(t_ms: float) -> int:
 def from_micros(t_us: float) -> int:
     """Convert float microseconds to integer nanoseconds (rounded)."""
     return round(t_us * US)
+
+
+def hyperperiod(periods: Iterable[int]) -> int:
+    """LCM of task periods: the interval after which a periodic schedule
+    can repeat (Grolleau/Goossens/Cucu-Grosjean cyclicity).
+
+    >>> hyperperiod([8 * MS, 16 * MS, 32 * MS]) == 32 * MS
+    True
+    >>> hyperperiod([])
+    1
+    """
+    result = 1
+    for period in periods:
+        if period <= 0:
+            raise ValueError(f"periods must be positive, got {period}")
+        result = math.lcm(result, period)
+    return result
 
 
 def fmt_time(t_ns: int) -> str:

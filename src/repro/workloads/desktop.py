@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.cycles import ProgramCycleInfo, register_cycle_adapter
 from repro.sim.instructions import Compute, SleepFor, Syscall
 from repro.sim.process import Program
 from repro.sim.syscalls import SyscallNr
@@ -58,7 +59,9 @@ def desktop_load(config: DesktopLoadConfig | None = None) -> Program:
             pause = max(1, int(burst * (1.0 - cfg.duty) / cfg.duty))
             yield Syscall(SyscallNr.SELECT, block=SleepFor(pause))
 
-    return body()
+    # aperiodic by construction: registering period=None makes any mix
+    # containing desktop interference ineligible for fast-forward
+    return register_cycle_adapter(body(), ProgramCycleInfo(period=None, rng=rng))
 
 
 def desktop_suite(seed: int = 23) -> list[DesktopLoadConfig]:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.cycles import GridIndex, ProgramCycleInfo, register_cycle_adapter
 from repro.sim.instructions import Compute, Label, SleepUntil, Syscall
 from repro.sim.process import Program
 from repro.sim.syscalls import SyscallNr
@@ -104,8 +105,8 @@ class AudioPlayer:
         self.config = config or AudioPlayerConfig()
         self.frames_played = 0
 
-    def program(self, n_frames: int, disk=None) -> Program:
-        """Generator playing ``n_frames`` audio frames.
+    def program(self, n_frames: int | None = None, disk=None) -> Program:
+        """Generator playing ``n_frames`` audio frames (forever if None).
 
         With ``disk`` (a :class:`repro.workloads.io.Disk`) the player
         periodically refills its input buffer through blocking reads whose
@@ -120,18 +121,22 @@ class AudioPlayer:
         gap = Compute(cfg.intra_burst_gap)
         ioctl = Syscall(SyscallNr.IOCTL)
         burst_calls = {nr: Syscall(nr) for nr in MPLAYER_CALL_MIX}
+        # release-grid position in a holder so fast-forward can relocate
+        # the player; the grid index is re-read at every use
+        grid = GridIndex()
+        slot_pos = GridIndex()
 
         def body() -> Program:
-            for j in range(n_frames):
-                base = cfg.phase + j * cfg.period
+            while n_frames is None or grid.index < n_frames:
                 for s in range(cfg.writes_per_period):
-                    slot = base + s * slot_len
+                    slot_pos.index = s
+                    slot = cfg.phase + grid.index * cfg.period + s * slot_len
                     if cfg.release_jitter > 0:
                         slot += int(abs(rng.normal(0, cfg.release_jitter)))
                     # block until the device has room for the next chunk
                     yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(slot))
                     if s == 0:
-                        if disk is not None and cfg.refill_every > 0 and j % cfg.refill_every == 0:
+                        if disk is not None and cfg.refill_every > 0 and grid.index % cfg.refill_every == 0:
                             for _ in range(cfg.refill_reads):
                                 yield disk.read_instruction()
                         # once per period: fetch input, query clocks, decode
@@ -146,9 +151,26 @@ class AudioPlayer:
                     for _ in range(cfg.write_burst):
                         yield gap
                         yield ioctl
+                grid.index += 1
                 self.frames_played += 1
 
-        return body()
+        def _advance(frames: int) -> None:
+            grid.advance(frames)
+            self.frames_played += frames
+
+        return register_cycle_adapter(
+            body(),
+            ProgramCycleInfo(
+                # disk refills couple the player to best-effort contention,
+                # which has no period: mark it un-extrapolatable
+                period=cfg.period if disk is None else None,
+                get_index=lambda: grid.index,
+                advance=_advance,
+                jobs_total=n_frames,
+                rng=rng,
+                extra_state=lambda: (slot_pos.index,),
+            ),
+        )
 
 
 @dataclass
@@ -203,27 +225,45 @@ class VideoPlayer:
         self.config = config or VideoPlayerConfig()
         self.frames_played = 0
 
-    def program(self, n_frames: int) -> Program:
-        """Generator decoding and displaying ``n_frames`` video frames."""
+    def program(self, n_frames: int | None = None) -> Program:
+        """Generator decoding and displaying video frames (forever if None)."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        grid = GridIndex()
+        gop_len = len(cfg.gop)
 
         def body() -> Program:
-            for j in range(n_frames):
-                target = cfg.phase + j * cfg.period
+            while n_frames is None or grid.index < n_frames:
+                target = cfg.phase + grid.index * cfg.period
                 # sleep only if we are ahead of the playback grid
                 now = yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(target))
                 for nr in sample_burst(rng, cfg.start_burst):
                     yield Compute(cfg.intra_burst_gap)
                     yield Syscall(nr)
-                cost = cfg.frame_cost(j)
+                cost = cfg.frame_cost(grid.index)
                 cost = max(1, int(rng.normal(cost, cfg.decode_jitter * cost)))
                 yield Compute(cost)
                 for nr in sample_burst(rng, cfg.end_burst):
                     yield Compute(cfg.intra_burst_gap)
                     yield Syscall(nr)
                 # blit: the instant the user sees the frame
-                yield Label(cfg.display_label, {"frame": j})
+                yield Label(cfg.display_label, {"frame": grid.index})
+                grid.index += 1
                 self.frames_played += 1
 
-        return body()
+        def _advance(frames: int) -> None:
+            grid.advance(frames)
+            self.frames_played += frames
+
+        return register_cycle_adapter(
+            body(),
+            ProgramCycleInfo(
+                # the cost pattern repeats per GOP, not per frame
+                period=cfg.period * gop_len,
+                get_index=lambda: grid.index,
+                advance=_advance,
+                jobs_total=n_frames,
+                rng=rng,
+                extra_state=lambda: (grid.index % gop_len,),
+            ),
+        )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.cycles import GridIndex, ProgramCycleInfo, register_cycle_adapter
 from repro.sim.instructions import Compute, Fire, Label, SleepUntil, Syscall, WaitEvent
 from repro.sim.process import Program
 from repro.sim.syscalls import SyscallNr
@@ -77,36 +78,58 @@ class VlcPlayer:
     def _slot_free(self) -> str:
         return f"vlc:{self._seq}:slot"
 
-    def decoder_program(self, n_frames: int) -> Program:
+    def decoder_program(self, n_frames: int | None = None) -> Program:
         """The decoder thread: fill the queue, block when it is full."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        grid = GridIndex()
 
         def body() -> Program:
-            for j in range(n_frames):
+            while n_frames is None or grid.index < n_frames:
                 while len(self._queue) >= cfg.queue_depth:
                     yield Syscall(SyscallNr.FUTEX, block=WaitEvent(self._slot_free))
                 for _ in range(cfg.decode_burst):
                     yield Compute(cfg.intra_burst_gap)
                     yield Syscall(SyscallNr.READ)
-                cost = max(1, int(rng.normal(cfg.decode_cost, cfg.decode_jitter * cfg.decode_cost)))
+                if cfg.decode_jitter > 0:
+                    cost = max(1, int(rng.normal(cfg.decode_cost, cfg.decode_jitter * cfg.decode_cost)))
+                else:
+                    cost = cfg.decode_cost
                 yield Compute(cost)
-                self._queue.append(j)
+                self._queue.append(grid.index)
+                grid.index += 1
                 self.frames_decoded += 1
                 yield Fire(self._frame_ready)
             # guard against a lost wake-up racing the very last frame
             yield Fire(self._frame_ready)
 
-        return body()
+        def _advance(frames: int) -> None:
+            grid.advance(frames)
+            self.frames_decoded += frames
 
-    def output_program(self, n_frames: int) -> Program:
+        return register_cycle_adapter(
+            body(),
+            ProgramCycleInfo(
+                # the decoder is paced by the output thread's grid through
+                # the bounded queue, so it shares the playback period
+                period=cfg.period,
+                get_index=lambda: grid.index,
+                advance=_advance,
+                jobs_total=n_frames,
+                rng=rng,
+                extra_state=lambda: (len(self._queue),),
+            ),
+        )
+
+    def output_program(self, n_frames: int | None = None) -> Program:
         """The output thread: blit one frame per 40 ms grid slot."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed + 1)
+        grid = GridIndex()
 
         def body() -> Program:
-            for j in range(n_frames):
-                target = cfg.phase + j * cfg.period
+            while n_frames is None or grid.index < n_frames:
+                target = cfg.phase + grid.index * cfg.period
                 yield Syscall(SyscallNr.CLOCK_NANOSLEEP, block=SleepUntil(target))
                 while not self._queue:
                     yield Syscall(SyscallNr.FUTEX, block=WaitEvent(self._frame_ready))
@@ -116,7 +139,21 @@ class VlcPlayer:
                     yield Compute(cfg.intra_burst_gap)
                     yield Syscall(SyscallNr.IOCTL)
                 yield Compute(cfg.blit_cost)
-                yield Label(cfg.display_label, {"frame": j})
+                yield Label(cfg.display_label, {"frame": grid.index})
+                grid.index += 1
                 self.frames_displayed += 1
 
-        return body()
+        def _advance(frames: int) -> None:
+            grid.advance(frames)
+            self.frames_displayed += frames
+
+        return register_cycle_adapter(
+            body(),
+            ProgramCycleInfo(
+                period=cfg.period,
+                get_index=lambda: grid.index,
+                advance=_advance,
+                jobs_total=n_frames,
+                rng=rng,
+            ),
+        )

@@ -1,0 +1,20 @@
+def digest_parts(events, waiters):
+    for key in waiters.items():
+        yield key
+    for key in sorted(waiters.items()):
+        yield key
+    values = [v for v in events.values()]
+    yield tuple(values)
+    for i, key in enumerate(events.keys()):
+        yield i, key
+    snapshot = {k: v for k, v in list(events.items())}
+    yield snapshot
+    for pid in waiters:
+        yield pid
+    for key in sorted(events):
+        yield key
+## path: repro/sim/cycles_fx.py
+## expect: DT006 @ 2:15
+## expect: DT006 @ 6:25
+## expect: DT006 @ 8:28
+## expect: DT006 @ 10:38

@@ -1,0 +1,236 @@
+"""Steady-state fast-forward: bit-identity against full stepping.
+
+The contract under test (`repro.sim.cycles`) is the strongest the repo
+makes: `run_fast_forward(kernel, until)` must leave the kernel in a state
+indistinguishable from `kernel.run(until)` — the same switch-hook call
+sequence, the same latency floats, the same monotone counters — whether
+or not a schedule cycle was detected and skipped.  The equivalence digest
+of :func:`repro.bench.golden.equivalence_digest` folds all of that into
+one SHA-256, so every test here reduces to digest equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.golden import equivalence_digest
+from repro.bench.scenarios import GOLDEN_SCENARIOS, PERIODIC_SCENARIOS, build_scenario
+from repro.core.spectrum import replicate_series
+from repro.sim import Kernel, MS, SEC
+from repro.sim.cycles import (
+    MIN_BOUNDARIES,
+    eligibility_reason,
+    kernel_hyperperiod,
+    run_fast_forward,
+    state_digest,
+)
+from repro.sim.engine import EventQueue
+from repro.sim.time import hyperperiod
+
+
+class TestHyperperiod:
+    def test_lcm_fold(self):
+        assert hyperperiod([8 * MS, 16 * MS, 32 * MS]) == 32 * MS
+        assert hyperperiod([6, 10, 15]) == 30
+
+    def test_empty_is_one(self):
+        assert hyperperiod([]) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            hyperperiod([8 * MS, 0])
+        with pytest.raises(ValueError):
+            hyperperiod([-5])
+
+
+class TestShiftTimes:
+    def _fill(self, q: EventQueue):
+        fired = []
+
+        def cb(now, payload):
+            fired.append((now, payload))
+
+        q.push(100, cb, "a")
+        q.push(50, cb, "b")
+        doomed = q.push(75, cb, "c")
+        doomed.cancel()
+        return fired
+
+    def test_uniform_shift_preserves_order(self):
+        q = EventQueue()
+        self._fill(q)
+        q.shift_times(1000)
+        times = [ev.time for ev in q.snapshot()]
+        assert times == [1050, 1100]
+
+    def test_zero_shift_is_noop(self):
+        q = EventQueue()
+        self._fill(q)
+        before = [(ev.time, ev.payload) for ev in q.snapshot()]
+        q.shift_times(0)
+        assert [(ev.time, ev.payload) for ev in q.snapshot()] == before
+
+    def test_negative_shift_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.shift_times(-1)
+
+    def test_shifted_events_fire_at_new_times(self):
+        q = EventQueue()
+        fired = self._fill(q)
+        q.shift_times(10)
+        while len(q):
+            ev = q.pop()
+            if ev is not None:
+                ev.callback(ev.time, ev.payload)
+        assert fired == [(60, "b"), (110, "a")]
+
+
+class TestReplicateSeries:
+    def test_integer_exact_stitching(self):
+        base = np.array([10, 30], dtype=np.int64)
+        out = replicate_series(base, 100, 2)
+        assert out.dtype == np.int64
+        assert out.tolist() == [10, 30, 110, 130, 210, 230]
+
+    def test_zero_cycles_copies(self):
+        base = np.array([5], dtype=np.int64)
+        out = replicate_series(base, 100, 0)
+        assert out.tolist() == [5]
+        out[0] = 99
+        assert base[0] == 5
+
+    def test_validation(self):
+        base = np.array([1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            replicate_series(base, 0, 1)
+        with pytest.raises(ValueError):
+            replicate_series(base, 100, -1)
+
+
+class TestPeriodicEquivalence:
+    """Every eligible scenario: detected, skipped, and still bit-identical."""
+
+    @pytest.mark.parametrize("name", sorted(PERIODIC_SCENARIOS))
+    def test_fast_forward_matches_full_run(self, name):
+        full, report = equivalence_digest(name, 1 * SEC, fast_forward=False)
+        assert report is None
+        ff, report = equivalence_digest(name, 1 * SEC, fast_forward=True)
+        assert report is not None and report.enabled
+        assert report.detected, f"{name}: no cycle detected"
+        assert report.cycles_skipped > 0 and report.skipped_ns > 0
+        assert ff == full
+
+    def test_final_state_digest_matches(self):
+        # beyond the trace digest: the complete normalised simulator state
+        # (calendar, segments, scheduler) is identical after a skip
+        until = 1 * SEC
+        k_full = build_scenario("periodic-edf")
+        k_full.run(until)
+        k_ff = build_scenario("periodic-edf")
+        report = run_fast_forward(k_ff, until)
+        assert report.detected
+        assert k_ff.clock == k_full.clock == until
+        assert state_digest(k_ff, until) == state_digest(k_full, until)
+
+
+class TestGoldenTransparency:
+    """The golden mixes must be untouched: fast-forward auto-disables."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_disabled_and_identical(self, name):
+        full, _ = equivalence_digest(name, fast_forward=False)
+        ff, report = equivalence_digest(name, fast_forward=True)
+        assert report is not None
+        # finite jittered workloads with an astronomic LCM: the fast path
+        # must bow out (horizon too short for 3 hyperperiods) ...
+        assert not report.enabled
+        assert not report.detected
+        # ... and the run must come out bit-identical regardless
+        assert ff == full
+
+
+class TestIneligibility:
+    def _periodic_kernel(self) -> Kernel:
+        return build_scenario("periodic-fp")
+
+    def test_clean_periodic_kernel_is_eligible(self):
+        assert eligibility_reason(self._periodic_kernel()) is None
+
+    def test_fault_plan_disables_bit_identically(self):
+        from repro.bench.golden import attach_digest
+        from repro.faults.plan import FaultPlan
+
+        until = 1 * SEC
+        k_full = build_scenario("periodic-rr")
+        fin_full = attach_digest(k_full)
+        k_full.run(until)
+
+        k_ff = build_scenario("periodic-rr")
+        # a *zero-intensity* plan must still disable the fast path: the
+        # marker means "a fault layer may perturb this timeline", and the
+        # digest cannot prove it will not
+        k_ff.fault_plan = FaultPlan.burst(0, until, 0.0)
+        fin_ff = attach_digest(k_ff)
+        report = run_fast_forward(k_ff, until)
+        assert not report.enabled
+        assert report.reason == "fault plan attached"
+        assert fin_ff() == fin_full()
+
+    def test_tracer_disables(self):
+        kernel = self._periodic_kernel()
+        kernel.tracers.append(object())
+        assert eligibility_reason(kernel) == "syscall tracers attached"
+
+    def test_telemetry_disables(self):
+        kernel = self._periodic_kernel()
+        kernel._obs = object()
+        assert eligibility_reason(kernel) == "telemetry hub attached"
+
+    def test_aperiodic_process_disables(self):
+        from repro.workloads.desktop import desktop_load
+
+        kernel = self._periodic_kernel()
+        kernel.spawn("xorg", desktop_load())
+        reason = eligibility_reason(kernel)
+        assert reason is not None and "aperiodic" in reason
+
+    def test_short_horizon_falls_back(self):
+        kernel = self._periodic_kernel()
+        cycle_h = kernel_hyperperiod(kernel)
+        until = MIN_BOUNDARIES * cycle_h  # one boundary short of the floor
+        report = run_fast_forward(kernel, until)
+        assert not report.enabled
+        assert report.reason is not None and "horizon too short" in report.reason
+        assert kernel.clock == until
+
+
+class TestVlcTwoThread:
+    """Zero-jitter vlc: two event-coupled threads still reach a cycle."""
+
+    def test_detects_and_matches(self):
+        from repro.sched import RoundRobinScheduler
+        from repro.workloads.vlc import VlcConfig, VlcPlayer
+
+        from repro.bench.golden import attach_digest
+
+        until = 1 * SEC
+
+        def build() -> Kernel:
+            kernel = Kernel(RoundRobinScheduler())
+            player = VlcPlayer(VlcConfig(decode_jitter=0.0))
+            kernel.spawn("vlc-dec", player.decoder_program())
+            kernel.spawn("vlc-out", player.output_program())
+            return kernel
+
+        k_full = build()
+        fin_full = attach_digest(k_full)
+        k_full.run(until)
+
+        k_ff = build()
+        fin_ff = attach_digest(k_ff)
+        report = run_fast_forward(k_ff, until)
+        assert report.enabled and report.detected
+        assert report.cycles_skipped > 0
+        assert fin_ff() == fin_full()
