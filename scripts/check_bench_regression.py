@@ -6,7 +6,9 @@ Compares the ``micro`` section of two ``BENCH_*.json`` reports (schema
 ``--threshold`` (default 0.8, i.e. a >20% drop) of the baseline fails
 the gate; the ``fastforward`` metric additionally must keep its
 wall-clock speedup at or above ``--min-speedup`` (default 10, the
-acceptance bar of the fast-forward PR).
+acceptance bar of the fast-forward PR), and the ``fleet`` metric must
+keep its batched-engine speedup over naive per-sim execution at or
+above ``--min-fleet-speedup`` (default 5, the fleet PR's bar).
 
 Timings on shared CI runners are noisy, which is why only *large* drops
 fail and why the summary is written even on success — the trajectory
@@ -29,11 +31,15 @@ import sys
 from pathlib import Path
 
 #: metrics the gate guards; anything else in the report is informational
-GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector")
+GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector", "fleet")
 
 #: the fast-forward speedup floor (full-run wall clock / fast-forward
 #: wall clock on the long periodic horizon)
 DEFAULT_MIN_SPEEDUP = 10.0
+
+#: the batched fleet engine's speedup floor over naive per-sim
+#: full-stepping execution (the fleet PR's acceptance bar)
+DEFAULT_MIN_FLEET_SPEEDUP = 5.0
 
 
 def load_micro(path: Path) -> dict[str, dict]:
@@ -45,7 +51,11 @@ def load_micro(path: Path) -> dict[str, dict]:
 
 
 def compare(
-    baseline: dict[str, dict], current: dict[str, dict], threshold: float, min_speedup: float
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    threshold: float,
+    min_speedup: float,
+    min_fleet_speedup: float = DEFAULT_MIN_FLEET_SPEEDUP,
 ) -> tuple[list[tuple], list[str]]:
     """Returns (table rows, failure messages)."""
     rows: list[tuple] = []
@@ -81,6 +91,16 @@ def compare(
                 f"fastforward: wall-clock speedup {speedup:.1f}x fell below "
                 f"the {min_speedup:.0f}x floor"
             )
+    fleet = current.get("fleet")
+    if fleet is not None:
+        speedup = fleet.get("extra", {}).get("speedup")
+        if speedup is None:
+            failures.append("fleet: report carries no speedup measurement")
+        elif speedup < min_fleet_speedup:
+            failures.append(
+                f"fleet: batched-engine speedup {speedup:.1f}x over naive "
+                f"per-sim execution fell below the {min_fleet_speedup:.0f}x floor"
+            )
     return rows, failures
 
 
@@ -105,6 +125,12 @@ def render_markdown(rows: list[tuple], failures: list[str], threshold: float) ->
         if speedup is not None:
             lines.append("")
             lines.append(f"Fast-forward wall-clock speedup: **{speedup:.1f}x**.")
+    fleet_row = next((r for r in rows if r[0] == "fleet" and r[2] is not None), None)
+    if fleet_row is not None:
+        speedup = fleet_row[2].get("extra", {}).get("speedup")
+        if speedup is not None:
+            lines.append("")
+            lines.append(f"Fleet batched-engine speedup: **{speedup:.1f}x** over naive.")
     if failures:
         lines.append("")
         lines.append("### Failures")
@@ -128,11 +154,19 @@ def main() -> int:
         default=DEFAULT_MIN_SPEEDUP,
         help="minimum fast-forward wall-clock speedup",
     )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=DEFAULT_MIN_FLEET_SPEEDUP,
+        help="minimum batched-fleet speedup over naive per-sim execution",
+    )
     args = parser.parse_args()
 
     baseline = load_micro(args.baseline)
     current = load_micro(args.current)
-    rows, failures = compare(baseline, current, args.threshold, args.min_speedup)
+    rows, failures = compare(
+        baseline, current, args.threshold, args.min_speedup, args.min_fleet_speedup
+    )
 
     for name, base, cur, ratio, status in rows:
         base_v = f"{base['value']:,.0f}" if base else "—"

@@ -33,17 +33,18 @@ SIM_DIRS = (
     "repro/core/",
     "repro/workloads/",
     "repro/faults/",
+    "repro/fleet/",
 )
 
 DEFAULT_SCOPE: dict[str, tuple[str, ...]] = {
     "DT001": SIM_DIRS,
     "DT002": SIM_DIRS,
     "DT003": SIM_DIRS,
-    "DT004": ("repro/sched/", "repro/faults/"),
+    "DT004": ("repro/sched/", "repro/faults/", "repro/fleet/"),
     "DT005": SIM_DIRS,
     # digest construction only: elsewhere dict views are insertion-ordered
     # and deterministic, but a digest must be canonical across histories
-    "DT006": ("repro/sim/cycles",),
+    "DT006": ("repro/sim/cycles", "repro/fleet/summary"),
 }
 
 #: Waiver-audit pseudo-rules (engine-level; they have no ``check``).

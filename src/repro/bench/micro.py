@@ -1,6 +1,6 @@
 """Microbenchmarks of the simulator and analyser hot paths.
 
-Six throughput metrics, one per hot path the profile concentrates in:
+Seven throughput metrics, one per hot path the profile concentrates in:
 
 - ``calendar`` — :class:`repro.sim.engine.EventQueue` push/peek/cancel/pop
   operations per second on a deterministic mixed workload;
@@ -15,7 +15,11 @@ Six throughput metrics, one per hot path the profile concentrates in:
   hub attached, tracking the recording overhead against the bare run;
 - ``fastforward`` — simulated-ns/sec through the schedule-cycle
   fast-forward of :mod:`repro.sim.cycles` on a long periodic horizon,
-  with the full-run baseline and the wall-clock speedup in ``extra``.
+  with the full-run baseline and the wall-clock speedup in ``extra``;
+- ``fleet`` — sims/sec through the batched :mod:`repro.fleet` engine on
+  a 12-sim periodic template, against the naive one-sim-per-task
+  full-stepping baseline (equivalence-checked), with the speedup and a
+  parent peak-memory flatness spot-check in ``extra``.
 
 ``repro-exp bench --micro`` runs them and emits the numbers into the
 ``BENCH_*.json`` report (schema ``repro-bench/1``, ``micro`` key), so the
@@ -287,6 +291,118 @@ def bench_fastforward(duration_s: float = 60.0) -> MicroResult:
     )
 
 
+#: the fleet microbenchmark's inline template: purely periodic CBS nodes
+#: (fast-forward eligible), a 2-policy grid x 6 nodes = 12 sims
+_FLEET_TEMPLATE = """
+[template]
+name = "fleet-micro"
+nodes = 6
+seed = 4242
+
+[scenario]
+horizon_ms = 8000.0
+miss_threshold_ms = 10.0
+
+[scheduler]
+kind = "cbs"
+policy = "hard"
+
+[[workload]]
+kind = "periodic"
+name = "p8"
+count = 2
+period_ms = 8.0
+cost_ms = 0.4
+budget_ms = 2.5
+server_period_ms = 8.0
+
+[[workload]]
+kind = "periodic"
+name = "p16"
+count = 2
+period_ms = 16.0
+cost_ms = 1.0
+budget_ms = 3.5
+server_period_ms = 16.0
+
+[grid]
+"scheduler.policy" = ["hard", "soft"]
+"""
+
+
+def _strip_ff_accounting(doc: dict) -> dict:
+    """An aggregate's JSON form minus the fast-forward bookkeeping.
+
+    Fast-forward changes *how* a sim ran, never what it computed; the
+    equivalence check between the naive and batched legs must therefore
+    ignore the ``ff_*``/``*_skipped`` counters while comparing every
+    latency, miss and kernel number bit for bit.
+    """
+    out = {k: v for k, v in doc.items() if k not in ("ff_detected", "cycles_skipped", "skipped_ns")}
+    if "groups" in out:
+        out["groups"] = {k: _strip_ff_accounting(v) for k, v in out["groups"].items()}
+    return out
+
+
+def bench_fleet() -> MicroResult:
+    """Batched fleet engine vs naive per-sim execution.
+
+    Expands the inline 12-sim purely-periodic template twice: the naive
+    leg runs every sim individually with full stepping (one sim per
+    chunk, no fast-forward — what a pre-fleet driver loop would do), the
+    batched leg runs the production configuration (packed chunks +
+    schedule-cycle fast-forward).  Both legs must agree on every
+    non-fast-forward aggregate field, or this raises.  The headline value
+    is the batched leg's sims/s; ``extra`` carries the >= 5x speedup the
+    regression gate guards and a tracemalloc spot-check showing parent
+    peak memory is flat in fleet size (full vs half fleet).
+    """
+    import tracemalloc
+
+    from repro.fleet import expand_template, parse_template, run_fleet
+
+    template = parse_template(_FLEET_TEMPLATE)
+    sims = template.size
+    t0 = time.perf_counter()
+    naive = run_fleet(expand_template(template), jobs=1, chunksize=1, fast_forward=False)
+    naive_elapsed = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = run_fleet(expand_template(template), jobs=1, chunksize=8, fast_forward=True)
+    fast_elapsed = time.perf_counter() - t0
+    if _strip_ff_accounting(naive.to_jsonable()) != _strip_ff_accounting(fast.to_jsonable()):
+        raise AssertionError("batched fleet run diverged from naive per-sim execution")
+
+    def _fold_peak(limit: int) -> int:
+        import itertools
+
+        specs = itertools.islice(expand_template(template), limit)
+        tracemalloc.start()
+        run_fleet(specs, jobs=1, chunksize=8, fast_forward=True)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    peak_half = _fold_peak(sims // 2)
+    peak_full = _fold_peak(sims)
+    return MicroResult(
+        name="fleet",
+        value=sims / fast_elapsed,
+        unit="sims/s",
+        elapsed_s=naive_elapsed + fast_elapsed,
+        work=sims,
+        params={"sims": sims, "chunksize": 8, "horizon_s": 8.0},
+        extra={
+            "speedup": naive_elapsed / fast_elapsed,
+            "naive_value": sims / naive_elapsed,
+            "simulated_ns_per_s": fast.simulated_ns / fast_elapsed,
+            "ff_detected": fast.ff_detected,
+            "misses": fast.misses,
+            "digest": fast.digest(),
+            "peak_rss_ratio": peak_full / peak_half if peak_half else 0.0,
+        },
+    )
+
+
 #: name -> zero-argument benchmark callable (defaults are the canonical
 #: sizes the trajectory is tracked at)
 MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
@@ -296,6 +412,7 @@ MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
     "detector": bench_detector,
     "sim-obs": bench_sim_obs,
     "fastforward": bench_fastforward,
+    "fleet": bench_fleet,
 }
 
 

@@ -11,6 +11,8 @@
     repro-exp bench --micro             # hot-path microbenchmarks
     repro-exp trace fig13               # export a Perfetto/Chrome trace
     repro-exp faults trace-loss         # faulted playback + guard report
+    repro-exp fleet run cdn.toml --jobs 8 --stream out.jsonl
+                                        # batched fleet of scenario sims
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
@@ -126,7 +128,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the hot-path microbenchmarks instead of the experiment "
         "sweep (positional args then select metrics: calendar, sim, "
-        "spectrum, detector, sim-obs, fastforward)",
+        "spectrum, detector, sim-obs, fastforward, fleet)",
     )
     _add_exec_flags(bench_p)
     trace_p = sub.add_parser(
@@ -190,6 +192,51 @@ def main(argv: list[str] | None = None) -> int:
         "golden traces are produced by full stepping)",
     )
     sim_p.add_argument("--json", action="store_true", help="machine-readable output")
+    fleet_p = sub.add_parser(
+        "fleet", help="fleet-scale scenario DSL: expand templates, run batched sims"
+    )
+    fleet_sub = fleet_p.add_subparsers(dest="fleet_command", required=True)
+    fr_p = fleet_sub.add_parser(
+        "run", help="run a scenario or template TOML through the batched engine"
+    )
+    fr_p.add_argument("spec", help="scenario or template TOML (templates have a [template] table)")
+    fr_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes (default: 1, inline)"
+    )
+    fr_p.add_argument(
+        "--chunksize",
+        type=int,
+        default=16,
+        metavar="K",
+        help="sims packed per pool task (default: 16; result-invariant)",
+    )
+    fr_p.add_argument(
+        "--stream",
+        default=None,
+        metavar="PATH",
+        help="write one JSON line per finished sim to PATH, in fleet order",
+    )
+    fr_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only the first N sims of the expansion",
+    )
+    fr_p.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="full stepping only (fast-forward is bit-identical; this is a debugging aid)",
+    )
+    fr_p.add_argument("--json", action="store_true", help="machine-readable aggregate output")
+    fe_p = fleet_sub.add_parser(
+        "expand", help="expand a template without running it (count or list the specs)"
+    )
+    fe_p.add_argument("spec", help="scenario or template TOML")
+    fe_p.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="list at most N spec names"
+    )
+    fe_p.add_argument("--json", action="store_true", help="machine-readable spec dump")
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -236,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_lint(args)
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "fleet":
+        return _fleet(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -330,6 +379,92 @@ def _simulate(args) -> int:
             )
         else:
             print(f"fast-forward: disabled ({report.reason})")
+    return 0
+
+
+def _fleet_specs(path: str):
+    """Load ``path`` as a template or single scenario; return (specs, size).
+
+    ``specs`` is a lazy iterator; ``size`` is the declared expansion size
+    (1 for a plain scenario) before any ``--limit``.
+    """
+    from pathlib import Path
+
+    from repro.fleet import expand_template, load_scenario, load_template
+    from repro.fleet._toml import load_toml
+    from repro.fleet.spec import SpecError
+
+    try:
+        doc = load_toml(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{path}: {exc}") from None
+    try:
+        if "template" in doc:
+            template = load_template(path)
+            return expand_template(template), template.size
+        return iter([load_scenario(path)]), 1
+    except SpecError as exc:
+        raise SystemExit(f"{path}: {exc}") from None
+
+
+def _fleet(args) -> int:
+    """Fleet verbs: ``expand`` (inspect a template) and ``run`` (execute)."""
+    import itertools
+    import json
+    import time
+
+    from repro.fleet import run_fleet
+    from repro.sim.time import SEC
+
+    specs, size = _fleet_specs(args.spec)
+    if args.limit is not None:
+        if args.limit < 1:
+            raise SystemExit(f"--limit must be >= 1, got {args.limit}")
+        specs = itertools.islice(specs, args.limit)
+        size = min(size, args.limit)
+    if args.fleet_command == "expand":
+        if args.json:
+            print(json.dumps([spec.to_jsonable() for spec in specs], indent=2, sort_keys=True))
+        else:
+            for spec in specs:
+                print(spec.name)
+            print(f"[{size} sims]")
+        return 0
+    t0 = time.perf_counter()
+    aggregate = run_fleet(
+        specs,
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        fast_forward=not args.no_fast_forward,
+        stream=args.stream,
+    )
+    elapsed = time.perf_counter() - t0
+    if args.json:
+        payload = aggregate.to_jsonable()
+        payload["digest"] = aggregate.digest()
+        payload["elapsed_s"] = elapsed
+        payload["sims_per_s"] = aggregate.sims / elapsed if elapsed > 0 else 0.0
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{aggregate.sims} sims, {aggregate.simulated_ns / SEC:.1f} simulated s "
+        f"in {elapsed:.1f}s wall "
+        f"({aggregate.sims / elapsed if elapsed > 0 else 0.0:,.1f} sims/s)"
+    )
+    print(
+        f"latency: mean {aggregate.lat_mean / 1e6:.3f} ms, "
+        f"p99 <= {aggregate.quantile(0.99) / 1e6:.3f} ms, "
+        f"max {aggregate.lat_max / 1e6:.3f} ms over {aggregate.samples:,d} samples"
+    )
+    print(
+        f"misses: {aggregate.misses:,d} ({100.0 * aggregate.miss_rate:.4f}%), "
+        f"crashes: {aggregate.crashes}, fast-forwarded: {aggregate.ff_detected}/{aggregate.sims}"
+    )
+    if args.stream:
+        print(f"[stream written to {args.stream}]")
+    print(f"digest {aggregate.digest()}")
     return 0
 
 

@@ -50,17 +50,22 @@ class RunOutcome:
 class _PoolMap:
     """Order-preserving ``map`` over a process pool (the sharding hook).
 
-    Wraps ``ProcessPoolExecutor.map`` with ``chunksize=1`` so work units
-    fan out one-per-task; ``executor.map`` already yields results in
-    submission order, which is what keeps parallel runs bit-identical to
-    serial ones.
+    Wraps ``ProcessPoolExecutor.map``; results come back in submission
+    order whatever the ``chunksize``, which is what keeps parallel runs
+    bit-identical to serial ones.  ``chunksize=1`` (the default) fans
+    work units out one-per-task — right for expensive units like a whole
+    experiment repetition; batch runners over many cheap units (the
+    fleet engine) raise it to amortise pickling and task dispatch.
     """
 
-    def __init__(self, executor: ProcessPoolExecutor):
+    def __init__(self, executor: ProcessPoolExecutor, chunksize: int = 1):
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self._executor = executor
+        self._chunksize = chunksize
 
     def __call__(self, fn, *iterables):
-        return self._executor.map(fn, *iterables, chunksize=1)
+        return self._executor.map(fn, *iterables, chunksize=self._chunksize)
 
 
 def _supports_map_fn(run_fn) -> bool:
@@ -86,15 +91,17 @@ def run_experiment(
     jobs: int = 1,
     cache: ResultCache | None = None,
     mp_context=None,
+    chunksize: int = 1,
 ) -> RunOutcome:
     """Run one experiment, optionally sharding its inner loops.
 
     ``overrides`` are the user-facing ``run()`` kwargs and are the only
     thing that enters the cache key — the execution strategy (``jobs``,
-    ``mp_context``) never does, because it cannot change the result.
-    ``mp_context`` is forwarded to the executor; workers only receive
-    picklable module-level callables, so every start method
-    (fork/spawn/forkserver) produces identical results.
+    ``mp_context``, ``chunksize``) never does, because it cannot change
+    the result.  ``mp_context`` is forwarded to the executor; workers
+    only receive picklable module-level callables, so every start method
+    (fork/spawn/forkserver) produces identical results.  ``chunksize``
+    batches map work units per pool task (see :class:`_PoolMap`).
     """
     entry = _resolve(name)
     overrides = dict(overrides or {})
@@ -111,7 +118,7 @@ def run_experiment(
     start = time.perf_counter()
     if jobs > 1 and _supports_map_fn(entry.run):
         with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context) as executor:
-            result = entry.run(**overrides, map_fn=_PoolMap(executor))
+            result = entry.run(**overrides, map_fn=_PoolMap(executor, chunksize))
     else:
         result = entry.run(**overrides)
     elapsed = time.perf_counter() - start

@@ -29,7 +29,13 @@ from repro.faults.injectors import (
     TraceTamper,
     WorkloadFaults,
 )
-from repro.faults.plan import FaultPlan, FaultWindow, combined_is_zero
+from repro.faults.plan import (
+    NAMED_PLANS,
+    FaultPlan,
+    FaultWindow,
+    combined_is_zero,
+    plan_from_name,
+)
 
 __all__ = [
     "ClockCoarsening",
@@ -37,9 +43,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultWindow",
+    "NAMED_PLANS",
     "RingPressure",
     "SupervisorSaturation",
     "TraceTamper",
     "WorkloadFaults",
     "combined_is_zero",
+    "plan_from_name",
 ]

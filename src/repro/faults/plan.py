@@ -160,3 +160,41 @@ class FaultPlan:
 def combined_is_zero(plans: Sequence[FaultPlan | None]) -> bool:
     """True when every plan in ``plans`` is absent or zero."""
     return all(p is None or p.is_zero for p in plans)
+
+
+_SEC = 1_000_000_000
+
+#: the named plan catalogue: reference schedules addressable from the
+#: fleet scenario DSL (``[fault] plan = "mid-burst"``) and anywhere else a
+#: plan must travel as a string (CLI flags, JSON configs)
+NAMED_PLANS: dict[str, FaultPlan] = {
+    # never injects — composes with the zero-intensity transparency gate
+    "zero": FaultPlan.zero(),
+    # constant background stress from t=0
+    "steady-low": FaultPlan.constant(0.2),
+    "steady-high": FaultPlan.constant(0.6),
+    # one hard burst in the second simulated second
+    "mid-burst": FaultPlan.burst(1 * _SEC, 2 * _SEC, 0.8),
+    # a load cliff: mild stress that jumps and stays high after 2 s
+    "cliff": FaultPlan.steps([(0, 2 * _SEC, 0.1), (2 * _SEC, None, 0.9)]),
+    # staircase ramp, one step per simulated second
+    "ramp": FaultPlan.steps(
+        [(i * _SEC, (i + 1) * _SEC, 0.1 + 0.2 * i) for i in range(4)]
+        + [(4 * _SEC, None, 0.9)]
+    ),
+}
+
+
+def plan_from_name(name: str, *, scale: float = 1.0) -> FaultPlan:
+    """Resolve a :data:`NAMED_PLANS` entry, scaled by ``scale``.
+
+    >>> plan_from_name("mid-burst").intensity_at(1_500_000_000)
+    0.8
+    >>> plan_from_name("steady-high", scale=0.0).is_zero
+    True
+    """
+    try:
+        plan = NAMED_PLANS[name]
+    except KeyError:
+        raise KeyError(f"unknown fault plan {name!r}; known: {sorted(NAMED_PLANS)}") from None
+    return plan.scaled(scale)

@@ -1,0 +1,67 @@
+"""``repro.fleet`` — fleet-scale scenario DSL + batched multi-sim engine.
+
+The ROADMAP's "heavy traffic from millions of users" direction made
+concrete: declarative scenario specs (TOML → frozen dataclasses),
+parameterised templates that expand lazily into thousands of concrete
+nodes, a batched process-pool engine that packs many cheap sims per
+worker task (leaning on :mod:`repro.sim.cycles` fast-forward for the
+steady-state legs), and streaming aggregation that keeps parent memory
+flat while producing byte-identical results at any ``--jobs`` level.
+
+Layers:
+
+- :mod:`~repro.fleet.spec` — the scenario DSL (:class:`ScenarioSpec`
+  and friends) with strict, actionable validation;
+- :mod:`~repro.fleet.template` — ``[grid]``/``[jitter]`` templates and
+  the lazy :func:`expand_template` generator;
+- :mod:`~repro.fleet.build` — spec → kernel construction and the
+  single-sim runner;
+- :mod:`~repro.fleet.summary` — mergeable per-sim summaries and the
+  streaming :class:`FleetAggregate`;
+- :mod:`~repro.fleet.engine` — :func:`run_fleet`, the chunked pool
+  dispatcher.
+
+See ``docs/fleet.md`` for the DSL reference and the determinism
+contract, and ``repro-exp fleet`` for the CLI surface.
+"""
+
+from repro.fleet.build import build_sim, run_sim
+from repro.fleet.engine import run_fleet
+from repro.fleet.spec import (
+    FaultSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    SpecError,
+    WorkloadSpec,
+    load_scenario,
+    scenario_from_dict,
+    scenario_from_toml,
+)
+from repro.fleet.summary import FleetAggregate, SimSummary, summarise_kernel
+from repro.fleet.template import (
+    FleetTemplate,
+    expand_template,
+    load_template,
+    parse_template,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FleetAggregate",
+    "FleetTemplate",
+    "ScenarioSpec",
+    "SchedulerSpec",
+    "SimSummary",
+    "SpecError",
+    "WorkloadSpec",
+    "build_sim",
+    "expand_template",
+    "load_scenario",
+    "load_template",
+    "parse_template",
+    "run_fleet",
+    "run_sim",
+    "scenario_from_dict",
+    "scenario_from_toml",
+    "summarise_kernel",
+]

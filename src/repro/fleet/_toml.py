@@ -1,0 +1,289 @@
+"""Minimal TOML loading for the fleet scenario DSL.
+
+Python 3.11+ ships :mod:`tomllib`; the CI matrix still runs 3.10, and the
+project deliberately takes no third-party dependencies, so this module
+carries a small fallback parser for the subset of TOML the scenario specs
+use: tables, arrays of tables, bare/quoted (possibly dotted) keys, basic
+and literal strings, integers, floats, booleans, arrays and inline
+tables.  :func:`load_toml` prefers the stdlib parser when present, so the
+fallback only ever runs on 3.10 — but it is tested against ``tomllib``
+output on newer interpreters to stay honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - presence depends on the interpreter version
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - Python 3.10
+    _tomllib = None
+
+
+class TomlError(ValueError):
+    """A malformed document (either parser), with a line number."""
+
+
+def load_toml(text: str, *, force_fallback: bool = False) -> dict[str, Any]:
+    """Parse ``text`` into a plain dict (stdlib ``tomllib`` when available).
+
+    ``force_fallback`` exercises the bundled subset parser regardless of
+    the interpreter, which is how the test suite proves the two agree.
+    """
+    if _tomllib is not None and not force_fallback:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TomlError(str(exc)) from None
+    return _parse_document(text)
+
+
+# ----------------------------------------------------------------------
+# fallback subset parser
+# ----------------------------------------------------------------------
+def _parse_document(text: str) -> dict[str, Any]:
+    root: dict[str, Any] = {}
+    current = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip_comment(lines[i])
+        i += 1
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError(f"line {i}: malformed array-of-tables header {line!r}")
+            keys = _split_header(line[2:-2], i)
+            parent = _descend(root, keys[:-1], i)
+            arr = parent.setdefault(keys[-1], [])
+            if not isinstance(arr, list):
+                raise TomlError(f"line {i}: {'.'.join(keys)!r} is not an array of tables")
+            entry: dict[str, Any] = {}
+            arr.append(entry)
+            current = entry
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError(f"line {i}: malformed table header {line!r}")
+            keys = _split_header(line[1:-1], i)
+            current = _descend(root, keys, i)
+        else:
+            # key = value; arrays may continue over following lines
+            if "=" not in line:
+                raise TomlError(f"line {i}: expected 'key = value', got {line!r}")
+            key_part, _, value_part = line.partition("=")
+            keys = _split_header(key_part.strip(), i)
+            value_src = value_part.strip()
+            while not _value_complete(value_src):
+                if i >= len(lines):
+                    raise TomlError(f"line {i}: unterminated value {value_src!r}")
+                value_src += " " + _strip_comment(lines[i])
+                i += 1
+            value, rest = _parse_value(value_src, i)
+            if rest.strip():
+                raise TomlError(f"line {i}: trailing characters {rest.strip()!r}")
+            target = _descend(current, keys[:-1], i)
+            if keys[-1] in target:
+                raise TomlError(f"line {i}: duplicate key {keys[-1]!r}")
+            target[keys[-1]] = value
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    quote: str | None = None
+    j = 0
+    while j < len(line):
+        ch = line[j]
+        if quote is not None:
+            out.append(ch)
+            if ch == "\\" and quote == '"' and j + 1 < len(line):
+                out.append(line[j + 1])
+                j += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in ('"', "'"):
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+        j += 1
+    return "".join(out).strip()
+
+
+def _split_header(raw: str, lineno: int) -> list[str]:
+    """Split a (possibly dotted) key: quoted segments keep their dots."""
+    keys: list[str] = []
+    j = 0
+    raw = raw.strip()
+    while j < len(raw):
+        ch = raw[j]
+        if ch in ('"', "'"):
+            end = raw.find(ch, j + 1)
+            if end < 0:
+                raise TomlError(f"line {lineno}: unterminated quoted key in {raw!r}")
+            keys.append(raw[j + 1 : end])
+            j = end + 1
+        else:
+            end = raw.find(".", j)
+            if end < 0:
+                end = len(raw)
+            part = raw[j:end].strip()
+            if not part:
+                raise TomlError(f"line {lineno}: empty key segment in {raw!r}")
+            keys.append(part)
+            j = end
+        if j < len(raw):
+            if raw[j].strip() and raw[j] != ".":
+                raise TomlError(f"line {lineno}: malformed key {raw!r}")
+            j += 1
+            while j < len(raw) and raw[j] == " ":
+                j += 1
+    if not keys:
+        raise TomlError(f"line {lineno}: empty key in {raw!r}")
+    return keys
+
+
+def _descend(root: dict[str, Any], keys: list[str], lineno: int) -> dict[str, Any]:
+    node: Any = root
+    for key in keys:
+        if isinstance(node, list):
+            node = node[-1]
+        nxt = node.setdefault(key, {})
+        if isinstance(nxt, list):
+            nxt = nxt[-1]
+        if not isinstance(nxt, dict):
+            raise TomlError(f"line {lineno}: key {key!r} is not a table")
+        node = nxt
+    if isinstance(node, list):
+        node = node[-1]
+    return node
+
+
+def _value_complete(src: str) -> bool:
+    depth = 0
+    quote: str | None = None
+    j = 0
+    while j < len(src):
+        ch = src[j]
+        if quote is not None:
+            if ch == "\\" and quote == '"':
+                j += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in ('"', "'"):
+            quote = ch
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        j += 1
+    return depth <= 0 and quote is None and bool(src)
+
+
+def _parse_value(src: str, lineno: int) -> tuple[Any, str]:
+    src = src.lstrip()
+    if not src:
+        raise TomlError(f"line {lineno}: missing value")
+    ch = src[0]
+    if ch == '"':
+        return _parse_basic_string(src, lineno)
+    if ch == "'":
+        end = src.find("'", 1)
+        if end < 0:
+            raise TomlError(f"line {lineno}: unterminated literal string")
+        return src[1:end], src[end + 1 :]
+    if ch == "[":
+        return _parse_array(src, lineno)
+    if ch == "{":
+        return _parse_inline_table(src, lineno)
+    # bare scalar: read to the next delimiter
+    j = 0
+    while j < len(src) and src[j] not in ",]}":
+        j += 1
+    token, rest = src[:j].strip(), src[j:]
+    return _parse_scalar(token, lineno), rest
+
+
+_ESCAPES = {'"': '"', "\\": "\\", "n": "\n", "t": "\t", "r": "\r", "f": "\f", "b": "\b"}
+
+
+def _parse_basic_string(src: str, lineno: int) -> tuple[str, str]:
+    out: list[str] = []
+    j = 1
+    while j < len(src):
+        ch = src[j]
+        if ch == "\\":
+            if j + 1 >= len(src):
+                raise TomlError(f"line {lineno}: dangling escape")
+            esc = src[j + 1]
+            if esc not in _ESCAPES:
+                raise TomlError(f"line {lineno}: unsupported escape \\{esc}")
+            out.append(_ESCAPES[esc])
+            j += 2
+            continue
+        if ch == '"':
+            return "".join(out), src[j + 1 :]
+        out.append(ch)
+        j += 1
+    raise TomlError(f"line {lineno}: unterminated string")
+
+
+def _parse_array(src: str, lineno: int) -> tuple[list[Any], str]:
+    items: list[Any] = []
+    rest = src[1:].lstrip()
+    while True:
+        if not rest:
+            raise TomlError(f"line {lineno}: unterminated array")
+        if rest[0] == "]":
+            return items, rest[1:]
+        value, rest = _parse_value(rest, lineno)
+        items.append(value)
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif not rest.startswith("]"):
+            raise TomlError(f"line {lineno}: expected ',' or ']' in array")
+
+
+def _parse_inline_table(src: str, lineno: int) -> tuple[dict[str, Any], str]:
+    table: dict[str, Any] = {}
+    rest = src[1:].lstrip()
+    while True:
+        if not rest:
+            raise TomlError(f"line {lineno}: unterminated inline table")
+        if rest[0] == "}":
+            return table, rest[1:]
+        if "=" not in rest:
+            raise TomlError(f"line {lineno}: expected 'key = value' in inline table")
+        key_part, _, rest = rest.partition("=")
+        keys = _split_header(key_part.strip(), lineno)
+        value, rest = _parse_value(rest.lstrip(), lineno)
+        target = _descend(table, keys[:-1], lineno)
+        target[keys[-1]] = value
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif not rest.startswith("}"):
+            raise TomlError(f"line {lineno}: expected ',' or '}}' in inline table")
+
+
+def _parse_scalar(token: str, lineno: int) -> Any:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    cleaned = token.replace("_", "")
+    try:
+        return int(cleaned, 0) if cleaned.lower().startswith(("0x", "0o", "0b")) else int(cleaned)
+    except ValueError:
+        pass
+    try:
+        return float(cleaned)
+    except ValueError:
+        pass
+    raise TomlError(f"line {lineno}: unsupported value {token!r}")

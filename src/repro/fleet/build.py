@@ -1,0 +1,213 @@
+"""Turn a :class:`~repro.fleet.spec.ScenarioSpec` into a kernel and run it.
+
+This is the worker-side half of the fleet engine: :func:`build_sim`
+constructs the kernel (workload programs, scheduler attachments, CBS
+servers, fault wrapping) exactly as the hand-written scenario modules
+do, and :func:`run_sim` drives it to the horizon — through
+:func:`repro.sim.cycles.run_fast_forward` when asked, which silently
+falls back to plain stepping for ineligible mixes — and collapses the
+result into a :class:`~repro.fleet.summary.SimSummary`.
+
+Instances of a ``count = N`` workload get staggered phases (instance
+``i`` shifts by ``i · period / N``) and consecutive seeds, so a
+node with hundreds of sessions is not phase-locked yet remains a pure
+function of the spec.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.faults import FaultPlan, WorkloadFaults, plan_from_name
+from repro.fleet.spec import ScenarioSpec, SpecError, WorkloadSpec
+from repro.fleet.summary import SimSummary, _SampleStats, summarise_kernel
+from repro.sched import (
+    CbsScheduler,
+    EdfScheduler,
+    FixedPriorityScheduler,
+    RoundRobinScheduler,
+    ServerParams,
+    StrideScheduler,
+)
+from repro.sched.base import Scheduler
+from repro.sim.cycles import run_fast_forward
+from repro.sim.kernel import Kernel
+from repro.sim.process import Program
+from repro.workloads import (
+    AudioPlayer,
+    AudioPlayerConfig,
+    PeriodicTaskConfig,
+    VideoPlayer,
+    VideoPlayerConfig,
+    VlcConfig,
+    VlcPlayer,
+    periodic_task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+
+def _instance_programs(w: WorkloadSpec, index: int) -> list[tuple[str, Program]]:
+    """The named program(s) of instance ``index`` of workload ``w``.
+
+    vlc contributes two programs (decoder + output threads); every other
+    kind contributes one.
+    """
+    seed = w.seed + index
+    suffix = f"{w.name}{index}" if w.count > 1 else w.name
+    jobs = w.jobs or None
+    period = _effective_period(w)
+    phase = w.phase_ns + (index * period) // w.count
+    if w.kind == "periodic":
+        cfg = PeriodicTaskConfig(
+            cost=w.cost_ns, period=w.period_ns, cost_jitter=w.jitter, phase=phase, seed=seed
+        )
+        return [(suffix, periodic_task(cfg, n_jobs=jobs))]
+    if w.kind == "mplayer":
+        kwargs: dict[str, object] = {"seed": seed, "decode_jitter": w.jitter, "phase": phase}
+        if w.period_ns:
+            kwargs["period"] = w.period_ns
+        if w.cost_ns:
+            kwargs["decode_cost"] = w.cost_ns
+        audio_cfg = AudioPlayerConfig(**kwargs)  # type: ignore[arg-type]
+        return [(suffix, AudioPlayer(audio_cfg).program(jobs))]
+    if w.kind == "video":
+        vkwargs: dict[str, object] = {"seed": seed, "decode_jitter": w.jitter}
+        if w.period_ns:
+            vkwargs["period"] = w.period_ns
+        if w.cost_ns:
+            # keep the GOP's 15:11:9 I/P/B cost ratio, scaled to cost_ns
+            vkwargs["i_cost"] = w.cost_ns
+            vkwargs["p_cost"] = (w.cost_ns * 11) // 15
+            vkwargs["b_cost"] = (w.cost_ns * 9) // 15
+        video_cfg = VideoPlayerConfig(**vkwargs)  # type: ignore[arg-type]
+        return [(suffix, VideoPlayer(video_cfg).program(jobs))]
+    if w.kind == "vlc":
+        ckwargs: dict[str, object] = {"seed": seed, "decode_jitter": w.jitter, "phase": phase}
+        if w.period_ns:
+            ckwargs["period"] = w.period_ns
+        if w.cost_ns:
+            ckwargs["decode_cost"] = w.cost_ns
+        vlc_cfg = VlcConfig(**ckwargs)  # type: ignore[arg-type]
+        player = VlcPlayer(vlc_cfg)
+        return [
+            (f"{suffix}:dec", player.decoder_program(jobs)),
+            (f"{suffix}:out", player.output_program(jobs)),
+        ]
+    raise SpecError(f"workload {w.name!r}: unknown kind {w.kind!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=256)
+def _resolved_plan(name: str, scale: float) -> FaultPlan:
+    """Per-worker construction memo for named fault plans.
+
+    A fleet typically reuses a handful of (plan, scale) points across
+    thousands of sims; :class:`~repro.faults.FaultPlan` is frozen, so
+    sharing one instance across sims in a worker is safe.
+    """
+    return plan_from_name(name, scale=scale)
+
+
+def _effective_period(w: WorkloadSpec) -> int:
+    """The workload's activation period for scheduler-attachment defaults."""
+    if w.period_ns:
+        return w.period_ns
+    if w.kind == "mplayer":
+        return AudioPlayerConfig().period
+    if w.kind in ("video", "vlc"):
+        return VideoPlayerConfig().period
+    return 0  # pragma: no cover - periodic validates period_ns > 0
+
+
+def build_sim(spec: ScenarioSpec) -> Kernel:
+    """Construct the kernel for ``spec`` (not yet run)."""
+    scheduler: Scheduler
+    kind = spec.scheduler.kind
+    if kind == "cbs":
+        scheduler = CbsScheduler()
+    elif kind == "edf":
+        scheduler = EdfScheduler()
+    elif kind == "fp":
+        scheduler = FixedPriorityScheduler()
+    elif kind == "stride":
+        scheduler = StrideScheduler()
+    else:
+        scheduler = RoundRobinScheduler()
+    kernel = Kernel(scheduler)
+
+    fault = spec.fault
+    injector: WorkloadFaults | None = None
+    if not fault.is_zero:
+        plan = _resolved_plan(fault.plan, fault.scale)
+        if fault.kind == "overload":
+            injector = WorkloadFaults(overload=plan, seed=fault.seed)
+        else:
+            injector = WorkloadFaults(mode_switch=plan, seed=fault.seed)
+        # any non-zero plan disarms fast-forward for the whole kernel
+        kernel.fault_plan = plan
+
+    for w_index, w in enumerate(spec.workloads):
+        procs: list[Process] = []
+        for index in range(w.count):
+            for name, program in _instance_programs(w, index):
+                if injector is not None and w.name.startswith(fault.target):
+                    program = injector.wrap(program)
+                procs.append(kernel.spawn(name, program))
+        _attach(scheduler, spec, w, w_index, procs)
+    for pid in sorted(kernel.processes):
+        kernel.processes[pid].sched_latency = _SampleStats(spec.miss_threshold_ns)
+    return kernel
+
+
+def _attach(
+    scheduler: object, spec: ScenarioSpec, w: WorkloadSpec, w_index: int, procs: list[Process]
+) -> None:
+    """Apply the spec's scheduler-attachment fields to one workload."""
+    kind = spec.scheduler.kind
+    if kind == "cbs":
+        assert isinstance(scheduler, CbsScheduler)
+        if w.budget_ns:
+            params = ServerParams(
+                budget=w.budget_ns,
+                period=w.server_period_ns or _effective_period(w),
+                policy=spec.scheduler.policy,
+            )
+            server = scheduler.create_server(params, w.name)
+            for proc in procs:
+                scheduler.attach(proc, server)
+        # budget-less workloads stay in the best-effort background class
+    elif kind == "edf":
+        assert isinstance(scheduler, EdfScheduler)
+        deadline = w.deadline_ns or _effective_period(w)
+        for proc in procs:
+            scheduler.attach(proc, deadline)
+    elif kind == "fp":
+        assert isinstance(scheduler, FixedPriorityScheduler)
+        priority = w.priority if w.priority >= 0 else w_index
+        for proc in procs:
+            scheduler.attach(proc, priority)
+    elif kind == "stride":
+        assert isinstance(scheduler, StrideScheduler)
+        for proc in procs:
+            scheduler.attach(proc, w.tickets)
+    # rr needs no attachment
+
+
+def run_sim(spec: ScenarioSpec, *, fast_forward: bool = True) -> SimSummary:
+    """Build, run to the horizon and summarise one scenario.
+
+    ``fast_forward`` routes through :func:`run_fast_forward`, which is
+    bit-identical to plain stepping and falls back by itself when the
+    mix is ineligible (jittered costs, players with RNG state, armed
+    fault plans).
+    """
+    kernel = build_sim(spec)
+    horizon = spec.horizon_ns
+    if fast_forward:
+        report = run_fast_forward(kernel, horizon)
+    else:
+        report = None
+        kernel.run(horizon)
+    return summarise_kernel(kernel, spec, report)

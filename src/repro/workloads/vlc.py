@@ -16,6 +16,7 @@ variable in real life).  Adopt the pair with
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass
 
@@ -60,6 +61,12 @@ class VlcConfig:
         return (self.decode_cost + self.blit_cost) / self.period
 
 
+#: per-process player counter: event keys must be unique per player within
+#: a kernel (``id(self)`` could collide after the allocator reuses memory,
+#: cross-waking unrelated players) and stable across identical runs
+_PLAYER_SEQ = itertools.count()
+
+
 class VlcPlayer:
     """Decoder + output threads around a bounded frame queue."""
 
@@ -68,7 +75,7 @@ class VlcPlayer:
         self.frames_decoded = 0
         self.frames_displayed = 0
         self._queue: deque[int] = deque()
-        self._seq = id(self) & 0xFFFF
+        self._seq = next(_PLAYER_SEQ)
 
     @property
     def _frame_ready(self) -> str:

@@ -146,3 +146,30 @@ class TestRunMany:
         outs = run_many(["dummy", "plain"], {"dummy": {"reps": 2}}, cache=cache)
         assert outs[0].cached and not outs[1].cached
         assert CALLS == ["plain"]
+
+
+class TestChunksize:
+    """The ``chunksize`` knob batches pool tasks without changing results."""
+
+    def test_chunked_matches_serial_bit_for_bit(self):
+        serial = run_experiment("dummy", {"reps": 16}, jobs=1)
+        chunked = run_experiment("dummy", {"reps": 16}, jobs=4, chunksize=4)
+        assert serial.result.to_jsonable() == chunked.result.to_jsonable()
+
+    def test_chunksize_values_agree(self):
+        results = [
+            run_experiment("dummy", {"reps": 10}, jobs=2, chunksize=c).result.to_jsonable()
+            for c in (1, 3, 100)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_chunksize_never_enters_the_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment("dummy", {"reps": 4}, jobs=2, chunksize=1, cache=cache)
+        second = run_experiment("dummy", {"reps": 4}, jobs=2, chunksize=8, cache=cache)
+        assert second.cached
+        assert first.key == second.key
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("dummy", {"reps": 2}, jobs=2, chunksize=0)

@@ -1,0 +1,156 @@
+"""Scenario-DSL round trips and the strictness of its validation.
+
+Satellite contract: TOML -> :class:`ScenarioSpec` -> deterministic
+expansion, with unknown keys and invalid enumerations rejected by
+actionable errors (the message must name the bad key *and* the accepted
+alternatives).
+"""
+
+import pytest
+
+from repro.fleet import ScenarioSpec, scenario_from_dict, scenario_from_toml
+from repro.fleet.spec import SpecError
+
+SCENARIO = """
+[scenario]
+name = "node"
+seed = 7
+horizon_ms = 1500.0
+miss_threshold_ms = 12.0
+
+[scheduler]
+kind = "cbs"
+policy = "soft"
+
+[[workload]]
+kind = "mplayer"
+name = "audio"
+count = 3
+cost_ms = 0.5
+jitter = 0.1
+budget_ms = 4.0
+server_period_ms = 10.0
+
+[[workload]]
+kind = "periodic"
+name = "p10"
+period_ms = 10.0
+cost_ms = 1.0
+
+[fault]
+plan = "mid-burst"
+scale = 0.5
+kind = "overload"
+target = "audio"
+seed = 3
+"""
+
+
+def test_round_trip_through_jsonable():
+    spec = scenario_from_toml(SCENARIO)
+    assert spec.name == "node"
+    assert spec.seed == 7
+    assert spec.horizon_ns == 1_500_000_000
+    assert spec.miss_threshold_ns == 12_000_000
+    assert spec.scheduler.kind == "cbs"
+    assert spec.scheduler.policy == "soft"
+    assert [w.name for w in spec.workloads] == ["audio", "p10"]
+    assert spec.workloads[0].count == 3
+    assert spec.workloads[0].budget_ns == 4_000_000
+    assert spec.fault.plan == "mid-burst"
+    assert not spec.fault.is_zero
+    # the jsonable form is stable and reparses to an equal spec
+    doc = spec.to_jsonable()
+    assert doc == scenario_from_toml(SCENARIO).to_jsonable()
+    assert spec.spec_hash() == scenario_from_toml(SCENARIO).spec_hash()
+
+
+def test_parse_is_deterministic_and_hash_is_content_addressed():
+    a, b = scenario_from_toml(SCENARIO), scenario_from_toml(SCENARIO)
+    assert a == b
+    assert a.spec_hash() == b.spec_hash()
+    shifted = scenario_from_toml(SCENARIO.replace("seed = 7", "seed = 8"))
+    assert shifted.spec_hash() != a.spec_hash()
+
+
+def test_defaults_are_minimal():
+    spec = scenario_from_dict(
+        {
+            "scenario": {"name": "n", "horizon_ms": 100.0},
+            "workload": [{"kind": "mplayer", "name": "a"}],
+        }
+    )
+    assert isinstance(spec, ScenarioSpec)
+    assert spec.scheduler.kind == "cbs"
+    assert spec.fault.is_zero
+    assert spec.miss_threshold_ns == 10_000_000  # 10 ms default
+
+
+class TestActionableErrors:
+    def test_unknown_scenario_key(self):
+        with pytest.raises(SpecError) as exc:
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0, "bogus": 1},
+                    "workload": [{"kind": "mplayer", "name": "a"}],
+                }
+            )
+        assert "bogus" in str(exc.value) and "accepted keys" in str(exc.value)
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(SpecError, match="typo_ms"):
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0},
+                    "workload": [{"kind": "mplayer", "name": "a", "typo_ms": 5}],
+                }
+            )
+
+    def test_invalid_scheduler_kind_lists_alternatives(self):
+        with pytest.raises(SpecError) as exc:
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0},
+                    "scheduler": {"kind": "cfs"},
+                    "workload": [{"kind": "mplayer", "name": "a"}],
+                }
+            )
+        message = str(exc.value)
+        assert "cfs" in message and "cbs" in message and "edf" in message
+
+    def test_invalid_fault_plan_lists_catalogue(self):
+        with pytest.raises(SpecError) as exc:
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0},
+                    "workload": [{"kind": "mplayer", "name": "a"}],
+                    "fault": {"plan": "nope"},
+                }
+            )
+        message = str(exc.value)
+        assert "nope" in message and "mid-burst" in message
+
+    def test_duplicate_workload_names(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0},
+                    "workload": [
+                        {"kind": "mplayer", "name": "a"},
+                        {"kind": "periodic", "name": "a", "period_ms": 10.0, "cost_ms": 1.0},
+                    ],
+                }
+            )
+
+    def test_empty_workloads(self):
+        with pytest.raises(SpecError):
+            scenario_from_dict({"scenario": {"name": "n", "horizon_ms": 1.0}})
+
+    def test_periodic_requires_period(self):
+        with pytest.raises(SpecError):
+            scenario_from_dict(
+                {
+                    "scenario": {"name": "n", "horizon_ms": 1.0},
+                    "workload": [{"kind": "periodic", "name": "p", "cost_ms": 1.0}],
+                }
+            )

@@ -1,0 +1,104 @@
+"""The fallback TOML subset parser must agree with stdlib ``tomllib``.
+
+The fleet DSL runs on 3.10 (no ``tomllib``) through a bundled subset
+parser; these tests force that code path on every interpreter and check
+it against the stdlib parser wherever the stdlib is available.
+"""
+
+import pytest
+
+from repro.fleet._toml import TomlError, load_toml
+
+DOCUMENT = """
+# fleet template exercising the whole supported subset
+[template]
+name = "cdn-edge"   # trailing comment
+nodes = 200
+seed = 0x10
+ratio = 2.5
+enabled = true
+
+[scenario]
+horizon_ms = 4_000.0
+
+[[workload]]
+kind = "mplayer"
+name = "audio"
+count = 40
+
+[[workload]]
+kind = "vlc"
+name = "video"
+count = 10
+inline = { a = 1, b = "two" }
+
+[grid]
+"workload.audio.count" = [40, 60]
+"scheduler.policy" = [
+    "hard",
+    "soft",  # multi-line array with comments
+]
+
+[jitter]
+"workload.audio.phase_ms" = 5.0
+
+[deep.nested.table]
+key = 'literal \\ string'
+escaped = "tab\\there"
+"""
+
+
+def test_fallback_matches_tomllib():
+    tomllib = pytest.importorskip("tomllib")
+    assert load_toml(DOCUMENT, force_fallback=True) == tomllib.loads(DOCUMENT)
+
+
+def test_subset_features():
+    doc = load_toml(DOCUMENT, force_fallback=True)
+    assert doc["template"] == {
+        "name": "cdn-edge",
+        "nodes": 200,
+        "seed": 16,
+        "ratio": 2.5,
+        "enabled": True,
+    }
+    assert [w["name"] for w in doc["workload"]] == ["audio", "video"]
+    assert doc["workload"][1]["inline"] == {"a": 1, "b": "two"}
+    assert doc["grid"]["workload.audio.count"] == [40, 60]
+    assert doc["grid"]["scheduler.policy"] == ["hard", "soft"]
+    assert doc["deep"]["nested"]["table"]["key"] == "literal \\ string"
+    assert doc["deep"]["nested"]["table"]["escaped"] == "tab\there"
+
+
+def test_quoted_keys_keep_dots_but_bare_keys_nest():
+    doc = load_toml('[t]\n"a.b" = 1\nc.d = 2\n', force_fallback=True)
+    assert doc == {"t": {"a.b": 1, "c": {"d": 2}}}
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "key",  # no '='
+        "[unclosed\nx = 1",
+        "[[half]\nx = 1",
+        "x = ",  # missing value
+        'x = "unterminated',
+        "x = [1, 2",  # unterminated array, EOF
+        "x = nonsense",
+        "x = 1\nx = 2",  # duplicate key
+        "[t]\nx = 1 garbage",
+    ],
+)
+def test_malformed_documents_raise(text):
+    with pytest.raises(TomlError):
+        load_toml(text, force_fallback=True)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(TomlError, match="line 3"):
+        load_toml("[t]\na = 1\nb = oops\n", force_fallback=True)
+
+
+def test_duplicate_keys_across_array_entries_are_fine():
+    doc = load_toml("[[w]]\nkind = 1\n[[w]]\nkind = 2\n", force_fallback=True)
+    assert [e["kind"] for e in doc["w"]] == [1, 2]

@@ -170,3 +170,92 @@ class TestTrace:
     def test_trace_unknown_scenario(self):
         with pytest.raises(SystemExit):
             main(["trace", "nosuch"])
+
+
+class TestFleet:
+    SCENARIO = """
+[scenario]
+name = "one"
+horizon_ms = 200.0
+
+[[workload]]
+kind = "periodic"
+name = "p"
+period_ms = 10.0
+cost_ms = 1.0
+"""
+    TEMPLATE = """
+[template]
+name = "mini"
+nodes = 3
+seed = 5
+
+[scenario]
+horizon_ms = 200.0
+
+[[workload]]
+kind = "periodic"
+name = "p"
+period_ms = 10.0
+cost_ms = 1.0
+
+[grid]
+"scheduler.kind" = ["edf", "rr"]
+"""
+
+    def test_expand_lists_and_counts(self, tmp_path, capsys):
+        spec = tmp_path / "t.toml"
+        spec.write_text(self.TEMPLATE)
+        assert main(["fleet", "expand", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("mini/g") == 6
+        assert "[6 sims]" in out
+
+    def test_expand_limit_and_json(self, tmp_path, capsys):
+        spec = tmp_path / "t.toml"
+        spec.write_text(self.TEMPLATE)
+        assert main(["fleet", "expand", str(spec), "--limit", "2", "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["name"] for d in docs] == ["mini/g0000/n00000", "mini/g0000/n00001"]
+
+    def test_run_scenario_file(self, tmp_path, capsys):
+        spec = tmp_path / "s.toml"
+        spec.write_text(self.SCENARIO)
+        assert main(["fleet", "run", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "1 sims" in out and "digest " in out
+
+    def test_run_template_streams_and_reports_json(self, tmp_path, capsys):
+        spec = tmp_path / "t.toml"
+        spec.write_text(self.TEMPLATE)
+        stream = tmp_path / "out.jsonl"
+        assert main(["fleet", "run", str(spec), "--stream", str(stream), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sims"] == 6
+        assert payload["digest"]
+        assert payload["elapsed_s"] > 0
+        assert len(stream.read_text().splitlines()) == 6
+
+    def test_run_jobs_matches_serial_digest(self, tmp_path, capsys):
+        spec = tmp_path / "t.toml"
+        spec.write_text(self.TEMPLATE)
+        digests = []
+        for jobs in ("1", "2"):
+            assert main(["fleet", "run", str(spec), "--jobs", jobs, "--chunksize", "2",
+                         "--json"]) == 0
+            digests.append(json.loads(capsys.readouterr().out)["digest"])
+        assert digests[0] == digests[1]
+
+    def test_missing_file_and_bad_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["fleet", "run", str(tmp_path / "absent.toml")])
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[scenario]\nname = 'x'\nhorizon_ms = 1.0\nbogus = 2\n")
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["fleet", "run", str(bad)])
+
+    def test_invalid_limit(self, tmp_path):
+        spec = tmp_path / "s.toml"
+        spec.write_text(self.SCENARIO)
+        with pytest.raises(SystemExit, match="limit"):
+            main(["fleet", "run", str(spec), "--limit", "0"])
