@@ -6,9 +6,13 @@ Compares the ``micro`` section of two ``BENCH_*.json`` reports (schema
 ``--threshold`` (default 0.8, i.e. a >20% drop) of the baseline fails
 the gate; the ``fastforward`` metric additionally must keep its
 wall-clock speedup at or above ``--min-speedup`` (default 10, the
-acceptance bar of the fast-forward PR), and the ``fleet`` metric must
+acceptance bar of the fast-forward PR), the ``fleet`` metric must
 keep its batched-engine speedup over naive per-sim execution at or
-above ``--min-fleet-speedup`` (default 5, the fleet PR's bar).
+above ``--min-fleet-speedup`` (default 5, the fleet PR's bar), and the
+``tune`` metric must keep its warm-rerun result-cache speedup at or
+above ``--min-tune-cache-speedup`` (default 2, the tuner PR's bar: a
+cache-served rerun that is not clearly faster than simulating means
+the dedup layer broke).
 
 Timings on shared CI runners are noisy, which is why only *large* drops
 fail and why the summary is written even on success — the trajectory
@@ -31,7 +35,7 @@ import sys
 from pathlib import Path
 
 #: metrics the gate guards; anything else in the report is informational
-GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector", "fleet")
+GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector", "fleet", "tune")
 
 #: the fast-forward speedup floor (full-run wall clock / fast-forward
 #: wall clock on the long periodic horizon)
@@ -40,6 +44,10 @@ DEFAULT_MIN_SPEEDUP = 10.0
 #: the batched fleet engine's speedup floor over naive per-sim
 #: full-stepping execution (the fleet PR's acceptance bar)
 DEFAULT_MIN_FLEET_SPEEDUP = 5.0
+
+#: the tuner's warm-rerun cache speedup floor (cold wall clock / warm
+#: wall clock when every candidate replays from the result cache)
+DEFAULT_MIN_TUNE_CACHE_SPEEDUP = 2.0
 
 
 def load_micro(path: Path) -> dict[str, dict]:
@@ -56,6 +64,7 @@ def compare(
     threshold: float,
     min_speedup: float,
     min_fleet_speedup: float = DEFAULT_MIN_FLEET_SPEEDUP,
+    min_tune_cache_speedup: float = DEFAULT_MIN_TUNE_CACHE_SPEEDUP,
 ) -> tuple[list[tuple], list[str]]:
     """Returns (table rows, failure messages)."""
     rows: list[tuple] = []
@@ -101,6 +110,21 @@ def compare(
                 f"fleet: batched-engine speedup {speedup:.1f}x over naive "
                 f"per-sim execution fell below the {min_fleet_speedup:.0f}x floor"
             )
+    tune = current.get("tune")
+    if tune is not None:
+        speedup = tune.get("extra", {}).get("cache_speedup")
+        if speedup is None:
+            failures.append("tune: report carries no cache_speedup measurement")
+        elif speedup < min_tune_cache_speedup:
+            failures.append(
+                f"tune: warm-rerun cache speedup {speedup:.1f}x fell below "
+                f"the {min_tune_cache_speedup:.0f}x floor"
+            )
+        if tune.get("extra", {}).get("sims_warm", 0) != 0:
+            failures.append(
+                f"tune: warm rerun executed {tune['extra']['sims_warm']} "
+                f"sims, expected 0 (result-cache dedup broke)"
+            )
     return rows, failures
 
 
@@ -131,6 +155,12 @@ def render_markdown(rows: list[tuple], failures: list[str], threshold: float) ->
         if speedup is not None:
             lines.append("")
             lines.append(f"Fleet batched-engine speedup: **{speedup:.1f}x** over naive.")
+    tune_row = next((r for r in rows if r[0] == "tune" and r[2] is not None), None)
+    if tune_row is not None:
+        speedup = tune_row[2].get("extra", {}).get("cache_speedup")
+        if speedup is not None:
+            lines.append("")
+            lines.append(f"Tune warm-rerun cache speedup: **{speedup:.1f}x** over cold.")
     if failures:
         lines.append("")
         lines.append("### Failures")
@@ -160,12 +190,23 @@ def main() -> int:
         default=DEFAULT_MIN_FLEET_SPEEDUP,
         help="minimum batched-fleet speedup over naive per-sim execution",
     )
+    parser.add_argument(
+        "--min-tune-cache-speedup",
+        type=float,
+        default=DEFAULT_MIN_TUNE_CACHE_SPEEDUP,
+        help="minimum tuner warm-rerun speedup from the result cache",
+    )
     args = parser.parse_args()
 
     baseline = load_micro(args.baseline)
     current = load_micro(args.current)
     rows, failures = compare(
-        baseline, current, args.threshold, args.min_speedup, args.min_fleet_speedup
+        baseline,
+        current,
+        args.threshold,
+        args.min_speedup,
+        args.min_fleet_speedup,
+        args.min_tune_cache_speedup,
     )
 
     for name, base, cur, ratio, status in rows:

@@ -38,9 +38,11 @@ SIM_DIRS = (
 
 DEFAULT_SCOPE: dict[str, tuple[str, ...]] = {
     "DT001": SIM_DIRS,
-    "DT002": SIM_DIRS,
+    # the tuner promises seed-determinism (same seed => byte-identical
+    # report), so its RNG discipline is guarded like the sim core's
+    "DT002": SIM_DIRS + ("repro/tune/",),
     "DT003": SIM_DIRS,
-    "DT004": ("repro/sched/", "repro/faults/", "repro/fleet/"),
+    "DT004": ("repro/sched/", "repro/faults/", "repro/fleet/", "repro/tune/"),
     "DT005": SIM_DIRS,
     # digest construction only: elsewhere dict views are insertion-ordered
     # and deterministic, but a digest must be canonical across histories

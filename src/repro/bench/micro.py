@@ -1,6 +1,6 @@
 """Microbenchmarks of the simulator and analyser hot paths.
 
-Seven throughput metrics, one per hot path the profile concentrates in:
+Eight throughput metrics, one per hot path the profile concentrates in:
 
 - ``calendar`` — :class:`repro.sim.engine.EventQueue` push/peek/cancel/pop
   operations per second on a deterministic mixed workload;
@@ -19,7 +19,11 @@ Seven throughput metrics, one per hot path the profile concentrates in:
 - ``fleet`` — sims/sec through the batched :mod:`repro.fleet` engine on
   a 12-sim periodic template, against the naive one-sim-per-task
   full-stepping baseline (equivalence-checked), with the speedup and a
-  parent peak-memory flatness spot-check in ``extra``.
+  parent peak-memory flatness spot-check in ``extra``;
+- ``tune`` — candidate evaluations/sec through the :mod:`repro.tune`
+  search service on a small one-class spec, with the warm-rerun
+  result-cache speedup (cold/warm wall clock; the warm run must execute
+  zero new simulations) in ``extra``.
 
 ``repro-exp bench --micro`` runs them and emits the numbers into the
 ``BENCH_*.json`` report (schema ``repro-bench/1``, ``micro`` key), so the
@@ -403,6 +407,70 @@ def bench_fleet() -> MicroResult:
     )
 
 
+def bench_tune() -> MicroResult:
+    """Auto-tuner throughput plus the result-cache replay speedup.
+
+    Runs one small tuning spec twice against a private cache directory:
+    cold (every candidate simulated) and warm (every candidate replayed
+    from the on-disk :class:`~repro.experiments.cache.ResultCache`).
+    The headline value is cold candidate evaluations per second;
+    ``extra.cache_speedup`` is the cold/warm wall-clock ratio the bench
+    regression gate floors, and the warm run is asserted to execute
+    **zero** new simulations and produce a byte-identical payload.
+    """
+    import json
+    import tempfile
+
+    from repro.experiments.cache import ResultCache
+    from repro.tune import run_tune, tune_spec_from_toml
+
+    spec = tune_spec_from_toml(
+        """
+        [tune]
+        name = "bench"
+        seed = 11
+        budget = 14
+        method = "lhs"
+        classes = ["periodic-mix"]
+        horizon_ms = 3000.0
+
+        [[param]]
+        knob = "spread"
+
+        [[param]]
+        knob = "quantile"
+        """
+    )
+    with tempfile.TemporaryDirectory() as root:
+        t0 = time.perf_counter()
+        cold = run_tune(spec, jobs=1, cache=ResultCache(root))
+        cold_elapsed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_tune(spec, jobs=1, cache=ResultCache(root))
+        warm_elapsed = time.perf_counter() - t0
+    if warm.sims_run != 0:
+        raise AssertionError(f"warm tune rerun executed {warm.sims_run} sims, expected 0")
+    cold_blob = json.dumps(cold.payload, sort_keys=True)
+    if cold_blob != json.dumps(warm.payload, sort_keys=True):
+        raise AssertionError("warm tune rerun diverged from the cold payload")
+    best = cold.payload["classes"]["periodic-mix"]["best_score"]
+    return MicroResult(
+        name="tune",
+        value=cold.evaluations / cold_elapsed,
+        unit="evals/s",
+        elapsed_s=cold_elapsed + warm_elapsed,
+        work=cold.evaluations,
+        params={"budget": 14, "classes": 1, "horizon_s": 3.0},
+        extra={
+            "cache_speedup": cold_elapsed / warm_elapsed,
+            "sims_cold": cold.sims_run,
+            "sims_warm": warm.sims_run,
+            "best_score": best,
+            "improvement": cold.payload["classes"]["periodic-mix"]["improvement"],
+        },
+    )
+
+
 #: name -> zero-argument benchmark callable (defaults are the canonical
 #: sizes the trajectory is tracked at)
 MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
@@ -413,6 +481,7 @@ MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
     "sim-obs": bench_sim_obs,
     "fastforward": bench_fastforward,
     "fleet": bench_fleet,
+    "tune": bench_tune,
 }
 
 

@@ -13,6 +13,7 @@
     repro-exp faults trace-loss         # faulted playback + guard report
     repro-exp fleet run cdn.toml --jobs 8 --stream out.jsonl
                                         # batched fleet of scenario sims
+    repro-exp tune demo.toml --jobs 4   # auto-tune the controller knobs
 
 Parameters are passed as ``key=value`` pairs; values are parsed as Python
 literals where possible (``reps=100``, ``horizons_s=(1.0,2.0)``).
@@ -128,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the hot-path microbenchmarks instead of the experiment "
         "sweep (positional args then select metrics: calendar, sim, "
-        "spectrum, detector, sim-obs, fastforward, fleet)",
+        "spectrum, detector, sim-obs, fastforward, fleet, tune)",
     )
     _add_exec_flags(bench_p)
     trace_p = sub.add_parser(
@@ -237,6 +238,29 @@ def main(argv: list[str] | None = None) -> int:
         "--limit", type=int, default=None, metavar="N", help="list at most N spec names"
     )
     fe_p.add_argument("--json", action="store_true", help="machine-readable spec dump")
+    tune_p = sub.add_parser(
+        "tune",
+        help="auto-tune the controller parameter space against workload "
+        "classes; writes a deterministic TUNE_*.json report",
+    )
+    tune_p.add_argument("spec", help="tune spec TOML (see docs/tuning.md)")
+    tune_p.add_argument(
+        "--budget", type=int, default=None, metavar="B",
+        help="override the spec's per-class evaluation budget",
+    )
+    tune_p.add_argument(
+        "--seed", type=int, default=None, metavar="S", help="override the spec's master seed"
+    )
+    tune_p.add_argument(
+        "--method", default=None, metavar="M",
+        help="override the global search method (lhs, random, cmaes)",
+    )
+    tune_p.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="report path (default: TUNE_<name>.json next to the cwd)",
+    )
+    tune_p.add_argument("--json", action="store_true", help="print the report to stdout as JSON")
+    _add_exec_flags(tune_p)
     an_p = sub.add_parser("analyze", help="offline period analysis of a saved trace")
     an_p.add_argument("trace", help="trace file (qtrace v1 format)")
     an_p.add_argument("--pid", type=int, default=None, help="restrict to one pid")
@@ -285,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate(args)
     if args.command == "fleet":
         return _fleet(args)
+    if args.command == "tune":
+        return _tune(args)
     if args.command == "analyze":
         _analyze(args)
         return 0
@@ -465,6 +491,58 @@ def _fleet(args) -> int:
     if args.stream:
         print(f"[stream written to {args.stream}]")
     print(f"digest {aggregate.digest()}")
+    return 0
+
+
+def _tune(args) -> int:
+    """Auto-tune the controller space; write the canonical TUNE report.
+
+    The report file is a pure function of the tune spec (no wall-clock
+    data) so reruns and different ``--jobs`` values are byte-identical;
+    the run statistics (evaluations, cache hits, simulations executed,
+    elapsed time) go to stdout only.
+    """
+    import dataclasses
+    import json
+    import time
+
+    from repro.fleet.spec import SpecError
+    from repro.tune import run_tune, write_tune_json
+    from repro.tune.service import load_tune_spec
+
+    try:
+        spec = load_tune_spec(args.spec)
+        overrides = {
+            key: value
+            for key, value in (
+                ("budget", args.budget), ("seed", args.seed), ("method", args.method)
+            )
+            if value is not None
+        }
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.spec!r}: {exc}") from None
+    except (SpecError, ValueError) as exc:
+        raise SystemExit(f"{args.spec}: {exc}") from None
+    t0 = time.perf_counter()
+    report = run_tune(spec, jobs=args.jobs, cache=_make_cache(args))
+    elapsed = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps(report.payload, indent=2, sort_keys=True))
+    path = args.output or f"TUNE_{spec.name}.json"
+    write_tune_json(path, report.payload)
+    for key in sorted(report.payload["classes"]):
+        cls = report.payload["classes"][key]
+        print(
+            f"{key:16s} default {cls['default_score']:10.3f} -> "
+            f"best {cls['best_score']:10.3f} (improvement {cls['improvement']:+.3f})"
+        )
+    print(
+        f"[{report.evaluations} evaluations, {report.cache_hits} cache hits, "
+        f"{report.sims_run} sims in {elapsed:.1f}s]"
+    )
+    print(f"[tune report written to {path}]")
     return 0
 
 

@@ -20,6 +20,7 @@ from collections.abc import Callable
 from typing import Protocol
 
 from repro.core.analyser import PeriodAnalyser
+from repro.core.knobs import validate_knob
 from repro.core.lfspp import BandwidthRequest
 from repro.core.supervisor import Supervisor
 from repro.sim.time import MS
@@ -96,8 +97,7 @@ class TaskControllerConfig:
     dropout_floor: float = 0.02
 
     def __post_init__(self) -> None:
-        if self.sampling_period <= 0:
-            raise ValueError("sampling_period must be positive")
+        validate_knob("sampling_period", self.sampling_period)
         if self.period_confirmations < 1:
             raise ValueError("period_confirmations must be >= 1")
         lo, hi = self.period_bounds

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.knobs import validate_knob
 from repro.core.predictors import Predictor, QuantileEstimator
 from repro.sim.time import MS
 
@@ -50,16 +51,15 @@ class LfsPlusPlusConfig:
     exhaustion_boost: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.spread < 0:
-            raise ValueError(f"spread must be >= 0, got {self.spread}")
-        if not 0.0 < self.max_bandwidth <= 1.0:
-            raise ValueError(f"max_bandwidth must be in (0, 1], got {self.max_bandwidth}")
+        validate_knob("spread", self.spread)
+        validate_knob("window", self.predictor_window, label="predictor_window")
+        validate_knob("quantile", self.quantile)
+        validate_knob("max_bandwidth", self.max_bandwidth)
+        validate_knob("boost", self.exhaustion_boost, label="exhaustion_boost")
         if self.default_period <= 0:
             raise ValueError("default_period must be positive")
         if self.exhaustion_rate_threshold is not None and self.exhaustion_rate_threshold < 0:
             raise ValueError("exhaustion_rate_threshold must be >= 0 or None")
-        if self.exhaustion_boost < 0:
-            raise ValueError("exhaustion_boost must be >= 0")
 
 
 @dataclass(frozen=True)

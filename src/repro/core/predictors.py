@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Protocol, runtime_checkable
 
+from repro.core.knobs import validate_knob
+
 
 @runtime_checkable
 class Predictor(Protocol):
@@ -32,10 +34,8 @@ class QuantileEstimator:
     """Order-statistic predictor over a sliding window (the paper's P)."""
 
     def __init__(self, window: int = 16, quantile: float = 0.9375) -> None:
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
-        if not 0.0 < quantile <= 1.0:
-            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        validate_knob("window", window)
+        validate_knob("quantile", quantile)
         self.window = window
         self.quantile = quantile
         self._samples: deque[float] = deque(maxlen=window)
@@ -51,9 +51,12 @@ class QuantileEstimator:
         if n == 0:
             return 0
         # scale the rank to the *current* fill so a warming-up window
-        # stays conservative (takes the max) instead of the minimum
+        # stays conservative (takes the max) instead of the minimum;
+        # clamp both ends: a degenerate quantile (1e-9) makes
+        # (1 - p) * n round to n itself, and float noise near p = 1.0
+        # could push the product fractionally below zero
         j = int((1.0 - self.quantile) * n)
-        return min(j, n - 1)
+        return min(max(j, 0), n - 1)
 
     def observe(self, value: float) -> None:
         self._samples.append(float(value))

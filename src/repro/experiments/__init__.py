@@ -91,6 +91,10 @@ REGISTRY = {
         ablations.run_detector_comparison,
         "Ablation: sparse-spectrum vs time-domain (autocorrelation) detection.",
     ),
+    "abl-importance": _ablation(
+        ablations.run_importance,
+        "Ablation: ranked component-importance scores for the self-tuning stack.",
+    ),
 }
 
 __all__ = ["REGISTRY", "ExperimentResult", "Series"]

@@ -508,6 +508,72 @@ def run_detector_comparison(*, reps: int = 12) -> ExperimentResult:
     return result
 
 
+def _importance_score(ift: np.ndarray, task) -> float:
+    """Scalar playback objective (lower is better) for :func:`run_importance`.
+
+    Weighted like the tune objective: late frames dominate, then the
+    inter-frame dispersion, then the bandwidth spent to get there.
+    """
+    s = _summary(ift, task)
+    return s["frames_over_80ms"] + s["ift_std_ms"] + 10.0 * s["mean_bandwidth"]
+
+
+def run_importance(*, n_frames: int = 1000) -> ExperimentResult:
+    """Component-importance scores for the self-tuning stack.
+
+    Each component of the closed loop is knocked out in isolation on the
+    standard adaptive-playback scenario, and the variants are ranked
+    with :func:`repro.tune.report.rank_importance` — the shared
+    aumai-style ranking also used for the tuner's sensitivity report.
+    A *positive* delta means removing the component worsens the
+    objective (it earns its complexity); a *negative* delta flags a
+    component that is harmful on this workload.
+    """
+    from repro.tune.report import rank_importance
+
+    result = ExperimentResult(
+        experiment="abl-importance",
+        title="Component importance of the self-tuning stack",
+    )
+
+    def score_variant(**overrides) -> tuple[float, dict]:
+        feedback = overrides.pop("feedback", None) or LfsPlusPlus()
+        ift, task, _ = _playback(feedback=feedback, n_frames=n_frames, **overrides)
+        return _importance_score(ift, task), _summary(ift, task)
+
+    baseline_score, baseline_summary = score_variant()
+    variants = {
+        "quantile-predictor": dict(
+            feedback=LfsPlusPlus(predictor=MovingAverage(window=16))
+        ),
+        "spread-margin": dict(feedback=LfsPlusPlus(LfsPlusPlusConfig(spread=0.0))),
+        "rate-detection": dict(use_period_estimate=False),
+        "hard-enforcement": dict(reservation_policy="soft"),
+    }
+    scores: dict[str, float] = {}
+    summaries: dict[str, dict] = {}
+    for name, overrides in variants.items():
+        scores[name], summaries[name] = score_variant(**dict(overrides))
+    result.add_row(
+        component="(baseline)", score=baseline_score, delta=0.0, harmful=False,
+        **baseline_summary,
+    )
+    for record in rank_importance(baseline_score, scores):
+        result.add_row(
+            component=record["name"],
+            score=record["score"],
+            delta=record["delta"],
+            harmful=record["harmful"],
+            **summaries[record["name"]],
+        )
+    result.notes.append(
+        "each row knocks out one component (ablation); delta > 0 means the "
+        "loop is worse without it — the ranking orders the stack's "
+        "components by how much of the closed-loop quality they carry"
+    )
+    return result
+
+
 def run(**kwargs) -> ExperimentResult:
     """Default entry point: the predictor ablation (CLI compatibility)."""
     return run_predictors(**kwargs)

@@ -19,8 +19,12 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
+from repro.core.controller import FeedbackLaw, TaskControllerConfig
+from repro.core.lfs import Lfs, LfsConfig
+from repro.core.lfspp import LfsPlusPlus, LfsPlusPlusConfig
+from repro.core.runtime import SelfTuningRuntime
 from repro.faults import FaultPlan, WorkloadFaults, plan_from_name
-from repro.fleet.spec import ScenarioSpec, SpecError, WorkloadSpec
+from repro.fleet.spec import ControllerSpec, ScenarioSpec, SpecError, WorkloadSpec
 from repro.fleet.summary import SimSummary, _SampleStats, summarise_kernel
 from repro.sched import (
     CbsScheduler,
@@ -121,8 +125,94 @@ def _effective_period(w: WorkloadSpec) -> int:
     return 0  # pragma: no cover - periodic validates period_ns > 0
 
 
+def _make_feedback(c: ControllerSpec, period_ns: int) -> FeedbackLaw:
+    """Instantiate the spec's feedback law, pinned to ``period_ns``.
+
+    With rate detection off (the fleet default) the law never sees a
+    period estimate, so the reservation period must be carried by the
+    law's own default — ``period_hint`` alone only seeds the adoption
+    request.
+    """
+    if c.law == "lfs":
+        return Lfs(LfsConfig(period=period_ns, max_bandwidth=c.u_lub))
+    return LfsPlusPlus(
+        LfsPlusPlusConfig(
+            spread=c.spread,
+            predictor_window=c.window,
+            quantile=c.quantile,
+            default_period=period_ns,
+            exhaustion_rate_threshold=(c.boost_threshold if c.boost_threshold >= 0 else None),
+            exhaustion_boost=c.boost,
+        )
+    )
+
+
+def _build_adaptive(spec: ScenarioSpec) -> Kernel:
+    """Construct the closed-loop kernel for a spec with a ``[controller]``.
+
+    Adaptive workloads are adopted into :class:`SelfTuningRuntime` — one
+    CBS server + task controller per instance (vlc instances share one
+    server across their two threads, per §3.2's multi-task reservation) —
+    while fixed-``budget_ms`` workloads become static reservations
+    admitted through the same supervisor.  Budget-less, non-adaptive
+    workloads stay best-effort.
+    """
+    c = spec.controller
+    assert c is not None
+    runtime = SelfTuningRuntime(u_lub=c.u_lub, reservation_policy=spec.scheduler.policy)
+    kernel = runtime.kernel
+
+    fault = spec.fault
+    injector: WorkloadFaults | None = None
+    if not fault.is_zero:
+        plan = _resolved_plan(fault.plan, fault.scale)
+        if fault.kind == "overload":
+            injector = WorkloadFaults(overload=plan, seed=fault.seed)
+        else:
+            injector = WorkloadFaults(mode_switch=plan, seed=fault.seed)
+        kernel.fault_plan = plan
+
+    controller_config = TaskControllerConfig(
+        sampling_period=c.sampling_period_ns, use_period_estimate=c.rate_detection
+    )
+    for w in spec.workloads:
+        period = _effective_period(w)
+        for index in range(w.count):
+            procs: list[Process] = []
+            for name, program in _instance_programs(w, index):
+                if injector is not None and w.name.startswith(fault.target):
+                    program = injector.wrap(program)
+                procs.append(kernel.spawn(name, program))
+            if w.adaptive:
+                if len(procs) > 1:
+                    runtime.adopt_group(
+                        procs,
+                        name=f"grp-{procs[0].name}",
+                        feedback=_make_feedback(c, period),
+                        controller_config=controller_config,
+                        period_hint=period,
+                    )
+                else:
+                    runtime.adopt(
+                        procs[0],
+                        feedback=_make_feedback(c, period),
+                        controller_config=controller_config,
+                        period_hint=period,
+                    )
+            elif w.budget_ns:
+                for proc in procs:
+                    runtime.add_static_reservation(
+                        proc, w.budget_ns, w.server_period_ns or period
+                    )
+    for pid in sorted(kernel.processes):
+        kernel.processes[pid].sched_latency = _SampleStats(spec.miss_threshold_ns)
+    return kernel
+
+
 def build_sim(spec: ScenarioSpec) -> Kernel:
     """Construct the kernel for ``spec`` (not yet run)."""
+    if spec.controller is not None:
+        return _build_adaptive(spec)
     scheduler: Scheduler
     kind = spec.scheduler.kind
     if kind == "cbs":
@@ -205,6 +295,10 @@ def run_sim(spec: ScenarioSpec, *, fast_forward: bool = True) -> SimSummary:
     """
     kernel = build_sim(spec)
     horizon = spec.horizon_ns
+    if spec.controller is not None:
+        # the closed loop re-tunes (Q, T) every sampling period, so the
+        # schedule never settles into a repeatable cycle — always step
+        fast_forward = False
     if fast_forward:
         report = run_fast_forward(kernel, horizon)
     else:

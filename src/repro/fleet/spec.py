@@ -118,6 +118,7 @@ _WORKLOAD_KEYS = (
     "deadline_ms",
     "priority",
     "tickets",
+    "adaptive",
 )
 
 
@@ -150,6 +151,9 @@ class WorkloadSpec:
     deadline_ns: int = 0
     priority: int = -1
     tickets: int = 1
+    #: put every instance under an adaptive reservation driven by the
+    #: scenario's [controller] table (requires one; cbs only)
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         """Validate kind, count and the jitter range."""
@@ -179,6 +183,9 @@ class WorkloadSpec:
         jitter = table.get("jitter", 0.0)
         if isinstance(jitter, bool) or not isinstance(jitter, (int, float)):
             raise SpecError(f"{where}: 'jitter' must be a number, got {jitter!r}")
+        adaptive = table.get("adaptive", False)
+        if not isinstance(adaptive, bool):
+            raise SpecError(f"{where}: 'adaptive' must be a boolean, got {adaptive!r}")
         return WorkloadSpec(
             kind=str(_require(table, "kind", where)),
             name=str(_require(table, "name", where)),
@@ -196,6 +203,7 @@ class WorkloadSpec:
             deadline_ns=_ms_to_ns(table.get("deadline_ms", 0), "deadline_ms", where),
             priority=_int_field(table, "priority", -1, where),
             tickets=_int_field(table, "tickets", 1, where),
+            adaptive=adaptive,
         )
 
     def to_jsonable(self) -> dict[str, Any]:
@@ -215,6 +223,7 @@ class WorkloadSpec:
             "deadline_ns": self.deadline_ns,
             "priority": self.priority,
             "tickets": self.tickets,
+            "adaptive": self.adaptive,
         }
 
 
@@ -286,8 +295,119 @@ class FaultSpec:
         }
 
 
+#: feedback laws the [controller] table accepts
+CONTROLLER_LAWS = ("lfspp", "lfs")
+
+_CONTROLLER_KEYS = (
+    "law",
+    "spread",
+    "window",
+    "quantile",
+    "sampling_period_ms",
+    "boost",
+    "boost_threshold",
+    "rate_detection",
+    "u_lub",
+)
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Adaptive-reservation parameters for the scenario's ``adaptive``
+    workloads (the knobs of the paper's ``lfs++`` tool).
+
+    Present, it routes the build through
+    :class:`repro.core.runtime.SelfTuningRuntime`: every ``adaptive``
+    workload gets a per-instance CBS server driven by the selected
+    feedback law; fixed-``budget_ms`` workloads become static
+    reservations admitted through the same supervisor.  Hard ranges are
+    validated against :data:`repro.core.knobs.CONTROLLER_KNOBS`, the
+    same registry the runtime constructors enforce.
+
+    ``boost_threshold < 0`` disables the §4.4-remark-1 exhaustion boost
+    (the paper's baseline).  ``rate_detection`` enables the period
+    analyser; off (the default), the reservation period is pinned to the
+    workload's declared period — the cheap, fully deterministic setting
+    fleet-scale tuning sweeps run at.
+    """
+
+    law: str = "lfspp"
+    spread: float = 0.15
+    window: int = 16
+    quantile: float = 0.9375
+    sampling_period_ns: int = 100 * MS
+    boost: float = 0.25
+    boost_threshold: float = -1.0
+    rate_detection: bool = False
+    u_lub: float = 0.95
+
+    def __post_init__(self) -> None:
+        """Validate the law and every knob against the registry."""
+        from repro.core.knobs import CONTROLLER_KNOBS
+
+        if self.law not in CONTROLLER_LAWS:
+            raise SpecError(
+                f"controller: unknown law {self.law!r}; accepted laws are "
+                f"{list(CONTROLLER_LAWS)}"
+            )
+        try:
+            CONTROLLER_KNOBS["spread"].validate(self.spread)
+            CONTROLLER_KNOBS["window"].validate(self.window)
+            CONTROLLER_KNOBS["quantile"].validate(self.quantile)
+            CONTROLLER_KNOBS["sampling_period"].validate(
+                self.sampling_period_ns, name="sampling_period_ms"
+            )
+            CONTROLLER_KNOBS["boost"].validate(self.boost)
+        except ValueError as exc:
+            raise SpecError(f"controller: {exc}") from None
+        if not 0.0 < self.u_lub <= 1.0:
+            raise SpecError(f"controller: 'u_lub' must be in (0, 1], got {self.u_lub}")
+
+    @staticmethod
+    def from_dict(table: dict[str, Any]) -> ControllerSpec:
+        """Build from a parsed ``[controller]`` table."""
+        _reject_unknown(table, _CONTROLLER_KEYS, "controller")
+
+        def _float(key: str, default: float) -> float:
+            value = table.get(key, default)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(f"controller: {key!r} must be a number, got {value!r}")
+            return float(value)
+
+        rate = table.get("rate_detection", False)
+        if not isinstance(rate, bool):
+            raise SpecError(f"controller: 'rate_detection' must be a boolean, got {rate!r}")
+        return ControllerSpec(
+            law=str(table.get("law", "lfspp")),
+            spread=_float("spread", 0.15),
+            window=_int_field(table, "window", 16, "controller"),
+            quantile=_float("quantile", 0.9375),
+            sampling_period_ns=_ms_to_ns(
+                table.get("sampling_period_ms", 100.0), "sampling_period_ms", "controller"
+            ),
+            boost=_float("boost", 0.25),
+            boost_threshold=_float("boost_threshold", -1.0),
+            rate_detection=rate,
+            u_lub=_float("u_lub", 0.95),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Stable JSON form (feeds :meth:`ScenarioSpec.spec_hash`)."""
+        return {
+            "law": self.law,
+            "spread": self.spread,
+            "window": self.window,
+            "quantile": self.quantile,
+            "sampling_period_ns": self.sampling_period_ns,
+            "boost": self.boost,
+            "boost_threshold": self.boost_threshold,
+            "rate_detection": self.rate_detection,
+            "u_lub": self.u_lub,
+        }
+
+
 _SCENARIO_KEYS = ("name", "seed", "horizon_ms", "miss_threshold_ms")
-_TOP_KEYS = ("scenario", "scheduler", "workload", "fault")
+_TOP_KEYS = ("scenario", "scheduler", "workload", "fault", "controller")
 
 
 @dataclass(frozen=True)
@@ -302,6 +422,8 @@ class ScenarioSpec:
     scheduler: SchedulerSpec
     workloads: tuple[WorkloadSpec, ...]
     fault: FaultSpec = field(default_factory=FaultSpec)
+    #: adaptive-reservation parameters; None = no [controller] table
+    controller: ControllerSpec | None = None
     #: template expansion group (one grid combo), "" for hand-written specs
     group: str = ""
 
@@ -321,6 +443,21 @@ class ScenarioSpec:
         dupes = sorted({n for n in names if names.count(n) > 1})
         if dupes:
             raise SpecError(f"scenario: duplicate workload name(s) {dupes}")
+        adaptive = [w.name for w in self.workloads if w.adaptive]
+        if adaptive and self.controller is None:
+            raise SpecError(
+                f"scenario: adaptive workload(s) {adaptive} need a [controller] table"
+            )
+        if self.controller is not None and not adaptive:
+            raise SpecError(
+                "scenario: [controller] present but no workload is marked "
+                "adaptive = true"
+            )
+        if self.controller is not None and self.scheduler.kind != "cbs":
+            raise SpecError(
+                "scenario: [controller] requires scheduler kind 'cbs', got "
+                f"{self.scheduler.kind!r}"
+            )
 
     def to_jsonable(self) -> dict[str, Any]:
         """Canonical JSON form: stable across processes and Python versions."""
@@ -332,6 +469,7 @@ class ScenarioSpec:
             "scheduler": self.scheduler.to_jsonable(),
             "workloads": [w.to_jsonable() for w in self.workloads],
             "fault": self.fault.to_jsonable(),
+            "controller": self.controller.to_jsonable() if self.controller else None,
             "group": self.group,
         }
 
@@ -354,6 +492,9 @@ def scenario_from_dict(doc: dict[str, Any]) -> ScenarioSpec:
     fault_raw = doc.get("fault", {})
     if not isinstance(fault_raw, dict):
         raise SpecError("document: [fault] must be a table")
+    controller_raw = doc.get("controller")
+    if controller_raw is not None and not isinstance(controller_raw, dict):
+        raise SpecError("document: [controller] must be a table")
     return ScenarioSpec(
         name=str(_require(scenario, "name", "scenario")),
         seed=_int_field(scenario, "seed", 0, "scenario"),
@@ -364,6 +505,9 @@ def scenario_from_dict(doc: dict[str, Any]) -> ScenarioSpec:
         scheduler=SchedulerSpec.from_dict(doc.get("scheduler", {})),
         workloads=tuple(WorkloadSpec.from_dict(w) for w in workloads_raw),
         fault=FaultSpec.from_dict(fault_raw),
+        controller=(
+            ControllerSpec.from_dict(controller_raw) if controller_raw is not None else None
+        ),
     )
 
 

@@ -35,7 +35,16 @@ from typing import Any
 from repro.fleet._toml import load_toml
 from repro.fleet.spec import ScenarioSpec, SpecError, _reject_unknown, scenario_from_dict
 
-_TEMPLATE_TOP_KEYS = ("template", "scenario", "scheduler", "workload", "fault", "grid", "jitter")
+_TEMPLATE_TOP_KEYS = (
+    "template",
+    "scenario",
+    "scheduler",
+    "workload",
+    "fault",
+    "controller",
+    "grid",
+    "jitter",
+)
 
 
 @dataclass
@@ -102,7 +111,7 @@ def parse_template(text: str) -> FleetTemplate:
             raise SpecError(f"jitter: {path!r} must map to a positive number, got {amount!r}")
         jitter[path] = float(amount)
 
-    base_keys = ("scenario", "scheduler", "workload", "fault")
+    base_keys = ("scenario", "scheduler", "workload", "fault", "controller")
     base = {k: copy.deepcopy(v) for k, v in doc.items() if k in base_keys}
     # fail fast on unresolvable grid/jitter paths (full spec validation
     # happens per expanded scenario, once grid values are applied)
@@ -137,12 +146,13 @@ def _resolve_tables(doc: dict[str, Any], path: str) -> list[tuple[dict[str, Any]
             known = sorted(str(w.get("name")) for w in entries)
             raise SpecError(f"path {path!r}: no workload named {wanted!r}; known: {known}")
         return [(w, fld) for w in matches]
-    if head in ("scenario", "scheduler", "fault"):
+    if head in ("scenario", "scheduler", "fault", "controller"):
         if len(parts) != 2:
             raise SpecError(f"path {path!r}: expected '{head}.<field>'")
         return [(doc.setdefault(head, {}), parts[1])]
     raise SpecError(
-        f"path {path!r}: must start with 'scenario', 'scheduler', 'fault' or 'workload'"
+        f"path {path!r}: must start with 'scenario', 'scheduler', 'fault', "
+        "'controller' or 'workload'"
     )
 
 
@@ -191,5 +201,6 @@ def expand_template(template: FleetTemplate) -> Iterator[ScenarioSpec]:
                 scheduler=spec.scheduler,
                 workloads=spec.workloads,
                 fault=spec.fault,
+                controller=spec.controller,
                 group=group,
             )

@@ -1,0 +1,44 @@
+"""repro.tune — auto-tuning search over the controller parameter space.
+
+The paper hand-picks the LFS++ knobs (spread ``x``, predictor window
+``N``, quantile ``p``, sampling period ``S``) once, for one machine.
+This package turns that manual step into a service: a seeded,
+deterministic global search (:mod:`repro.tune.search`) over a declared
+:class:`~repro.tune.space.ParamSpace`, scored by running each candidate
+configuration through the fleet engine against a catalogue of workload
+classes (:mod:`repro.tune.classes`), with every simulation result
+deduplicated in the on-disk experiment cache
+(:mod:`repro.tune.evaluate`).  :mod:`repro.tune.service` orchestrates a
+whole tuning run from a TOML spec and :mod:`repro.tune.report` renders
+the ``TUNE_*.json`` artefact — best configuration per workload class,
+the convergence trace and a per-parameter sensitivity ranking.
+
+Same seed + same space ⇒ byte-identical report, regardless of
+``--jobs``.
+"""
+
+from repro.tune.classes import WORKLOAD_CLASSES, WorkloadClass
+from repro.tune.evaluate import Evaluator, Objective
+from repro.tune.report import rank_importance, tune_payload, write_tune_json
+from repro.tune.search import SearchResult, run_search
+from repro.tune.service import TuneReport, TuneSpec, run_tune, tune_spec_from_toml
+from repro.tune.space import ParamSpace, ParamSpec, default_space
+
+__all__ = [
+    "WORKLOAD_CLASSES",
+    "WorkloadClass",
+    "Evaluator",
+    "Objective",
+    "rank_importance",
+    "tune_payload",
+    "write_tune_json",
+    "SearchResult",
+    "run_search",
+    "TuneReport",
+    "TuneSpec",
+    "run_tune",
+    "tune_spec_from_toml",
+    "ParamSpace",
+    "ParamSpec",
+    "default_space",
+]

@@ -1,0 +1,197 @@
+"""Candidate evaluation: map configurations onto fleet runs, with caching.
+
+One candidate = one concrete scenario (the workload class instantiated
+with the candidate's controller parameters) = one simulation.  The
+evaluator batches every cache-missing candidate of a generation into a
+**single** :func:`~repro.fleet.engine.run_fleet` call — the search
+algorithms hand over whole generations, so ``--jobs N`` parallelism
+applies across candidates — and reads each candidate's metrics back
+from its per-group sub-aggregate, which folds exactly one sim and is
+therefore independent of worker scheduling.
+
+Every scored candidate is stored in the
+:class:`~repro.experiments.cache.ResultCache` under a canonical,
+bit-stable key (class + seed + horizon + objective + configuration +
+whole-``repro``-tree code digest), so re-running the same tuning spec
+replays entirely from disk: zero new simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import ResultCache, canonical_kwargs, package_digest
+from repro.fleet.engine import run_fleet
+from repro.fleet.summary import FleetAggregate
+from repro.tune.classes import WorkloadClass
+
+#: experiment name tune evaluations are cached under
+CACHE_EXPERIMENT = "tune-eval"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """The scalar score a candidate minimises (lower is better).
+
+    A weighted sum of the fleet metrics that matter for a legacy
+    real-time mix: the deadline-miss rate (dominant by default — a
+    thousand-fold weight makes any miss-rate difference decisive), the
+    mean scheduling latency and the p99 tail, both in milliseconds.
+    """
+
+    miss_weight: float = 1000.0
+    latency_weight: float = 1.0
+    p99_weight: float = 0.25
+
+    def __post_init__(self) -> None:
+        """All weights must be finite and non-negative."""
+        for label, w in (
+            ("miss_weight", self.miss_weight),
+            ("latency_weight", self.latency_weight),
+            ("p99_weight", self.p99_weight),
+        ):
+            if not math.isfinite(w) or w < 0:
+                raise ValueError(f"{label} must be finite and >= 0, got {w}")
+
+    def score(self, agg: FleetAggregate) -> float:
+        """Collapse one candidate's sub-aggregate into the scalar score."""
+        lat_mean_ms = agg.lat_mean / 1e6
+        p99_ms = agg.quantile(0.99) / 1e6
+        return (
+            self.miss_weight * agg.miss_rate
+            + self.latency_weight * lat_mean_ms
+            + self.p99_weight * p99_ms
+        )
+
+    def to_jsonable(self) -> dict[str, float]:
+        """Stable JSON form (also feeds the cache key)."""
+        return {
+            "miss_weight": self.miss_weight,
+            "latency_weight": self.latency_weight,
+            "p99_weight": self.p99_weight,
+        }
+
+
+class Evaluator:
+    """Batched, cached scorer for one workload class.
+
+    The callable interface (:meth:`evaluate_batch`) is what
+    :func:`repro.tune.search.run_search` expects.  Instances keep three
+    counters the CLI reports: ``evaluations`` (configs scored),
+    ``cache_hits`` (served from disk or the in-run memo) and
+    ``sims_run`` (simulations actually executed).
+    """
+
+    def __init__(
+        self,
+        workload_class: WorkloadClass,
+        objective: Objective,
+        *,
+        seed: int,
+        horizon_ns: int,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+    ) -> None:
+        self.workload_class = workload_class
+        self.objective = objective
+        self.seed = seed
+        self.horizon_ns = horizon_ns
+        self.cache = cache
+        self.jobs = jobs
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.sims_run = 0
+        #: canonical config -> metrics, for repeats within one run
+        self._memo: dict[str, dict[str, float]] = {}
+
+    # -- keys ---------------------------------------------------------
+
+    def _kwargs(self, config: dict[str, Any]) -> dict[str, Any]:
+        """The full provenance of one evaluation (the cache-key payload)."""
+        return {
+            "class": self.workload_class.name,
+            "seed": self.seed,
+            "horizon_ns": self.horizon_ns,
+            "objective": self.objective.to_jsonable(),
+            "config": dict(config),
+        }
+
+    def _disk_key(self, config: dict[str, Any]) -> str | None:
+        if self.cache is None:
+            return None
+        return self.cache.key(CACHE_EXPERIMENT, self._kwargs(config), package_digest())
+
+    # -- evaluation ---------------------------------------------------
+
+    def evaluate_batch(self, configs: list[dict[str, Any]]) -> list[float]:
+        """Score every configuration, running only the cache misses."""
+        metrics = [self._lookup(config) for config in configs]
+        misses = [i for i, m in enumerate(metrics) if m is None]
+        if misses:
+            fresh = self._run_misses([configs[i] for i in misses])
+            for i, m in zip(misses, fresh, strict=True):
+                metrics[i] = m
+        self.evaluations += len(configs)
+        scores = []
+        for config, m in zip(configs, metrics, strict=True):
+            assert m is not None
+            self._memo[canonical_kwargs({"config": dict(config)})] = m
+            scores.append(m["score"])
+        return scores
+
+    def _lookup(self, config: dict[str, Any]) -> dict[str, float] | None:
+        """In-run memo first, then the on-disk cache."""
+        memo_key = canonical_kwargs({"config": dict(config)})
+        hit = self._memo.get(memo_key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        key = self._disk_key(config)
+        if key is None or self.cache is None:
+            return None
+        entry = self.cache.get(CACHE_EXPERIMENT, key)
+        if entry is None or not entry.result.rows:
+            return None
+        row = entry.result.rows[0]
+        self.cache_hits += 1
+        return {k: float(v) for k, v in row.items() if isinstance(v, (int, float))}
+
+    def _run_misses(self, configs: list[dict[str, Any]]) -> list[dict[str, float]]:
+        """One fleet run covering every miss; store each result on disk."""
+        base = self.sims_run
+        pairs = []
+        for offset, config in enumerate(configs):
+            group = f"tune/{self.workload_class.name}/c{base + offset:05d}"
+            spec = self.workload_class.scenario(
+                config, group=group, seed=self.seed, horizon_ns=self.horizon_ns
+            )
+            pairs.append((group, spec))
+        aggregate = run_fleet([spec for _, spec in pairs], jobs=self.jobs)
+        self.sims_run += len(pairs)
+        out: list[dict[str, float]] = []
+        for (group, _), config in zip(pairs, configs, strict=True):
+            sub = aggregate.groups[group]
+            m = {
+                "score": self.objective.score(sub),
+                "miss_rate": sub.miss_rate,
+                "lat_mean_ms": sub.lat_mean / 1e6,
+                "p99_ms": sub.quantile(0.99) / 1e6,
+            }
+            self._store(config, m)
+            out.append(m)
+        return out
+
+    def _store(self, config: dict[str, Any], metrics: dict[str, float]) -> None:
+        if self.cache is None:
+            return
+        key = self._disk_key(config)
+        assert key is not None
+        result = ExperimentResult(
+            experiment=CACHE_EXPERIMENT,
+            title=f"tune evaluation: {self.workload_class.name}",
+        )
+        result.add_row(**metrics)
+        self.cache.put(CACHE_EXPERIMENT, key, result, kwargs=self._kwargs(config))

@@ -1,0 +1,113 @@
+"""The ``TUNE_*.json`` artefact: best configs, traces, sensitivities.
+
+The payload is a pure function of the tuning inputs — no timestamps, no
+host state, keys sorted — so the byte-identity acceptance check
+(``--jobs N`` == ``--jobs 1``, warm rerun == cold run) can compare
+files directly.
+
+:func:`rank_importance` is the shared "aumai-style" importance ranking:
+given a baseline score and a set of variant scores (a parameter swept,
+a component ablated), it orders the variants by how much they move the
+objective — reused by both the tune sensitivity report and the
+``abl-importance`` experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.tune.evaluate import Objective
+from repro.tune.search import SearchResult
+from repro.tune.space import ParamSpace
+
+#: schema tag stamped into every tune report
+SCHEMA = "repro-tune/1"
+
+
+def rank_importance(
+    baseline_score: float, scores: dict[str, float]
+) -> list[dict[str, Any]]:
+    """Rank variants by impact on a lower-is-better objective.
+
+    ``delta = variant - baseline``: positive means the variant *worsens*
+    the objective relative to the baseline (for an ablation: the removed
+    component was pulling its weight — important); negative means the
+    variant improves on the baseline (the component was harmful, or the
+    swept parameter value beats the incumbent).  Sorted by ``|delta|``
+    descending (most impactful first), then by name for a stable order.
+
+    >>> ranked = rank_importance(10.0, {"a": 14.0, "b": 9.0, "c": 10.0})
+    >>> [(r["name"], r["harmful"]) for r in ranked]
+    [('a', False), ('b', True), ('c', False)]
+    """
+    records = []
+    for name in sorted(scores):
+        delta = scores[name] - baseline_score
+        records.append(
+            {
+                "name": name,
+                "score": scores[name],
+                "delta": delta,
+                "harmful": delta < 0,
+            }
+        )
+    records.sort(key=lambda r: (-abs(r["delta"]), r["name"]))
+    return records
+
+
+def class_payload(
+    result: SearchResult,
+    *,
+    default_config: dict[str, Any],
+    default_score: float,
+) -> dict[str, Any]:
+    """One workload class's section of the report."""
+    sensitivity = [
+        {"name": name, "range": result.sensitivity[name]}
+        for name in sorted(
+            result.sensitivity, key=lambda n: (-result.sensitivity[n], n)
+        )
+    ]
+    return {
+        "best_config": dict(result.best_config),
+        "best_score": result.best_score,
+        "default_config": dict(default_config),
+        "default_score": default_score,
+        "improvement": default_score - result.best_score,
+        "evaluations": result.evaluations,
+        "trace": list(result.trace),
+        "sensitivity": sensitivity,
+    }
+
+
+def tune_payload(
+    *,
+    name: str,
+    seed: int,
+    budget: int,
+    method: str,
+    space: ParamSpace,
+    objective: Objective,
+    horizon_ns: int,
+    classes: dict[str, dict[str, Any]],
+) -> dict[str, Any]:
+    """Assemble the full report document (classes in sorted order)."""
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "seed": seed,
+        "budget": budget,
+        "method": method,
+        "horizon_ns": horizon_ns,
+        "space": space.to_jsonable(),
+        "objective": objective.to_jsonable(),
+        "classes": {key: classes[key] for key in sorted(classes)},
+    }
+
+
+def write_tune_json(path: str | Path, payload: dict[str, Any]) -> None:
+    """Write the canonical report file (sorted keys, strict JSON)."""
+    blob = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    Path(path).write_text(blob + "\n", encoding="utf-8")

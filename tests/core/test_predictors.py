@@ -54,6 +54,41 @@ class TestQuantileEstimator:
         with pytest.raises(ValueError):
             QuantileEstimator(window=window, quantile=quantile)
 
+    def test_degenerate_quantile_clamps_to_the_minimum(self):
+        # regression: p = 1e-9 makes (1 - p) * n round to n itself; the
+        # rank must clamp to n - 1 (the window minimum), not overflow
+        q = QuantileEstimator(window=8, quantile=1e-9)
+        for v in (5, 2, 9, 4):
+            q.observe(v)
+        assert q.rank == 3
+        assert q.predict() == 2
+
+    def test_degenerate_quantile_single_sample(self):
+        q = QuantileEstimator(window=8, quantile=1e-9)
+        q.observe(7)
+        assert q.rank == 0
+        assert q.predict() == 7
+
+    def test_quantile_just_below_one_keeps_the_maximum(self):
+        # float noise near p = 1.0 must never push the rank below zero
+        q = QuantileEstimator(window=16, quantile=1.0 - 1e-12)
+        for v in (3, 9, 1):
+            q.observe(v)
+        assert q.rank == 0
+        assert q.predict() == 9
+
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        quantile=st.floats(min_value=1e-12, max_value=1.0, exclude_min=False),
+    )
+    def test_rank_always_indexes_the_window(self, n, quantile):
+        q = QuantileEstimator(window=16, quantile=quantile)
+        for v in range(n):
+            q.observe(v)
+        assert 0 <= q.rank <= n - 1
+        q.predict()  # must never raise
+
     @settings(max_examples=40)
     @given(
         values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30),

@@ -40,6 +40,7 @@ class TestRegistry:
             "abl-smp",
             "abl-rate-change",
             "abl-detector",
+            "abl-importance",
         }
         assert set(REGISTRY) == figures | ablations_
 

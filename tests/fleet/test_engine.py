@@ -133,3 +133,68 @@ def test_parameter_validation():
     with pytest.raises(ValueError):
         run_fleet([], chunksize=0)
     assert run_fleet([]).sims == 0
+
+
+ADAPTIVE = """
+[scenario]
+name = "adaptive"
+seed = 21
+horizon_ms = 1500.0
+miss_threshold_ms = 5.0
+
+[scheduler]
+kind = "cbs"
+policy = "hard"
+
+[controller]
+law = "lfspp"
+spread = 0.15
+sampling_period_ms = 100.0
+
+[[workload]]
+kind = "mplayer"
+name = "mp3"
+adaptive = true
+
+[[workload]]
+kind = "periodic"
+name = "bg"
+period_ms = 10.0
+cost_ms = 1.0
+budget_ms = 1.5
+server_period_ms = 10.0
+"""
+
+
+class TestAdaptiveBuild:
+    def test_adaptive_run_is_repeatable(self):
+        a = run_sim(scenario_from_toml(ADAPTIVE))
+        b = run_sim(scenario_from_toml(ADAPTIVE))
+        assert a.to_jsonable() == b.to_jsonable()
+
+    def test_closed_loop_never_fast_forwards(self):
+        # even when explicitly requested: the controller keeps perturbing
+        # the schedule, so there is no repeatable cycle to skip
+        summary = run_sim(scenario_from_toml(ADAPTIVE), fast_forward=True)
+        assert summary.ff_detected is False
+
+    def test_controller_parameters_change_the_outcome(self):
+        base = run_sim(scenario_from_toml(ADAPTIVE))
+        wide = run_sim(
+            scenario_from_toml(ADAPTIVE.replace("spread = 0.15", "spread = 0.45"))
+        )
+        assert base.to_jsonable() != wide.to_jsonable()
+
+    def test_lfs_baseline_differs_from_lfspp(self):
+        lfspp = run_sim(scenario_from_toml(ADAPTIVE))
+        lfs = run_sim(scenario_from_toml(ADAPTIVE.replace('law = "lfspp"', 'law = "lfs"')))
+        assert lfspp.to_jsonable() != lfs.to_jsonable()
+
+    def test_adaptive_fleet_jobs_independent(self):
+        specs = [
+            scenario_from_toml(ADAPTIVE.replace('seed = 21', f'seed = {s}'))
+            for s in (1, 2, 3, 4)
+        ]
+        serial = run_fleet(specs, jobs=1)
+        parallel = run_fleet(specs, jobs=2)
+        assert serial.digest() == parallel.digest()

@@ -154,3 +154,97 @@ class TestActionableErrors:
                     "workload": [{"kind": "periodic", "name": "p", "cost_ms": 1.0}],
                 }
             )
+
+
+ADAPTIVE_SCENARIO = """
+[scenario]
+name = "adaptive"
+seed = 3
+horizon_ms = 500.0
+
+[controller]
+law = "lfspp"
+spread = 0.2
+window = 8
+quantile = 0.75
+sampling_period_ms = 80.0
+boost = 0.1
+boost_threshold = 0.3
+rate_detection = true
+u_lub = 0.9
+
+[[workload]]
+kind = "mplayer"
+name = "mp3"
+adaptive = true
+"""
+
+
+class TestControllerSpec:
+    def test_parse_and_round_trip(self):
+        spec = scenario_from_toml(ADAPTIVE_SCENARIO)
+        c = spec.controller
+        assert (c.law, c.spread, c.window, c.quantile) == ("lfspp", 0.2, 8, 0.75)
+        assert c.sampling_period_ns == 80_000_000
+        assert (c.boost, c.boost_threshold) == (0.1, 0.3)
+        assert c.rate_detection is True
+        assert c.u_lub == 0.9
+        # the jsonable form feeds spec_hash: it must carry the controller
+        assert spec.to_jsonable()["controller"]["law"] == "lfspp"
+        assert spec.spec_hash() == scenario_from_toml(ADAPTIVE_SCENARIO).spec_hash()
+
+    def test_controller_enters_the_content_hash(self):
+        base = scenario_from_toml(ADAPTIVE_SCENARIO)
+        other = scenario_from_toml(ADAPTIVE_SCENARIO.replace("spread = 0.2", "spread = 0.3"))
+        assert base.spec_hash() != other.spec_hash()
+
+    def test_defaults_are_the_paper_defaults(self):
+        spec = scenario_from_toml(
+            '[scenario]\nname = "a"\nhorizon_ms = 100.0\n[controller]\n'
+            '[[workload]]\nkind = "mplayer"\nname = "m"\nadaptive = true\n'
+        )
+        c = spec.controller
+        assert (c.law, c.spread, c.window, c.quantile) == ("lfspp", 0.15, 16, 0.9375)
+        assert c.sampling_period_ns == 100_000_000
+        assert c.boost_threshold == -1.0  # boost disabled, the paper baseline
+        assert c.rate_detection is False
+
+    def test_unknown_law_lists_alternatives(self):
+        with pytest.raises(SpecError, match=r"unknown law.*lfspp.*lfs"):
+            scenario_from_toml(ADAPTIVE_SCENARIO.replace('law = "lfspp"', 'law = "pid"'))
+
+    def test_knob_ranges_enforced_through_the_registry(self):
+        with pytest.raises(SpecError, match="quantile"):
+            scenario_from_toml(
+                ADAPTIVE_SCENARIO.replace("quantile = 0.75", "quantile = 1.5")
+            )
+        with pytest.raises(SpecError, match="sampling_period"):
+            scenario_from_toml(
+                ADAPTIVE_SCENARIO.replace(
+                    "sampling_period_ms = 80.0", "sampling_period_ms = 0.0"
+                )
+            )
+
+    def test_unknown_controller_key(self):
+        with pytest.raises(SpecError, match=r"controller: unknown key\(s\) \['oops'\]"):
+            scenario_from_toml(ADAPTIVE_SCENARIO + "\n[controller.oops]\n")
+
+    def test_adaptive_workload_requires_a_controller_table(self):
+        with pytest.raises(SpecError, match=r"adaptive workload\(s\).*controller"):
+            scenario_from_toml(
+                '[scenario]\nname = "a"\nhorizon_ms = 100.0\n'
+                '[[workload]]\nkind = "mplayer"\nname = "m"\nadaptive = true\n'
+            )
+
+    def test_controller_requires_an_adaptive_workload(self):
+        with pytest.raises(SpecError, match="no workload is marked"):
+            scenario_from_toml(
+                '[scenario]\nname = "a"\nhorizon_ms = 100.0\n[controller]\n'
+                '[[workload]]\nkind = "mplayer"\nname = "m"\n'
+            )
+
+    def test_controller_requires_cbs(self):
+        with pytest.raises(SpecError, match="requires scheduler kind 'cbs'"):
+            scenario_from_toml(
+                ADAPTIVE_SCENARIO + '\n[scheduler]\nkind = "edf"\n'
+            )

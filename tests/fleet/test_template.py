@@ -95,3 +95,35 @@ def test_unresolvable_grid_path_fails_fast():
 def test_template_table_required():
     with pytest.raises(SpecError, match="template"):
         parse_template("[scenario]\nhorizon_ms = 1.0\n")
+
+
+ADAPTIVE_TEMPLATE = """
+[template]
+name = "tune-grid"
+nodes = 2
+seed = 5
+
+[scenario]
+horizon_ms = 400.0
+
+[controller]
+law = "lfspp"
+spread = 0.1
+
+[[workload]]
+kind = "mplayer"
+name = "mp3"
+adaptive = true
+
+[grid]
+"controller.spread" = [0.1, 0.3]
+"""
+
+
+def test_controller_survives_expansion():
+    specs = list(expand_template(parse_template(ADAPTIVE_TEMPLATE)))
+    assert len(specs) == 4  # 2 grid points x 2 nodes
+    assert all(s.controller is not None for s in specs)
+    assert sorted({s.controller.spread for s in specs}) == [0.1, 0.3]
+    # the non-swept knobs keep the template's values
+    assert all(s.controller.law == "lfspp" for s in specs)

@@ -259,3 +259,94 @@ cost_ms = 1.0
         spec.write_text(self.SCENARIO)
         with pytest.raises(SystemExit, match="limit"):
             main(["fleet", "run", str(spec), "--limit", "0"])
+
+
+class TestTune:
+    SPEC = """
+[tune]
+name = "clitest"
+seed = 2
+budget = 6
+classes = ["periodic-mix"]
+horizon_ms = 400.0
+
+[[param]]
+knob = "spread"
+"""
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "tune.toml"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_tune_writes_canonical_report(self, tmp_path, capsys, monkeypatch):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "TUNE_out.json"
+        assert main(["tune", str(spec), "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-tune/1"
+        assert payload["name"] == "clitest"
+        cls = payload["classes"]["periodic-mix"]
+        assert cls["best_score"] <= cls["default_score"]
+        stdout = capsys.readouterr().out
+        assert "periodic-mix" in stdout
+        assert "evaluations" in stdout
+
+    def test_tune_default_output_name(self, tmp_path, monkeypatch):
+        spec = self._write_spec(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["tune", str(spec)]) == 0
+        assert (tmp_path / "TUNE_clitest.json").exists()
+
+    def test_tune_warm_rerun_is_byte_identical_and_sim_free(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["tune", str(spec), "--output", str(a)]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["tune", str(spec), "--output", str(b)]) == 0
+        warm_out = capsys.readouterr().out
+        assert a.read_bytes() == b.read_bytes()
+        assert ", 0 sims" not in cold_out
+        assert ", 0 sims" in warm_out
+
+    def test_tune_jobs_width_is_invisible_in_the_report(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["tune", str(spec), "--output", str(a), "--no-cache"]) == 0
+        assert main(["tune", str(spec), "--output", str(b), "--no-cache", "--jobs", "2"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_tune_cli_overrides(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "o.json"
+        assert main(
+            ["tune", str(spec), "--budget", "4", "--seed", "9",
+             "--method", "random", "--output", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert (payload["budget"], payload["seed"], payload["method"]) == (4, 9, "random")
+
+    def test_tune_json_flag_prints_the_payload(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "o.json"
+        assert main(["tune", str(spec), "--output", str(out), "--json"]) == 0
+        stdout = capsys.readouterr().out
+        assert json.loads(stdout[: stdout.rindex("}") + 1])["schema"] == "repro-tune/1"
+
+    def test_tune_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["tune", str(tmp_path / "nope.toml")])
+
+    def test_tune_malformed_spec(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[tune]\nname = "x"\nbogus = 1\n')
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["tune", str(bad)])
+
+    def test_tune_demo_spec_parses(self):
+        # the bundled example must stay loadable (CI smoke uses it)
+        from repro.tune.service import load_tune_spec
+
+        spec = load_tune_spec("examples/tune/controller-demo.toml")
+        assert spec.name == "controller-demo"
+        assert set(spec.classes) <= {"audio-burst", "video-desktop", "periodic-mix"}

@@ -1,0 +1,127 @@
+"""The search layer against synthetic objectives (no simulation).
+
+Satellite contract: seeded determinism for every method, a monotone
+incumbent trace, budget accounting, bounds-respecting candidates, and
+the warm start guaranteeing the incumbent never loses to the default.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.tune.search import (
+    SEARCH_METHODS,
+    run_search,
+    sample_lhs,
+    sample_random,
+)
+from repro.tune.space import ParamSpace, ParamSpec, default_space
+
+
+def quadratic(configs):
+    """A smooth deterministic stand-in for the simulator."""
+    return [
+        (c["spread"] - 0.2) ** 2
+        + (c["quantile"] - 0.8) ** 2
+        + abs(c["window"] - 20) / 100.0
+        + abs(c["sampling_period"] - 150_000_000) / 1e9
+        for c in configs
+    ]
+
+
+SPACE = default_space()
+
+
+class TestSamplers:
+    def test_lhs_is_stratified_per_dimension(self):
+        n = 16
+        points = sample_lhs(3, n, random.Random(0))
+        assert len(points) == n
+        for d in range(3):
+            strata = sorted(int(p[d] * n) for p in points)
+            assert strata == list(range(n))
+
+    def test_random_stays_in_the_cube(self):
+        for p in sample_random(4, 50, random.Random(1)):
+            assert all(0.0 <= u <= 1.0 for u in p)
+
+    def test_samplers_are_seed_deterministic(self):
+        assert sample_lhs(2, 8, random.Random(3)) == sample_lhs(2, 8, random.Random(3))
+        assert sample_random(2, 8, random.Random(3)) == sample_random(2, 8, random.Random(3))
+
+
+class TestRunSearch:
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_budget_is_exhausted_exactly(self, method):
+        result = run_search(SPACE, quadratic, budget=18, seed=0, method=method)
+        assert result.evaluations == 18
+        assert len(result.trace) == 18
+
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_incumbent_trace_is_monotone(self, method):
+        result = run_search(SPACE, quadratic, budget=24, seed=1, method=method)
+        best = [t["best_score"] for t in result.trace]
+        assert all(b <= a for a, b in zip(best, best[1:]))
+        assert result.best_score == best[-1]
+
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_seed_determinism(self, method):
+        a = run_search(SPACE, quadratic, budget=20, seed=5, method=method)
+        b = run_search(SPACE, quadratic, budget=20, seed=5, method=method)
+        assert a.best_config == b.best_config
+        assert a.trace == b.trace
+        assert a.sensitivity == b.sensitivity
+
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_different_seeds_explore_differently(self, method):
+        a = run_search(SPACE, quadratic, budget=20, seed=0, method=method)
+        b = run_search(SPACE, quadratic, budget=20, seed=99, method=method)
+        assert a.trace != b.trace
+
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_every_candidate_respects_the_bounds(self, method):
+        seen = []
+
+        def spy(configs):
+            seen.extend(configs)
+            return quadratic(configs)
+
+        run_search(SPACE, spy, budget=30, seed=2, method=method)
+        for config in seen:
+            for p in SPACE.params:
+                assert p.lo <= config[p.name] <= p.hi
+                if p.kind == "int":
+                    assert isinstance(config[p.name], int)
+
+    def test_initial_warm_start_bounds_the_result(self):
+        # an objective whose global structure the search can't beat in a
+        # tiny budget: the initial point must still cap the best score
+        initial = {"spread": 0.2, "window": 20, "quantile": 0.8,
+                   "sampling_period": 150_000_000}
+        result = run_search(SPACE, quadratic, budget=8, seed=0, initial=initial)
+        assert result.best_score <= quadratic([initial])[0]
+        assert result.trace[0]["phase"] == "initial"
+
+    def test_descent_phase_runs_after_the_global_phase(self):
+        result = run_search(SPACE, quadratic, budget=30, seed=3)
+        phases = [t["phase"] for t in result.trace]
+        assert "descent" in phases
+        assert phases.index("descent") > 0
+        assert sorted(result.sensitivity) == sorted(SPACE.names)
+        assert all(s >= 0.0 for s in result.sensitivity.values())
+
+    def test_descent_polishes_on_a_single_axis_space(self):
+        space = ParamSpace(params=(ParamSpec(name="x", kind="float", lo=0.0, hi=1.0),))
+        result = run_search(
+            space, lambda cs: [(c["x"] - 0.37) ** 2 for c in cs], budget=40, seed=0
+        )
+        assert math.isclose(result.best_config["x"], 0.37, abs_tol=0.05)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            run_search(SPACE, quadratic, budget=10, seed=0, method="anneal")
+
+    def test_budget_floor(self):
+        with pytest.raises(ValueError, match="budget"):
+            run_search(SPACE, quadratic, budget=1, seed=0)

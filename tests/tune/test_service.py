@@ -1,0 +1,147 @@
+"""End-to-end: TOML spec -> run_tune -> canonical TUNE payload.
+
+Acceptance contract of the tuning PR: the report is a pure function of
+the spec (byte-identical across ``--jobs`` widths and across warm
+reruns), the warm rerun executes zero simulations, and the reported
+best can never be worse than the paper default it is compared against.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.fleet.spec import SpecError
+from repro.tune.report import SCHEMA, rank_importance, write_tune_json
+from repro.tune.service import TuneSpec, run_tune, tune_spec_from_toml
+
+#: small budget + short horizon: machinery coverage, minutes matter
+SPEC_TOML = """
+[tune]
+name = "t"
+seed = 9
+budget = 8
+method = "lhs"
+classes = ["periodic-mix"]
+horizon_ms = 400.0
+
+[[param]]
+knob = "spread"
+
+[[param]]
+knob = "quantile"
+"""
+
+
+class TestSpecParsing:
+    def test_full_document(self):
+        spec = tune_spec_from_toml(SPEC_TOML)
+        assert (spec.name, spec.seed, spec.budget, spec.method) == ("t", 9, 8, "lhs")
+        assert spec.classes == ("periodic-mix",)
+        assert spec.horizon_ns == 400_000_000
+        assert spec.space.names == ("spread", "quantile")
+
+    def test_defaults(self):
+        spec = tune_spec_from_toml('[tune]\nname = "d"\n')
+        assert spec.budget == 24
+        assert spec.method == "lhs"
+        assert spec.classes == ("audio-burst",)
+        assert spec.horizon_ns == 4_000_000_000
+        assert spec.space.names == ("spread", "window", "quantile", "sampling_period")
+
+    def test_objective_weights(self):
+        spec = tune_spec_from_toml(
+            '[tune]\nname = "d"\n[objective]\nmiss_weight = 10.0\n'
+        )
+        assert spec.objective.miss_weight == 10.0
+
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ('[tune]\nname = "x"\noops = 1\n', "unknown key"),
+            ('[tune]\nname = "x"\n[oops]\n', "unknown key"),
+            ('[tune]\nname = "x"\n[objective]\noops = 1\n', "unknown key"),
+            ('[tune]\nname = "x"\nmethod = "anneal"\n', "method"),
+            ('[tune]\nname = "x"\nclasses = ["no-such-class"]\n', "workload class"),
+            ('[tune]\nname = "x"\nclasses = []\n', "classes"),
+            ('[tune]\nname = "x"\nbudget = 1\n', "budget"),
+            ('[tune]\nname = "x"\nhorizon_ms = 0.0\n', "horizon_ms"),
+            ('[tune]\nname = ""\n', "name"),
+            ('[tune]\nname = "x"\n[objective]\nmiss_weight = -1.0\n', "miss_weight"),
+        ],
+    )
+    def test_malformed_documents_rejected(self, text, needle):
+        with pytest.raises(SpecError, match=needle):
+            tune_spec_from_toml(text)
+
+
+class TestRunTune:
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        spec = tune_spec_from_toml(SPEC_TOML)
+        cache_dir = tmp_path_factory.mktemp("tune-cache")
+        cold = run_tune(spec, cache=ResultCache(cache_dir))
+        warm = run_tune(spec, cache=ResultCache(cache_dir))
+        parallel = run_tune(spec, jobs=2, cache=None)
+        return spec, cold, warm, parallel
+
+    def test_payload_shape(self, outcome):
+        spec, cold, _, _ = outcome
+        payload = cold.payload
+        assert payload["schema"] == SCHEMA
+        assert payload["name"] == spec.name
+        assert set(payload["classes"]) == set(spec.classes)
+        cls = payload["classes"]["periodic-mix"]
+        # budget evaluations + the separately scored default config
+        assert cls["evaluations"] == spec.budget
+        assert len(cls["trace"]) == spec.budget
+        assert [s["name"] for s in cls["sensitivity"]] in (
+            ["spread", "quantile"], ["quantile", "spread"]
+        )
+
+    def test_best_never_loses_to_the_default(self, outcome):
+        _, cold, _, _ = outcome
+        cls = cold.payload["classes"]["periodic-mix"]
+        assert cls["best_score"] <= cls["default_score"]
+        assert cls["improvement"] == pytest.approx(
+            cls["default_score"] - cls["best_score"]
+        )
+
+    def test_warm_rerun_is_byte_identical_and_sim_free(self, outcome):
+        _, cold, warm, _ = outcome
+        assert cold.sims_run > 0
+        assert warm.sims_run == 0
+        assert json.dumps(cold.payload, sort_keys=True) == json.dumps(
+            warm.payload, sort_keys=True
+        )
+
+    def test_jobs_width_does_not_change_the_payload(self, outcome):
+        _, cold, _, parallel = outcome
+        assert json.dumps(cold.payload, sort_keys=True) == json.dumps(
+            parallel.payload, sort_keys=True
+        )
+
+    def test_write_tune_json_is_canonical(self, outcome, tmp_path):
+        _, cold, _, _ = outcome
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_tune_json(a, cold.payload)
+        write_tune_json(b, cold.payload)
+        assert a.read_bytes() == b.read_bytes()
+        assert json.loads(a.read_text())["schema"] == SCHEMA
+
+
+class TestTuneSpecValidation:
+    def test_direct_construction_validates(self):
+        with pytest.raises(SpecError, match="workload class"):
+            TuneSpec(name="x", classes=("nope",))
+
+
+class TestRankImportance:
+    def test_orders_by_absolute_delta(self):
+        ranked = rank_importance(10.0, {"a": 13.0, "b": 8.0, "c": 10.5})
+        assert [r["name"] for r in ranked] == ["a", "b", "c"]
+        assert [r["harmful"] for r in ranked] == [False, True, False]
+
+    def test_ties_break_by_name(self):
+        ranked = rank_importance(0.0, {"b": 1.0, "a": -1.0})
+        assert [r["name"] for r in ranked] == ["a", "b"]
