@@ -12,13 +12,16 @@
   the original Legacy Feedback Scheduler baseline [2];
 - :mod:`.supervisor` — global bandwidth compression enforcing Eq. 1;
 - :mod:`.controller` / :mod:`.runtime` — the task controller and the
-  fully wired closed loop of Figure 3.
+  fully wired closed loop of Figure 3;
+- :mod:`.events` — event-triggered activation for controller and
+  supervisor (the extension beyond the paper's clocked loop).
 """
 
 from repro.core.analyser import AnalyserConfig, PeriodAnalyser, PeriodEstimate
 from repro.core.autocorr import IntervalDetectorConfig, IntervalEstimate, IntervalHistogramDetector
 from repro.core.controller import TaskController, TaskControllerConfig
 from repro.core.daemon import DaemonConfig, SelfTuningDaemon
+from repro.core.events import EventDrivenLoop, EventTriggerConfig, SupervisorEventLoop, TriggerRecord
 from repro.core.lfs import Lfs, LfsConfig
 from repro.core.lfspp import LfsPlusPlus, LfsPlusPlusConfig
 from repro.core.peaks import PeakConfig, PeakDetector, PeakResult
@@ -52,6 +55,10 @@ __all__ = [
     "Supervisor",
     "TaskController",
     "TaskControllerConfig",
+    "EventTriggerConfig",
+    "EventDrivenLoop",
+    "SupervisorEventLoop",
+    "TriggerRecord",
     "SelfTuningRuntime",
     "SmpSelfTuningRuntime",
     "SelfTuningDaemon",

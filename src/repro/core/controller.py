@@ -20,10 +20,14 @@ from collections.abc import Callable
 from typing import Protocol
 
 from repro.core.analyser import PeriodAnalyser
+from repro.core.events import EventTriggerConfig
 from repro.core.knobs import validate_knob
 from repro.core.lfspp import BandwidthRequest
 from repro.core.supervisor import Supervisor
 from repro.sim.time import MS
+
+#: accepted values of :attr:`TaskControllerConfig.trigger`
+TRIGGER_MODES = ("periodic", "event")
 
 
 class FeedbackLaw(Protocol):
@@ -95,9 +99,22 @@ class TaskControllerConfig:
     dropout_decay: float = 0.9
     #: bandwidth floor the decay never crosses
     dropout_floor: float = 0.02
+    #: activation mode: ``"periodic"`` (the paper's clocked loop, every
+    #: ``sampling_period``) or ``"event"`` (recompute on exhaustion
+    #: bursts / deadline misses / confidence drops, bounded by the
+    #: refractory and fallback floor of :attr:`events` — see
+    #: :mod:`repro.core.events`)
+    trigger: str = "periodic"
+    #: event-trigger parameters; None = :class:`EventTriggerConfig`
+    #: defaults (only consulted when ``trigger == "event"``)
+    events: EventTriggerConfig | None = None
 
     def __post_init__(self) -> None:
         validate_knob("sampling_period", self.sampling_period)
+        if self.trigger not in TRIGGER_MODES:
+            raise ValueError(
+                f"trigger must be one of {list(TRIGGER_MODES)}, got {self.trigger!r}"
+            )
         if self.period_confirmations < 1:
             raise ValueError("period_confirmations must be >= 1")
         lo, hi = self.period_bounds

@@ -1,0 +1,439 @@
+"""Event-triggered feedback activation (the alternative to sampling at S).
+
+The paper's controller is *clocked*: every sampling period S it drains
+the tracer, re-estimates the period and re-tunes ``(Q, T)`` — too late
+when a burst lands just after an activation, too often when nothing
+changed, and §4.4's Remark 2 concedes that the obvious fix (S = task
+period) is "very unstable and fluctuating".  Xia, Tian & Sun
+(arXiv:0806.1381) argue the loop should instead be *event-driven*:
+recompute when the plant signals that the reservation is wrong.
+
+This module implements that mode for both halves of the Figure 3
+architecture:
+
+- :class:`EventDrivenLoop` re-activates one task controller on
+  **budget-exhaustion bursts** (K exhaustions of its CBS server within a
+  sliding window), **deadline misses** (scheduling latency above a
+  threshold on the task's pids) and **analyser confidence drops** (the
+  rate detector loses the lock it had);
+- :class:`SupervisorEventLoop` runs the supervisor's starvation watchdog
+  on **compression** episodes (Eq. 1 granted less than requested) and
+  **departures** (freed bandwidth nobody redistributes) instead of on a
+  fixed period.
+
+Two intervals bound the activation rate from both sides:
+
+- the **refractory** interval is the minimum spacing between recomputes.
+  An event landing inside it is *deferred* to the refractory boundary
+  (never dropped), so a sustained burst costs at most one recompute per
+  refractory instead of one per event;
+- the **fallback floor** is the maximum spacing: a periodic fallback
+  recompute always fires within ``fallback_floor`` of the previous one,
+  so the loop can never starve even if every event source goes silent.
+
+Both loops keep exactly one armed calendar event at any time — the next
+recompute, whatever causes it — and fire it through the kernel calendar
+rather than calling into the controller from scheduler hook context, so
+re-entrancy is impossible and same-instant causes merge into a single
+recompute whose cause tuple is ordered by the fixed priority in
+:data:`CONTROLLER_TRIGGER_CAUSES`.  With every event source disabled and
+``fallback_floor = S`` the loop degenerates to the paper's periodic
+controller, trace-identically (:meth:`EventTriggerConfig.periodic_equivalent`;
+property-tested in ``tests/core/test_events.py``).
+
+Trigger decisions are emitted on the ``controller.trigger`` /
+``supervisor.trigger`` telemetry tracks so a Perfetto export shows *why*
+each recompute fired (see ``docs/event-driven.md``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.knobs import validate_knob
+from repro.sim.time import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.controller import TaskController
+    from repro.core.supervisor import Supervisor
+    from repro.sched.cbs import Server
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+#: controller trigger causes, in the order a merged same-instant tuple lists them
+CONTROLLER_TRIGGER_CAUSES = ("exhaustion-burst", "deadline-miss", "confidence-drop", "floor")
+
+#: supervisor trigger causes, same convention
+SUPERVISOR_TRIGGER_CAUSES = ("compression", "departure", "floor")
+
+
+@dataclass(frozen=True)
+class EventTriggerConfig:
+    """When an event-driven loop recomputes.
+
+    The four rate knobs are registered in
+    :data:`repro.core.knobs.CONTROLLER_KNOBS` (``burst_threshold``,
+    ``burst_window``, ``refractory``, ``fallback_floor``), so the fleet
+    DSL validates them and ``repro-exp tune`` can search them.  The two
+    ``None``-able thresholds disable their event source entirely
+    (``burst_threshold=None`` reads as K = ∞).
+    """
+
+    #: K: budget exhaustions within ``burst_window`` that fire a
+    #: recompute; None disables the exhaustion source (K = ∞)
+    burst_threshold: int | None = 3
+    #: sliding window the exhaustion burst is counted over, ns
+    burst_window: int = 250 * MS
+    #: minimum spacing between recomputes, ns; events inside it are
+    #: deferred to the boundary (one merged recompute), never dropped
+    refractory: int = 50 * MS
+    #: maximum spacing between recomputes, ns (the periodic fallback)
+    fallback_floor: int = 400 * MS
+    #: scheduling latency above this counts as a deadline-miss event, ns;
+    #: None disables the miss source
+    miss_threshold: int | None = 10 * MS
+    #: accelerated re-activation while the period analyser has lost a
+    #: lock it previously held (checked at each recompute)
+    confidence_trigger: bool = True
+
+    def __post_init__(self) -> None:
+        """Validate every knob against the registry + cross-field rules."""
+        if self.burst_threshold is not None:
+            validate_knob("burst_threshold", self.burst_threshold)
+        validate_knob("burst_window", self.burst_window)
+        validate_knob("refractory", self.refractory)
+        validate_knob("fallback_floor", self.fallback_floor)
+        if self.refractory > self.fallback_floor:
+            raise ValueError(
+                f"refractory ({self.refractory}) must not exceed "
+                f"fallback_floor ({self.fallback_floor})"
+            )
+        if self.miss_threshold is not None and self.miss_threshold <= 0:
+            raise ValueError(
+                f"miss_threshold must be > 0 ns or None, got {self.miss_threshold}"
+            )
+
+    @staticmethod
+    def periodic_equivalent(sampling_period: int) -> EventTriggerConfig:
+        """The degenerate config that reproduces periodic sampling at S.
+
+        Every event source is disabled, so only the fallback floor fires —
+        every ``sampling_period``, exactly like ``kernel.every(S)``.  The
+        resulting schedule is trace-identical to periodic mode.
+        """
+        return EventTriggerConfig(
+            burst_threshold=None,
+            miss_threshold=None,
+            confidence_trigger=False,
+            refractory=sampling_period,
+            fallback_floor=sampling_period,
+        )
+
+
+@dataclass(frozen=True)
+class TriggerRecord:
+    """One recompute decision: when it fired and every cause that merged."""
+
+    now: int
+    causes: tuple[str, ...]
+
+
+class MissDispatcher:
+    """Fans the kernel's single latency hook out to per-loop subscribers.
+
+    The kernel exposes one ``latency_hook`` slot; every adopted task's
+    event loop wants its own pid-filtered view of it.  The dispatcher is
+    installed once per kernel (chaining any hook already present) and
+    forwards each sample to the subscribers whose pid set and threshold
+    match.
+    """
+
+    def __init__(self, previous: Callable[[Process, int, int], None] | None = None) -> None:
+        self._previous = previous
+        self._subs: list[tuple[frozenset[int], int, Callable[[Process, int, int], None]]] = []
+
+    def subscribe(
+        self,
+        pids: frozenset[int],
+        threshold: int,
+        callback: Callable[[Process, int, int], None],
+    ) -> None:
+        """Route samples of ``pids`` with latency > ``threshold`` to ``callback``."""
+        self._subs.append((frozenset(pids), threshold, callback))
+
+    def __call__(self, proc: Process, latency: int, now: int) -> None:
+        prev = self._previous
+        if prev is not None:
+            prev(proc, latency, now)
+        pid = proc.pid
+        for pids, threshold, callback in self._subs:
+            if latency > threshold and pid in pids:
+                callback(proc, latency, now)
+
+
+def miss_dispatcher(kernel: Kernel) -> MissDispatcher:
+    """The kernel's :class:`MissDispatcher`, installed on first use."""
+    hook = kernel.latency_hook
+    if isinstance(hook, MissDispatcher):
+        return hook
+    dispatcher = MissDispatcher(hook)
+    kernel.latency_hook = dispatcher
+    return dispatcher
+
+
+class _TriggeredLoop:
+    """Shared machinery: one armed calendar event, refractory, floor.
+
+    Subclasses define the cause order and what a recompute does.  The
+    invariant after :meth:`start` is that exactly one calendar event is
+    armed at any time — the next recompute — at
+    ``min(deferred event demand, last recompute + fallback_floor)``.
+    """
+
+    #: cause priority for merged same-instant tuples (subclass constant)
+    CAUSE_ORDER: tuple[str, ...] = ()
+
+    #: telemetry hub (:mod:`repro.obs`); None = disabled fast path
+    _obs = None
+
+    def __init__(self, kernel: Kernel, config: EventTriggerConfig | None = None) -> None:
+        self.kernel = kernel
+        self.config = config or EventTriggerConfig()
+        #: total recomputes fired by this loop
+        self.recomputes = 0
+        #: every trigger decision, in firing order
+        self.triggers: list[TriggerRecord] = []
+        #: cause -> number of recomputes it (co-)caused
+        self.cause_counts: dict[str, int] = {}
+        self.cancelled = False
+        self._started = False
+        self._last_fire: int | None = None
+        self._armed: object | None = None
+        self._armed_at = 0
+        self._causes: set[str] = set()
+
+    def start(self, now: int | None = None) -> _TriggeredLoop:
+        """Attach the event sources and arm the first fallback recompute."""
+        if self._started:
+            raise RuntimeError("loop already started")
+        self._started = True
+        now = self.kernel.clock if now is None else now
+        self._attach(now)
+        self._arm(now + self.config.fallback_floor, "floor")
+        return self
+
+    def cancel(self) -> None:
+        """Stop the loop (timer-handle compatibility: no further fires)."""
+        self.cancelled = True
+        armed = self._armed
+        if armed is not None:
+            armed.cancel()  # type: ignore[attr-defined]
+            self._armed = None
+        self._detach()
+
+    def _attach(self, now: int) -> None:  # pragma: no cover - overridden
+        del now
+
+    def _detach(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _arm(self, when: int, cause: str) -> None:
+        self._armed_at = when
+        self._causes = {cause}
+        self._armed = self.kernel.at(when, self._fire)
+
+    def _request(self, cause: str, now: int) -> None:
+        """An event source demands a recompute; refractory applies.
+
+        Demands inside the refractory interval defer to its boundary;
+        same-instant demands merge into the already-armed recompute.  A
+        demand later than the armed recompute is absorbed by it (the
+        earlier fire resets every source and re-arms the floor).
+        """
+        if self.cancelled:
+            return
+        earliest = now
+        if self._last_fire is not None:
+            boundary = self._last_fire + self.config.refractory
+            if boundary > earliest:
+                earliest = boundary
+        if self._armed is not None:
+            if earliest == self._armed_at:
+                self._causes.add(cause)
+                return
+            if earliest > self._armed_at:
+                return
+            self._armed.cancel()  # type: ignore[attr-defined]
+        self._arm(earliest, cause)
+
+    def _fire(self, now: int) -> None:
+        """Calendar callback: run one recompute and re-arm the floor."""
+        if self.cancelled:
+            return
+        causes = tuple(c for c in self.CAUSE_ORDER if c in self._causes)
+        self._armed = None
+        self._causes = set()
+        self.recomputes += 1
+        self._last_fire = now
+        for cause in causes:
+            self.cause_counts[cause] = self.cause_counts.get(cause, 0) + 1
+        self.triggers.append(TriggerRecord(now=now, causes=causes))
+        self._recompute(now, causes)
+        if self._armed is None:
+            # no accelerated follow-up was requested during the recompute:
+            # the next fire is the fallback floor
+            self._arm(now + self.config.fallback_floor, "floor")
+        self._emit(now, causes)
+
+    def _recompute(self, now: int, causes: tuple[str, ...]) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _emit(self, now: int, causes: tuple[str, ...]) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class EventDrivenLoop(_TriggeredLoop):
+    """Event-triggered activation for one :class:`TaskController`.
+
+    Replaces the runtime's ``kernel.every(S, controller.activate)`` timer
+    when ``TaskControllerConfig.trigger == "event"``.  Event sources:
+
+    - ``exhaustion-burst`` — the task's CBS server exhausted its budget
+      ``burst_threshold`` times within ``burst_window`` (hooked via
+      ``Server.exhaustion_hook``);
+    - ``deadline-miss`` — a task pid's wake-up→dispatch latency exceeded
+      ``miss_threshold`` (hooked via the kernel's latency hook);
+    - ``confidence-drop`` — the period analyser held an estimate but the
+      recompute's analysis lost it (checked at each fire; schedules an
+      accelerated retry one refractory later while the drop persists);
+    - ``floor`` — the periodic fallback.
+    """
+
+    CAUSE_ORDER = CONTROLLER_TRIGGER_CAUSES
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        controller: TaskController,
+        config: EventTriggerConfig | None = None,
+        *,
+        server: Server | None = None,
+        pids: frozenset[int] = frozenset(),
+    ) -> None:
+        super().__init__(kernel, config)
+        self.controller = controller
+        self.server = server
+        self.pids = frozenset(pids)
+        self._exhaustions: deque[int] = deque()
+
+    # -- event sources -------------------------------------------------
+    def _attach(self, now: int) -> None:
+        del now
+        cfg = self.config
+        if self.server is not None and cfg.burst_threshold is not None:
+            self.server.exhaustion_hook = self._on_exhaustion
+        if self.pids and cfg.miss_threshold is not None:
+            miss_dispatcher(self.kernel).subscribe(
+                self.pids, cfg.miss_threshold, self._on_miss
+            )
+
+    def _detach(self) -> None:
+        server = self.server
+        if server is not None and server.exhaustion_hook is self._on_exhaustion:
+            server.exhaustion_hook = None
+
+    def _on_exhaustion(self, server: Server, now: int) -> None:
+        """CBS hook: count the exhaustion; a full burst demands a recompute."""
+        del server
+        threshold = self.config.burst_threshold
+        if threshold is None or self.cancelled:
+            return
+        window = self._exhaustions
+        window.append(now)
+        horizon = now - self.config.burst_window
+        while window and window[0] < horizon:
+            window.popleft()
+        if len(window) >= threshold:
+            window.clear()
+            self._request("exhaustion-burst", now)
+
+    def _on_miss(self, proc: Process, latency: int, now: int) -> None:
+        """Latency hook (pre-filtered by the dispatcher): demand a recompute."""
+        del proc, latency
+        self._request("deadline-miss", now)
+
+    # -- recompute -----------------------------------------------------
+    def _recompute(self, now: int, causes: tuple[str, ...]) -> None:
+        del causes
+        self.controller.activate(now)
+        self._check_confidence(now)
+
+    def _check_confidence(self, now: int) -> None:
+        """Lost analyser lock → accelerated retry one refractory later."""
+        if not self.config.confidence_trigger:
+            return
+        controller = self.controller
+        analyser = controller.analyser
+        if analyser is None or not controller.config.use_period_estimate:
+            return
+        if analyser.last_estimate is None:
+            # never locked: the floor cadence is all a cold start gets
+            return
+        history = analyser.history
+        lost = bool(history) and history[-1][0] == now and history[-1][1] is None
+        starved = analyser.n_events < analyser.config.min_events
+        if lost or starved:
+            self._request("confidence-drop", now)
+
+    def _emit(self, now: int, causes: tuple[str, ...]) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.controller_trigger(self.controller.name, now, causes, self.recomputes)
+
+
+class SupervisorEventLoop(_TriggeredLoop):
+    """Event-triggered starvation watchdog for the :class:`Supervisor`.
+
+    Instead of ``supervisor.start_watchdog(kernel, period)``, the
+    watchdog runs when something actually moved the books: a recompute
+    that compressed grants below requests (``compression``) or a
+    departure that freed bandwidth nobody redistributed (``departure``),
+    refractory-limited, with the usual periodic floor.  Install via
+    :meth:`repro.core.supervisor.Supervisor.start_event_watchdog`.
+    """
+
+    CAUSE_ORDER = SUPERVISOR_TRIGGER_CAUSES
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        supervisor: Supervisor,
+        config: EventTriggerConfig | None = None,
+    ) -> None:
+        super().__init__(kernel, config)
+        self.supervisor = supervisor
+        #: cumulative grants repaired by loop-fired watchdog runs
+        self.repairs = 0
+
+    def _attach(self, now: int) -> None:
+        del now
+        self.supervisor.trigger_hook = self._on_signal
+
+    def _detach(self) -> None:
+        if self.supervisor.trigger_hook == self._on_signal:
+            self.supervisor.trigger_hook = None
+
+    def _on_signal(self, signal: str) -> None:
+        """Supervisor hook; the supervisor is clock-free, so stamp here."""
+        self._request(signal, self.kernel.clock)
+
+    def _recompute(self, now: int, causes: tuple[str, ...]) -> None:
+        del causes
+        self.repairs += self.supervisor.watchdog(now)
+
+    def _emit(self, now: int, causes: tuple[str, ...]) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.supervisor_trigger(now, causes, self.repairs)

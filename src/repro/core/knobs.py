@@ -157,6 +157,46 @@ CONTROLLER_KNOBS: dict[str, Knob] = {
         default="hard",
         doc="CBS exhaustion policy",
     ),
+    # -- event-triggered activation (repro.core.events) ----------------
+    "burst_threshold": Knob(
+        name="burst_threshold",
+        kind="int",
+        lo=1,
+        default=3,
+        tune_lo=1,
+        tune_hi=10,
+        doc="event trigger: K budget exhaustions within burst_window fire a recompute",
+    ),
+    "burst_window": Knob(
+        name="burst_window",
+        kind="int",
+        lo=0,
+        lo_open=True,
+        default=250 * MS,
+        tune_lo=50 * MS,
+        tune_hi=1000 * MS,
+        doc="event trigger: sliding window (ns) the exhaustion burst is counted over",
+    ),
+    "refractory": Knob(
+        name="refractory",
+        kind="int",
+        lo=0,
+        lo_open=True,
+        default=50 * MS,
+        tune_lo=10 * MS,
+        tune_hi=200 * MS,
+        doc="event trigger: minimum spacing (ns) between recomputes; events inside it defer to the boundary",
+    ),
+    "fallback_floor": Knob(
+        name="fallback_floor",
+        kind="int",
+        lo=0,
+        lo_open=True,
+        default=400 * MS,
+        tune_lo=100 * MS,
+        tune_hi=1000 * MS,
+        doc="event trigger: periodic fallback (ns) — a recompute always fires within this of the last one",
+    ),
 }
 
 

@@ -185,10 +185,37 @@ class SelfTuningRuntime:
         )
         if self._obs is not None:
             controller._obs = self._obs
-        timer = self.kernel.every(controller_config.sampling_period, controller.activate)
+        timer = self._activation_source(controller, controller_config, server, (proc.pid,))
         task = AdoptedTask(proc=proc, server=server, controller=controller, analyser=analyser, timer=timer)
         self.tasks[proc.pid] = task
         return task
+
+    def _activation_source(
+        self,
+        controller: TaskController,
+        config: TaskControllerConfig,
+        server: Server,
+        pids: Iterable[int],
+    ) -> object:
+        """Arm what drives ``controller.activate``: a periodic kernel
+        timer (the paper's clocked loop) or, with ``trigger="event"``, an
+        :class:`~repro.core.events.EventDrivenLoop` listening to the
+        server's exhaustion bursts and the pids' deadline misses."""
+        if config.trigger == "event":
+            from repro.core.events import EventDrivenLoop
+
+            loop = EventDrivenLoop(
+                self.kernel,
+                controller,
+                config.events,
+                server=server,
+                pids=frozenset(pids),
+            )
+            if self._obs is not None:
+                loop._obs = self._obs
+            loop.start()
+            return loop
+        return self.kernel.every(config.sampling_period, controller.activate)
 
     def adopt_group(
         self,
@@ -275,7 +302,11 @@ class SelfTuningRuntime:
             drain=(lambda now: self.tracer.drain(now)),
             config=controller_config,
         )
-        timer = self.kernel.every(controller_config.sampling_period, controller.activate)
+        if self._obs is not None:
+            controller._obs = self._obs
+        timer = self._activation_source(
+            controller, controller_config, server, (p.pid for p in procs)
+        )
         task = AdoptedTask(
             proc=procs[0], server=server, controller=controller, analyser=analyser, timer=timer
         )

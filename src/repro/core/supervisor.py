@@ -49,6 +49,14 @@ class Supervisor:
     #: supervisor itself stays clock-free); strictly read-only.
     _obs = None
 
+    #: optional observer called as ``trigger_hook(signal)`` with signal
+    #: ``"compression"`` (a recompute granted less than requested) or
+    #: ``"departure"`` (an unregister freed bandwidth); installed by
+    #: :class:`repro.core.events.SupervisorEventLoop`.  None = disabled
+    #: fast path.  The hook may post calendar events but must not call
+    #: back into the supervisor synchronously.
+    trigger_hook = None
+
     def __init__(self, u_lub: float = 0.95, *, capacity: int = 1) -> None:
         if not 0.0 < u_lub <= 1.0:
             raise ValueError(f"u_lub must be in (0, 1], got {u_lub}")
@@ -93,7 +101,10 @@ class Supervisor:
 
     def unregister(self, key: int) -> None:
         """Remove a task controller (frees its bandwidth)."""
-        self._tasks.pop(key, None)
+        if self._tasks.pop(key, None) is not None:
+            hook = self.trigger_hook
+            if hook is not None:
+                hook("departure")
 
     # ------------------------------------------------------------------
     # request handling
@@ -174,6 +185,23 @@ class Supervisor:
         """
         return kernel.every(period, self.watchdog)
 
+    def start_event_watchdog(self, kernel, config=None):
+        """Run the watchdog event-driven instead of on a fixed period.
+
+        Returns the armed :class:`repro.core.events.SupervisorEventLoop`:
+        the watchdog fires after compression episodes and departures
+        (refractory-limited), with ``config.fallback_floor`` as the
+        periodic safety net.  ``config`` defaults to
+        :class:`~repro.core.events.EventTriggerConfig` defaults.
+        """
+        from repro.core.events import SupervisorEventLoop
+
+        loop = SupervisorEventLoop(kernel, self, config)
+        if self._obs is not None:
+            loop._obs = self._obs
+        loop.start()
+        return loop
+
     def total_granted_bandwidth(self) -> float:
         """Σ of granted bandwidths."""
         return sum(r.granted.bandwidth for r in self._tasks.values() if r.granted is not None)
@@ -206,6 +234,10 @@ class Supervisor:
             if r.actuate is not None and r.granted != previous[r.key]:
                 r.actuate(r.granted)
         obs = self._obs
-        if obs is not None:
+        hook = self.trigger_hook
+        if obs is not None or hook is not None:
             granted_total = sum(r.granted.bandwidth for r in active if r.granted is not None)
-            obs.supervisor_recompute(total, granted_total)
+            if obs is not None:
+                obs.supervisor_recompute(total, granted_total)
+            if hook is not None and granted_total < total - 1e-12:
+                hook("compression")

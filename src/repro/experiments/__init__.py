@@ -22,6 +22,7 @@ from types import SimpleNamespace
 
 from repro.experiments import (
     ablations,
+    events,
     fig01,
     fig02,
     fig04,
@@ -63,6 +64,8 @@ REGISTRY = {
     "tab03": tab03,
     # fault-injection sweep (repro.faults): guards on vs off
     "robustness": robustness,
+    # event-driven vs periodic controller activation (repro.core.events)
+    "events-vs-periodic": events,
     # ablations of the design choices the paper's text calls out
     "abl-predictors": _ablation(
         ablations.run_predictors, "Ablation: LFS++ prediction function (quantile/max/avg/EWMA)."

@@ -20,6 +20,7 @@ from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from repro.core.controller import FeedbackLaw, TaskControllerConfig
+from repro.core.events import EventTriggerConfig
 from repro.core.lfs import Lfs, LfsConfig
 from repro.core.lfspp import LfsPlusPlus, LfsPlusPlusConfig
 from repro.core.runtime import SelfTuningRuntime
@@ -173,7 +174,22 @@ def _build_adaptive(spec: ScenarioSpec) -> Kernel:
         kernel.fault_plan = plan
 
     controller_config = TaskControllerConfig(
-        sampling_period=c.sampling_period_ns, use_period_estimate=c.rate_detection
+        sampling_period=c.sampling_period_ns,
+        use_period_estimate=c.rate_detection,
+        trigger=c.trigger,
+        events=(
+            EventTriggerConfig(
+                burst_threshold=c.burst_threshold,
+                burst_window=c.burst_window_ns,
+                refractory=c.refractory_ns,
+                fallback_floor=c.fallback_floor_ns,
+                # the deadline-miss trigger shares the scenario's miss
+                # definition: one threshold for metrics and control alike
+                miss_threshold=spec.miss_threshold_ns,
+            )
+            if c.trigger == "event"
+            else None
+        ),
     )
     for w in spec.workloads:
         period = _effective_period(w)

@@ -308,6 +308,11 @@ _CONTROLLER_KEYS = (
     "boost_threshold",
     "rate_detection",
     "u_lub",
+    "trigger",
+    "burst_threshold",
+    "burst_window_ms",
+    "refractory_ms",
+    "fallback_floor_ms",
 )
 
 
@@ -329,6 +334,13 @@ class ControllerSpec:
     analyser; off (the default), the reservation period is pinned to the
     workload's declared period — the cheap, fully deterministic setting
     fleet-scale tuning sweeps run at.
+
+    ``trigger = "event"`` switches every adaptive controller from the
+    paper's clocked loop to the event-driven mode of
+    :mod:`repro.core.events` — recompute on exhaustion bursts
+    (``burst_threshold`` within ``burst_window_ms``) and deadline misses
+    (the scenario's ``miss_threshold_ms``), spaced by ``refractory_ms``
+    and floored by ``fallback_floor_ms``.
     """
 
     law: str = "lfspp"
@@ -340,6 +352,12 @@ class ControllerSpec:
     boost_threshold: float = -1.0
     rate_detection: bool = False
     u_lub: float = 0.95
+    #: activation mode: "periodic" (every sampling_period) or "event"
+    trigger: str = "periodic"
+    burst_threshold: int = 3
+    burst_window_ns: int = 250 * MS
+    refractory_ns: int = 50 * MS
+    fallback_floor_ns: int = 400 * MS
 
     def __post_init__(self) -> None:
         """Validate the law and every knob against the registry."""
@@ -358,10 +376,28 @@ class ControllerSpec:
                 self.sampling_period_ns, name="sampling_period_ms"
             )
             CONTROLLER_KNOBS["boost"].validate(self.boost)
+            CONTROLLER_KNOBS["burst_threshold"].validate(self.burst_threshold)
+            CONTROLLER_KNOBS["burst_window"].validate(
+                self.burst_window_ns, name="burst_window_ms"
+            )
+            CONTROLLER_KNOBS["refractory"].validate(self.refractory_ns, name="refractory_ms")
+            CONTROLLER_KNOBS["fallback_floor"].validate(
+                self.fallback_floor_ns, name="fallback_floor_ms"
+            )
         except ValueError as exc:
             raise SpecError(f"controller: {exc}") from None
         if not 0.0 < self.u_lub <= 1.0:
             raise SpecError(f"controller: 'u_lub' must be in (0, 1], got {self.u_lub}")
+        if self.trigger not in ("periodic", "event"):
+            raise SpecError(
+                f"controller: unknown trigger {self.trigger!r}; accepted triggers are "
+                "['periodic', 'event']"
+            )
+        if self.refractory_ns > self.fallback_floor_ns:
+            raise SpecError(
+                f"controller: 'refractory_ms' ({self.refractory_ns} ns) must not exceed "
+                f"'fallback_floor_ms' ({self.fallback_floor_ns} ns)"
+            )
 
     @staticmethod
     def from_dict(table: dict[str, Any]) -> ControllerSpec:
@@ -389,6 +425,17 @@ class ControllerSpec:
             boost_threshold=_float("boost_threshold", -1.0),
             rate_detection=rate,
             u_lub=_float("u_lub", 0.95),
+            trigger=str(table.get("trigger", "periodic")),
+            burst_threshold=_int_field(table, "burst_threshold", 3, "controller"),
+            burst_window_ns=_ms_to_ns(
+                table.get("burst_window_ms", 250.0), "burst_window_ms", "controller"
+            ),
+            refractory_ns=_ms_to_ns(
+                table.get("refractory_ms", 50.0), "refractory_ms", "controller"
+            ),
+            fallback_floor_ns=_ms_to_ns(
+                table.get("fallback_floor_ms", 400.0), "fallback_floor_ms", "controller"
+            ),
         )
 
     def to_jsonable(self) -> dict[str, Any]:
@@ -403,6 +450,11 @@ class ControllerSpec:
             "boost_threshold": self.boost_threshold,
             "rate_detection": self.rate_detection,
             "u_lub": self.u_lub,
+            "trigger": self.trigger,
+            "burst_threshold": self.burst_threshold,
+            "burst_window_ns": self.burst_window_ns,
+            "refractory_ns": self.refractory_ns,
+            "fallback_floor_ns": self.fallback_floor_ns,
         }
 
 

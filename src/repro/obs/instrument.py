@@ -70,6 +70,10 @@ def instrument_runtime(
         if id(task.controller) not in seen:
             seen.add(id(task.controller))
             task.controller._obs = hub
+            # event-driven activation: the timer slot holds an
+            # EventDrivenLoop, which reports its trigger decisions
+            if hasattr(type(task.timer), "_obs"):
+                task.timer._obs = hub
     return hub
 
 

@@ -270,6 +270,29 @@ class Telemetry:
             self.histogram(track, "compression", granted_bw / requested_bw, end)
 
     # ------------------------------------------------------------------
+    # event-driven activation (:mod:`repro.core.events`)
+    # ------------------------------------------------------------------
+    def controller_trigger(
+        self, name: str, now: int, causes: tuple[str, ...], recomputes: int
+    ) -> None:
+        """One event-driven controller recompute and why it fired.
+
+        Instants land on the shared ``controller.trigger`` track (one
+        marker per recompute, named by the merged cause tuple) so a
+        Perfetto view lines the *why* up against the ``ctl/<name>``
+        epochs; the per-controller recompute counter sits next to them.
+        """
+        track = "controller.trigger"
+        self.instant("trigger", "+".join(causes), track, now, controller=name)
+        self.counter(track, f"{name}.recomputes", recomputes, now)
+
+    def supervisor_trigger(self, now: int, causes: tuple[str, ...], repairs: int) -> None:
+        """One event-driven supervisor watchdog run and why it fired."""
+        track = "supervisor.trigger"
+        self.instant("trigger", "+".join(causes), track, now)
+        self.counter(track, "repairs", repairs, now)
+
+    # ------------------------------------------------------------------
     # supervisor
     # ------------------------------------------------------------------
     def supervisor_recompute(self, requested_bw: float, granted_bw: float) -> None:

@@ -115,6 +115,11 @@ class Server:
         self.consumed = 0
         #: number of budget exhaustions since creation
         self.exhaustions = 0
+        #: optional observer called as ``exhaustion_hook(server, now)`` on
+        #: every budget exhaustion (:mod:`repro.core.events` burst
+        #: counting); None = disabled fast path.  The hook may post
+        #: calendar events but must not touch scheduler state.
+        self.exhaustion_hook = None
         self._replenish_handle = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -257,6 +262,9 @@ class CbsScheduler(Scheduler):
         server.exhaustions += 1
         if self._obs is not None:
             self._obs.server_exhausted(server, now)
+        hook = server.exhaustion_hook
+        if hook is not None:
+            hook(server, now)
         Q, T = server.params.budget, server.params.period
         if server.params.policy == "soft":
             # soft CBS: postpone the deadline, recharge, keep running

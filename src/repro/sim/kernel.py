@@ -130,6 +130,12 @@ class Kernel:
         #: after a context switch completes (switch cost already burned);
         #: the golden-trace digests are built on this
         self.switch_hook: Callable[[Process, int], None] | None = None
+        #: optional observer called as ``latency_hook(proc, latency, now)``
+        #: whenever a wake-up→dispatch latency sample is recorded
+        #: (:mod:`repro.core.events` deadline-miss detection); None =
+        #: disabled fast path.  The hook may post calendar events but
+        #: must not touch kernel or scheduler state.
+        self.latency_hook: Callable[[Process, int, int], None] | None = None
         #: exact-class instruction dispatch (hot path of ``_fetch_next``);
         #: instruction subclasses are resolved lazily via the isinstance
         #: ladder in ``_resolve_instr`` and then cached here
@@ -498,8 +504,12 @@ class Kernel:
                     return
             proc.state = running
             if proc.woken_at is not None:
-                proc.sched_latency.add(clock - proc.woken_at)
+                latency = clock - proc.woken_at
+                proc.sched_latency.add(latency)
                 proc.woken_at = None
+                latency_hook = self.latency_hook
+                if latency_hook is not None:
+                    latency_hook(proc, latency, clock)
             segment = proc.segment
             if segment is None:
                 self._fetch_next(proc)

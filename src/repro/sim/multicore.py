@@ -81,8 +81,11 @@ class MultiCoreKernel(Kernel):
             if proc is not None:
                 proc.state = ProcState.RUNNING
                 if proc.woken_at is not None:
-                    proc.sched_latency.add(self.clock - proc.woken_at)
+                    latency = self.clock - proc.woken_at
+                    proc.sched_latency.add(latency)
                     proc.woken_at = None
+                    if self.latency_hook is not None:
+                        self.latency_hook(proc, latency, self.clock)
 
     def run(self, until: int, *, stop_before_switch: bool = False) -> None:
         """Advance virtual time to ``until`` on every CPU.

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.core.knobs import CONTROLLER_KNOBS
 from repro.fleet.spec import ControllerSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec
 from repro.sim.time import MS
 
@@ -33,9 +34,17 @@ def controller_from_config(config: dict[str, Any]) -> ControllerSpec:
     """Build the :class:`ControllerSpec` a candidate configuration denotes.
 
     Recognised keys are the registered knob names (``spread``,
-    ``window``, ``quantile``, ``sampling_period``, ``boost``); anything
-    the configuration leaves out keeps the spec default.  Values are
-    validated by ``ControllerSpec`` itself against the knob registry.
+    ``window``, ``quantile``, ``sampling_period``, ``boost``, plus the
+    event-trigger knobs ``burst_threshold``, ``burst_window``,
+    ``refractory`` and ``fallback_floor``); anything the configuration
+    leaves out keeps the spec default.  Values are validated by
+    ``ControllerSpec`` itself against the knob registry.
+
+    Searching over any event-trigger knob implies the event-driven
+    activation mode: the presence of one of those keys flips the spec
+    to ``trigger="event"``, so a tuning space over e.g.
+    ``burst_threshold`` compares event-mode candidates against each
+    other rather than silently tuning a knob the periodic loop ignores.
     """
     kwargs: dict[str, Any] = {}
     if "spread" in config:
@@ -48,6 +57,29 @@ def controller_from_config(config: dict[str, Any]) -> ControllerSpec:
         kwargs["sampling_period_ns"] = int(config["sampling_period"])
     if "boost" in config:
         kwargs["boost"] = float(config["boost"])
+    event_knobs = False
+    if "burst_threshold" in config:
+        kwargs["burst_threshold"] = int(config["burst_threshold"])
+        event_knobs = True
+    if "burst_window" in config:
+        kwargs["burst_window_ns"] = int(config["burst_window"])
+        event_knobs = True
+    if "refractory" in config:
+        kwargs["refractory_ns"] = int(config["refractory"])
+        event_knobs = True
+    if "fallback_floor" in config:
+        kwargs["fallback_floor_ns"] = int(config["fallback_floor"])
+        event_knobs = True
+    if event_knobs:
+        kwargs["trigger"] = "event"
+        # the search box is a product of per-knob intervals, but the spec
+        # requires refractory <= fallback_floor; clamp rather than raise so
+        # every unit-cube point stays a feasible candidate
+        floor = kwargs.get(
+            "fallback_floor_ns", CONTROLLER_KNOBS["fallback_floor"].default
+        )
+        if kwargs.get("refractory_ns", 0) > floor:
+            kwargs["refractory_ns"] = floor
     return ControllerSpec(**kwargs)
 
 

@@ -25,6 +25,11 @@ from repro.core.knobs import CONTROLLER_KNOBS
 #: knobs included in the knob-derived default space, in search order
 DEFAULT_SPACE_KNOBS = ("spread", "window", "quantile", "sampling_period")
 
+#: the event-trigger knobs, for ``default_space(EVENT_SPACE_KNOBS)``;
+#: searching these implies ``trigger = "event"`` (see
+#: :func:`repro.tune.classes.controller_from_config`)
+EVENT_SPACE_KNOBS = ("burst_threshold", "burst_window", "refractory", "fallback_floor")
+
 #: parameter kinds a space axis may take
 PARAM_KINDS = ("float", "int")
 

@@ -1,0 +1,6 @@
+def should_fire(loop, now):
+    if loop.last_intensity == 0.7:
+        return False
+    return now >= loop.armed_at
+## path: repro/core/events/fx.py
+## expect: DT004 @ 2:7

@@ -1,0 +1,437 @@
+"""Tests for event-triggered feedback activation (:mod:`repro.core.events`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LfsPlusPlus, SelfTuningRuntime
+from repro.core.analyser import AnalyserConfig
+from repro.core.controller import TaskControllerConfig
+from repro.core.events import (
+    CONTROLLER_TRIGGER_CAUSES,
+    EventDrivenLoop,
+    EventTriggerConfig,
+    MissDispatcher,
+    SupervisorEventLoop,
+    miss_dispatcher,
+)
+from repro.core.spectrum import SpectrumConfig
+from repro.core.supervisor import Supervisor
+from repro.sched import RoundRobinScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.time import MS, SEC
+from repro.workloads import PeriodicTaskConfig, periodic_task
+
+ANALYSER = AnalyserConfig(
+    spectrum=SpectrumConfig(f_min=15.0, f_max=100.0, df=0.1), horizon_ns=2 * SEC
+)
+
+#: loop config with every asynchronous source disabled except what a test
+#: injects by hand through ``_request`` / ``_on_exhaustion`` / ``_on_miss``
+QUIET = EventTriggerConfig(
+    burst_threshold=None, miss_threshold=None, confidence_trigger=False
+)
+
+
+class FakeController:
+    """Just enough of a TaskController for EventDrivenLoop mechanics."""
+
+    name = "fake"
+    analyser = None
+
+    def __init__(self):
+        self.activations = []
+
+    def activate(self, now):
+        self.activations.append(now)
+
+
+def make_loop(config=QUIET):
+    kernel = Kernel(RoundRobinScheduler())
+    controller = FakeController()
+    loop = EventDrivenLoop(kernel, controller, config)
+    loop.start(0)
+    return kernel, controller, loop
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        EventTriggerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_threshold": 0},
+            {"burst_window": 0},
+            {"refractory": 0},
+            {"fallback_floor": 0},
+            {"refractory": 100 * MS, "fallback_floor": 50 * MS},
+            {"miss_threshold": 0},
+            {"miss_threshold": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EventTriggerConfig(**kwargs)
+
+    def test_none_disables_sources(self):
+        cfg = EventTriggerConfig(burst_threshold=None, miss_threshold=None)
+        assert cfg.burst_threshold is None
+        assert cfg.miss_threshold is None
+
+    def test_periodic_equivalent_shape(self):
+        cfg = EventTriggerConfig.periodic_equivalent(100 * MS)
+        assert cfg.burst_threshold is None
+        assert cfg.miss_threshold is None
+        assert cfg.confidence_trigger is False
+        assert cfg.refractory == cfg.fallback_floor == 100 * MS
+
+
+class TestFallbackFloor:
+    def test_floor_fires_with_no_events(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=100 * MS,
+                fallback_floor=100 * MS,
+            )
+        )
+        kernel.run(SEC)
+        # the horizon instant itself is not processed: fires at 100..900 ms
+        assert controller.activations == [k * 100 * MS for k in range(1, 10)]
+        assert all(t.causes == ("floor",) for t in loop.triggers)
+        assert loop.cause_counts == {"floor": 9}
+
+    def test_event_resets_the_floor(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=50 * MS,
+                fallback_floor=400 * MS,
+            )
+        )
+        kernel.at(150 * MS, lambda now: loop._request("deadline-miss", now))
+        kernel.run(SEC)
+        # event at 150 ms, then floors every 400 ms from it — not from 0
+        assert controller.activations == [150 * MS, 550 * MS, 950 * MS]
+        assert loop.triggers[0].causes == ("deadline-miss",)
+
+
+class TestRefractory:
+    def test_events_inside_refractory_defer_to_boundary(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=100 * MS,
+                fallback_floor=400 * MS,
+            )
+        )
+        kernel.at(10 * MS, lambda now: loop._request("deadline-miss", now))
+        # a storm right after the first fire: all inside the refractory
+        for t in (11 * MS, 40 * MS, 90 * MS):
+            kernel.at(t, lambda now: loop._request("deadline-miss", now))
+        kernel.run(300 * MS)
+        # one fire at the demand, ONE deferred merge at the boundary
+        assert controller.activations == [10 * MS, 110 * MS]
+        assert loop.recomputes == 2
+
+    def test_sustained_burst_costs_one_recompute_per_refractory(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=100 * MS,
+                fallback_floor=400 * MS,
+            )
+        )
+        for k in range(100):  # an event every 10 ms for a second
+            kernel.at((k + 1) * 10 * MS, lambda now: loop._request("deadline-miss", now))
+        kernel.run(SEC)
+        # 10 ms first demand, then one per 100 ms refractory boundary
+        assert loop.recomputes == 10
+        assert controller.activations[0] == 10 * MS
+        assert all(b - a == 100 * MS for a, b in zip(
+            controller.activations, controller.activations[1:], strict=False
+        ))
+
+
+class TestSameInstantMerge:
+    def test_simultaneous_causes_merge_in_fixed_order(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=50 * MS,
+                fallback_floor=400 * MS,
+            )
+        )
+
+        def both(now):
+            # miss lands first, exhaustion second: the tuple must still be
+            # ordered by CONTROLLER_TRIGGER_CAUSES, not arrival
+            loop._request("deadline-miss", now)
+            loop._request("exhaustion-burst", now)
+
+        kernel.at(70 * MS, both)
+        kernel.run(200 * MS)
+        assert loop.recomputes == 1
+        assert loop.triggers[0].causes == ("exhaustion-burst", "deadline-miss")
+        assert loop.triggers[0].causes == tuple(
+            c for c in CONTROLLER_TRIGGER_CAUSES if c in {"exhaustion-burst", "deadline-miss"}
+        )
+
+    def test_merge_is_deterministic_across_arrival_orders(self):
+        records = []
+        for first, second in (("deadline-miss", "exhaustion-burst"),
+                              ("exhaustion-burst", "deadline-miss")):
+            kernel, _, loop = make_loop(
+                EventTriggerConfig(
+                    burst_threshold=None, miss_threshold=None,
+                    confidence_trigger=False, refractory=50 * MS,
+                    fallback_floor=400 * MS,
+                )
+            )
+            kernel.at(
+                70 * MS,
+                lambda now, a=first, b=second: (loop._request(a, now), loop._request(b, now)),
+            )
+            kernel.run(200 * MS)
+            records.append(loop.triggers[0])
+        assert records[0] == records[1]
+
+
+class TestExhaustionBurst:
+    def test_burst_threshold_counts_within_window(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=3,
+                burst_window=100 * MS,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=10 * MS,
+                fallback_floor=2_000 * MS,
+            )
+        )
+        # two exhaustions, then a long gap: window evicts, no trigger
+        for t in (10 * MS, 20 * MS, 300 * MS, 310 * MS):
+            kernel.at(t, lambda now: loop._on_exhaustion(None, now))
+        # three inside one window: trigger
+        for t in (500 * MS, 530 * MS, 560 * MS):
+            kernel.at(t, lambda now: loop._on_exhaustion(None, now))
+        kernel.run(SEC)
+        burst_fires = [t for t in loop.triggers if "exhaustion-burst" in t.causes]
+        assert len(burst_fires) == 1
+        assert burst_fires[0].now == 560 * MS
+
+    def test_counter_clears_after_firing(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=2,
+                burst_window=SEC,
+                miss_threshold=None,
+                confidence_trigger=False,
+                refractory=10 * MS,
+                fallback_floor=10 * SEC,
+            )
+        )
+        for t in (100 * MS, 110 * MS, 120 * MS):
+            kernel.at(t, lambda now: loop._on_exhaustion(None, now))
+        kernel.run(SEC)
+        # 2 fire a burst, the leftover third must not fire alone
+        assert sum(1 for t in loop.triggers if "exhaustion-burst" in t.causes) == 1
+
+
+class TestCancel:
+    def test_cancel_stops_fires_and_detaches(self):
+        kernel, controller, loop = make_loop(
+            EventTriggerConfig(
+                burst_threshold=None, miss_threshold=None,
+                confidence_trigger=False, refractory=100 * MS,
+                fallback_floor=100 * MS,
+            )
+        )
+        kernel.at(250 * MS, lambda now: loop.cancel())
+        kernel.run(SEC)
+        assert controller.activations == [100 * MS, 200 * MS]
+        assert loop.cancelled
+
+
+class TestMissDispatcher:
+    class _P:
+        def __init__(self, pid):
+            self.pid = pid
+
+    def test_filters_by_pid_and_threshold(self):
+        d = MissDispatcher()
+        got = []
+        d.subscribe(frozenset({1}), 10 * MS, lambda p, l, n: got.append((p.pid, l, n)))
+        d(self._P(1), 5 * MS, 100)     # below threshold
+        d(self._P(2), 20 * MS, 200)    # wrong pid
+        d(self._P(1), 20 * MS, 300)    # delivered
+        assert got == [(1, 20 * MS, 300)]
+
+    def test_chains_previous_hook(self):
+        prev = []
+        d = MissDispatcher(lambda p, l, n: prev.append(n))
+        d.subscribe(frozenset({1}), 10 * MS, lambda p, l, n: None)
+        d(self._P(9), 1, 42)
+        assert prev == [42]
+
+    def test_installed_once_per_kernel(self):
+        kernel = Kernel(RoundRobinScheduler())
+        d1 = miss_dispatcher(kernel)
+        d2 = miss_dispatcher(kernel)
+        assert d1 is d2
+        assert kernel.latency_hook is d1
+
+
+class TestSupervisorLoop:
+    def test_compression_triggers_watchdog(self):
+        kernel = Kernel(RoundRobinScheduler())
+        supervisor = Supervisor()
+        loop = SupervisorEventLoop(
+            kernel,
+            supervisor,
+            EventTriggerConfig(
+                burst_threshold=None, miss_threshold=None,
+                confidence_trigger=False, refractory=10 * MS,
+                fallback_floor=10 * SEC,
+            ),
+        )
+        loop.start(0)
+        from repro.core.lfspp import BandwidthRequest
+
+        keys = [supervisor.register() for _ in range(3)]
+
+        def overload(now):
+            for key in keys:
+                supervisor.submit(key, BandwidthRequest(budget=40 * MS, period=100 * MS))
+
+        kernel.at(100 * MS, overload)
+        kernel.run(SEC)
+        # 3 x 0.4 > u_lub: the recompute compressed, the hook fired, the
+        # loop ran the watchdog at the next calendar instant
+        compression = [t for t in loop.triggers if "compression" in t.causes]
+        assert compression
+        assert compression[0].now >= 100 * MS
+
+    def test_departure_triggers_watchdog(self):
+        kernel = Kernel(RoundRobinScheduler())
+        supervisor = Supervisor()
+        loop = SupervisorEventLoop(
+            kernel,
+            supervisor,
+            EventTriggerConfig(
+                burst_threshold=None, miss_threshold=None,
+                confidence_trigger=False, refractory=10 * MS,
+                fallback_floor=10 * SEC,
+            ),
+        )
+        loop.start(0)
+        from repro.core.lfspp import BandwidthRequest
+
+        key = supervisor.register()
+        supervisor.submit(key, BandwidthRequest(budget=10 * MS, period=100 * MS))
+        kernel.at(200 * MS, lambda now: supervisor.unregister(key))
+        kernel.run(SEC)
+        departures = [t for t in loop.triggers if "departure" in t.causes]
+        assert len(departures) == 1
+
+    def test_floor_runs_watchdog_when_quiet(self):
+        kernel = Kernel(RoundRobinScheduler())
+        supervisor = Supervisor()
+        loop = supervisor.start_event_watchdog(
+            kernel,
+            EventTriggerConfig(
+                burst_threshold=None, miss_threshold=None,
+                confidence_trigger=False, refractory=100 * MS,
+                fallback_floor=250 * MS,
+            ),
+        )
+        kernel.run(SEC)
+        assert [t.now for t in loop.triggers] == [250 * MS, 500 * MS, 750 * MS]
+        assert all(t.causes == ("floor",) for t in loop.triggers)
+
+
+def _switch_trace(trigger, events_config, seed, sampling):
+    """One short adaptive run; returns the full context-switch trace."""
+    rt = SelfTuningRuntime()
+    proc = rt.spawn(
+        "periodic",
+        periodic_task(PeriodicTaskConfig(cost=3 * MS, period=40 * MS, seed=seed)),
+    )
+    rt.spawn(
+        "rival",
+        periodic_task(PeriodicTaskConfig(cost=2 * MS, period=25 * MS, seed=seed + 1)),
+    )
+    switches = []
+    rt.kernel.switch_hook = lambda p, now: switches.append((p.pid if p else -1, now))
+    rt.adopt(
+        proc,
+        feedback=LfsPlusPlus(),
+        controller_config=TaskControllerConfig(
+            sampling_period=sampling, trigger=trigger, events=events_config
+        ),
+        analyser_config=ANALYSER,
+    )
+    rt.run(3 * SEC)
+    return switches
+
+
+class TestPeriodicEquivalence:
+    """Event mode with every source disabled and floor = S IS the paper's loop."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        sampling_ms=st.sampled_from([60, 100, 150, 250]),
+    )
+    def test_degenerate_event_config_is_trace_identical_to_periodic(
+        self, seed, sampling_ms
+    ):
+        sampling = sampling_ms * MS
+        periodic = _switch_trace("periodic", None, seed, sampling)
+        degenerate = _switch_trace(
+            "event", EventTriggerConfig.periodic_equivalent(sampling), seed, sampling
+        )
+        assert periodic == degenerate
+
+    def test_default_event_config_diverges_from_periodic(self):
+        # sanity check that the property above is not vacuous: with the
+        # real event sources armed the schedule is NOT the periodic one
+        periodic = _switch_trace("periodic", None, 7, 100 * MS)
+        event = _switch_trace("event", EventTriggerConfig(), 7, 100 * MS)
+        assert periodic != event
+
+
+class TestRuntimeIntegration:
+    def test_adopt_event_mode_installs_loop(self):
+        rt = SelfTuningRuntime()
+        proc = rt.spawn(
+            "p", periodic_task(PeriodicTaskConfig(cost=3 * MS, period=40 * MS, seed=3))
+        )
+        task = rt.adopt(
+            proc,
+            feedback=LfsPlusPlus(),
+            controller_config=TaskControllerConfig(
+                sampling_period=100 * MS, trigger="event", events=EventTriggerConfig()
+            ),
+            analyser_config=ANALYSER,
+        )
+        assert isinstance(task.timer, EventDrivenLoop)
+        assert task.server.exhaustion_hook is not None
+        rt.run(2 * SEC)
+        assert task.timer.recomputes > 0
+        assert task.controller.activations == task.timer.recomputes
+
+    def test_trigger_mode_validated(self):
+        with pytest.raises(ValueError):
+            TaskControllerConfig(trigger="sometimes")

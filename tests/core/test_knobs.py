@@ -24,6 +24,10 @@ class TestRegistryConsistency:
             "max_bandwidth",
             "boost",
             "policy",
+            "burst_threshold",
+            "burst_window",
+            "refractory",
+            "fallback_floor",
         }
 
     @pytest.mark.parametrize("name", sorted(CONTROLLER_KNOBS))

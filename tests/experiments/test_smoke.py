@@ -29,6 +29,7 @@ class TestRegistry:
             "fig13",
             "tab03",
             "robustness",
+            "events-vs-periodic",
         }
         ablations_ = {
             "abl-predictors",

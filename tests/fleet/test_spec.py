@@ -248,3 +248,57 @@ class TestControllerSpec:
             scenario_from_toml(
                 ADAPTIVE_SCENARIO + '\n[scheduler]\nkind = "edf"\n'
             )
+
+
+EVENT_SCENARIO = ADAPTIVE_SCENARIO.replace(
+    "[controller]",
+    '[controller]\ntrigger = "event"\nburst_threshold = 2\n'
+    "burst_window_ms = 200.0\nrefractory_ms = 40.0\nfallback_floor_ms = 300.0",
+)
+
+
+class TestEventTriggerSpec:
+    def test_parse_and_round_trip(self):
+        spec = scenario_from_toml(EVENT_SCENARIO)
+        c = spec.controller
+        assert c.trigger == "event"
+        assert c.burst_threshold == 2
+        assert c.burst_window_ns == 200_000_000
+        assert c.refractory_ns == 40_000_000
+        assert c.fallback_floor_ns == 300_000_000
+        doc = spec.to_jsonable()["controller"]
+        assert doc["trigger"] == "event"
+        assert doc["burst_window_ns"] == 200_000_000
+        assert spec.spec_hash() == scenario_from_toml(EVENT_SCENARIO).spec_hash()
+
+    def test_default_trigger_is_periodic(self):
+        assert scenario_from_toml(ADAPTIVE_SCENARIO).controller.trigger == "periodic"
+
+    def test_trigger_enters_the_content_hash(self):
+        periodic = scenario_from_toml(ADAPTIVE_SCENARIO)
+        event = scenario_from_toml(
+            ADAPTIVE_SCENARIO.replace("[controller]", '[controller]\ntrigger = "event"')
+        )
+        assert periodic.spec_hash() != event.spec_hash()
+
+    def test_unknown_trigger_lists_alternatives(self):
+        with pytest.raises(SpecError, match=r"trigger.*periodic.*event"):
+            scenario_from_toml(
+                EVENT_SCENARIO.replace('trigger = "event"', 'trigger = "hybrid"')
+            )
+
+    def test_event_knobs_validated_through_the_registry(self):
+        with pytest.raises(SpecError, match="burst_threshold"):
+            scenario_from_toml(
+                EVENT_SCENARIO.replace("burst_threshold = 2", "burst_threshold = 0")
+            )
+        with pytest.raises(SpecError, match="refractory"):
+            scenario_from_toml(
+                EVENT_SCENARIO.replace("refractory_ms = 40.0", "refractory_ms = 0.0")
+            )
+
+    def test_refractory_must_not_exceed_floor(self):
+        with pytest.raises(SpecError, match="refractory.*fallback_floor"):
+            scenario_from_toml(
+                EVENT_SCENARIO.replace("refractory_ms = 40.0", "refractory_ms = 400.0")
+            )
