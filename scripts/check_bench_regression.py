@@ -12,7 +12,10 @@ above ``--min-fleet-speedup`` (default 5, the fleet PR's bar), and the
 ``tune`` metric must keep its warm-rerun result-cache speedup at or
 above ``--min-tune-cache-speedup`` (default 2, the tuner PR's bar: a
 cache-served rerun that is not clearly faster than simulating means
-the dedup layer broke).
+the dedup layer broke), and the ``lint`` metric must keep its
+warm-run incremental-cache speedup at or above
+``--min-lint-cache-speedup`` (default 3) while re-analysing zero
+files on the warm pass.
 
 Timings on shared CI runners are noisy, which is why only *large* drops
 fail and why the summary is written even on success — the trajectory
@@ -35,7 +38,7 @@ import sys
 from pathlib import Path
 
 #: metrics the gate guards; anything else in the report is informational
-GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector", "fleet", "tune")
+GUARDED_METRICS = ("calendar", "sim", "spectrum", "detector", "fleet", "tune", "lint")
 
 #: the fast-forward speedup floor (full-run wall clock / fast-forward
 #: wall clock on the long periodic horizon)
@@ -48,6 +51,11 @@ DEFAULT_MIN_FLEET_SPEEDUP = 5.0
 #: the tuner's warm-rerun cache speedup floor (cold wall clock / warm
 #: wall clock when every candidate replays from the result cache)
 DEFAULT_MIN_TUNE_CACHE_SPEEDUP = 2.0
+
+#: the linter's warm-run incremental-cache speedup floor (cold wall
+#: clock / warm wall clock when facts and reports replay from the
+#: on-disk cache; ~24x locally, floored conservatively for CI noise)
+DEFAULT_MIN_LINT_CACHE_SPEEDUP = 3.0
 
 
 def load_micro(path: Path) -> dict[str, dict]:
@@ -65,6 +73,7 @@ def compare(
     min_speedup: float,
     min_fleet_speedup: float = DEFAULT_MIN_FLEET_SPEEDUP,
     min_tune_cache_speedup: float = DEFAULT_MIN_TUNE_CACHE_SPEEDUP,
+    min_lint_cache_speedup: float = DEFAULT_MIN_LINT_CACHE_SPEEDUP,
 ) -> tuple[list[tuple], list[str]]:
     """Returns (table rows, failure messages)."""
     rows: list[tuple] = []
@@ -125,6 +134,21 @@ def compare(
                 f"tune: warm rerun executed {tune['extra']['sims_warm']} "
                 f"sims, expected 0 (result-cache dedup broke)"
             )
+    lint = current.get("lint")
+    if lint is not None:
+        speedup = lint.get("extra", {}).get("cache_speedup")
+        if speedup is None:
+            failures.append("lint: report carries no cache_speedup measurement")
+        elif speedup < min_lint_cache_speedup:
+            failures.append(
+                f"lint: warm-run cache speedup {speedup:.1f}x fell below "
+                f"the {min_lint_cache_speedup:.0f}x floor"
+            )
+        if lint.get("extra", {}).get("analysed_warm", 0) != 0:
+            failures.append(
+                f"lint: warm run analysed {lint['extra']['analysed_warm']} "
+                f"files, expected 0 (incremental cache broke)"
+            )
     return rows, failures
 
 
@@ -161,6 +185,12 @@ def render_markdown(rows: list[tuple], failures: list[str], threshold: float) ->
         if speedup is not None:
             lines.append("")
             lines.append(f"Tune warm-rerun cache speedup: **{speedup:.1f}x** over cold.")
+    lint_row = next((r for r in rows if r[0] == "lint" and r[2] is not None), None)
+    if lint_row is not None:
+        speedup = lint_row[2].get("extra", {}).get("cache_speedup")
+        if speedup is not None:
+            lines.append("")
+            lines.append(f"Lint warm-run cache speedup: **{speedup:.1f}x** over cold.")
     if failures:
         lines.append("")
         lines.append("### Failures")
@@ -196,6 +226,12 @@ def main() -> int:
         default=DEFAULT_MIN_TUNE_CACHE_SPEEDUP,
         help="minimum tuner warm-rerun speedup from the result cache",
     )
+    parser.add_argument(
+        "--min-lint-cache-speedup",
+        type=float,
+        default=DEFAULT_MIN_LINT_CACHE_SPEEDUP,
+        help="minimum linter warm-run speedup from the incremental cache",
+    )
     args = parser.parse_args()
 
     baseline = load_micro(args.baseline)
@@ -207,6 +243,7 @@ def main() -> int:
         args.min_speedup,
         args.min_fleet_speedup,
         args.min_tune_cache_speedup,
+        args.min_lint_cache_speedup,
     )
 
     for name, base, cur, ratio, status in rows:

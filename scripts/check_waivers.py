@@ -1,21 +1,29 @@
 #!/usr/bin/env python
-"""Audit inline lint waivers: every one must carry a reason.
+"""Audit inline lint waivers against the pinned budget.
 
-The linter itself reports reason-less waivers as ``WV001``, but only on
-files it lints; this script walks the given trees (default: ``src``)
-independently so CI fails even if a waiver hides in a file outside the
-lint run's scope.  A waiver is the comment form parsed by
+Two gates, both independent of which files the lint run itself covers:
+
+1. every waiver must carry a reason (the linter reports these as
+   ``WV001`` too, but only on files it lints);
+2. the per-rule, per-file waiver census must equal the budget pinned in
+   ``scripts/waiver_budget.json`` — not just the totals, so a waiver
+   moving between rules or files is as loud as a new one.
+
+A waiver is the comment form parsed by
 :mod:`repro.analysis.lint.waivers`:
 
     # repro: allow[RULE]  -- reason
 
 Usage: ``python scripts/check_waivers.py [paths...]`` from the repo
-root; exits non-zero with one line per offending waiver, and prints a
-summary of the waiver budget either way.
+root; prints the per-rule census table either way and exits non-zero on
+any violation.  ``--update`` rewrites the budget file from the actual
+census instead of failing (review the diff!).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -23,6 +31,8 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.analysis.lint.waivers import Waiver, parse_waivers  # noqa: E402
+
+BUDGET_FILE = REPO / "scripts" / "waiver_budget.json"
 
 
 def collect_waivers(paths: list[Path]) -> list[Waiver]:
@@ -37,23 +47,111 @@ def collect_waivers(paths: list[Path]) -> list[Waiver]:
     return waivers
 
 
+def census_of(waivers: list[Waiver]) -> dict[str, dict[str, int]]:
+    """``{rule: {path: count}}``; a multi-rule waiver counts under each."""
+    census: dict[str, dict[str, int]] = {}
+    for waiver in waivers:
+        for rule in waiver.rules:
+            per_file = census.setdefault(rule, {})
+            per_file[waiver.path] = per_file.get(waiver.path, 0) + 1
+    return census
+
+
+def load_budget(path: Path) -> dict[str, dict[str, int]]:
+    """The pinned census from the budget file (empty if absent)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    rules = data.get("rules", {})
+    return {rule: dict(files) for rule, files in rules.items()}
+
+
+def render_table(census: dict[str, dict[str, int]]) -> str:
+    """Fixed-width per-rule waiver count table."""
+    lines = [f"{'rule':<8} {'waivers':>7}  files"]
+    for rule in sorted(census):
+        per_file = census[rule]
+        total = sum(per_file.values())
+        files = ", ".join(
+            f"{p}({n})" if n > 1 else p for p, n in sorted(per_file.items())
+        )
+        lines.append(f"{rule:<8} {total:>7}  {files}")
+    if len(lines) == 1:
+        lines.append("(no waivers)")
+    return "\n".join(lines)
+
+
+def diff_budget(
+    census: dict[str, dict[str, int]], budget: dict[str, dict[str, int]]
+) -> list[str]:
+    """Human-readable discrepancies between actual census and budget."""
+    problems: list[str] = []
+    for rule in sorted(set(census) | set(budget)):
+        actual = census.get(rule, {})
+        pinned = budget.get(rule, {})
+        for path in sorted(set(actual) | set(pinned)):
+            a, p = actual.get(path, 0), pinned.get(path, 0)
+            if a != p:
+                problems.append(
+                    f"{rule} @ {path}: {a} waiver(s) found, budget pins {p}"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    args = argv if argv is not None else sys.argv[1:]
-    roots = [Path(a).resolve() for a in args] or [REPO / "src"]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", help="trees to scan (default: src)")
+    parser.add_argument(
+        "--budget", type=Path, default=BUDGET_FILE, help="pinned budget JSON"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the budget file from the actual census and exit 0",
+    )
+    args = parser.parse_args(argv)
+    roots = [Path(a).resolve() for a in args.paths] or [REPO / "src"]
     for root in roots:
         if not root.exists():
             print(f"error: no such path: {root}", file=sys.stderr)
             return 2
     waivers = collect_waivers(roots)
+    census = census_of(waivers)
+    print(render_table(census))
+
+    failed = False
     reasonless = [w for w in waivers if not w.reason]
     for w in reasonless:
+        failed = True
         print(
             f"{w.path}:{w.line}: waiver for {', '.join(w.rules)} has no "
             f"reason; write `# repro: allow[RULE]  -- why`"
         )
-    print(f"waiver budget: {len(waivers)} waiver(s), {len(reasonless)} without a reason")
-    return 1 if reasonless else 0
+
+    if args.update:
+        data = {}
+        if args.budget.exists():
+            data = json.loads(args.budget.read_text(encoding="utf-8"))
+        data["rules"] = {
+            rule: dict(sorted(files.items())) for rule, files in sorted(census.items())
+        }
+        args.budget.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+        print(f"budget rewritten: {args.budget}")
+    else:
+        problems = diff_budget(census, load_budget(args.budget))
+        for problem in problems:
+            failed = True
+            print(problem)
+        if problems:
+            print(
+                "census disagrees with scripts/waiver_budget.json; if the "
+                "change is intentional run: python scripts/check_waivers.py --update"
+            )
+
+    total = sum(sum(f.values()) for f in census.values())
+    print(f"waiver budget: {total} waiver(s), {len(reasonless)} without a reason")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,84 @@ from collections.abc import Iterator
 #: of these is already sanitised when it reaches the clock API.
 INT_SANITISERS = frozenset({"int", "round", "len", "from_seconds", "from_millis", "from_micros"})
 
+#: ``try`` statements, including PEP 654 ``try/except*`` on 3.11+.  Use
+#: this instead of ``ast.Try`` in isinstance checks so exception-group
+#: handlers are traversed rather than silently falling through.
+TRY_NODES: tuple[type[ast.AST], ...] = (
+    (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+)
+
+#: PEP 695 ``type X = ...`` statements (3.12+); empty tuple on older
+#: interpreters so ``isinstance(node, TYPE_ALIAS_NODES)`` is just False.
+TYPE_ALIAS_NODES: tuple[type[ast.AST], ...] = (
+    (ast.TypeAlias,) if hasattr(ast, "TypeAlias") else ()  # type: ignore[attr-defined]
+)
+
+
+def is_type_alias(node: ast.AST) -> bool:
+    """Whether ``node`` is a PEP 695 ``type X = ...`` statement."""
+    return bool(TYPE_ALIAS_NODES) and isinstance(node, TYPE_ALIAS_NODES)
+
+
+def iter_child_nodes_compat(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.iter_child_nodes`` that is safe on 3.12 node kinds.
+
+    Two differences from the stdlib helper:
+
+    - PEP 695 type-alias statements are yielded as opaque leaves — their
+      value subtree is a *type expression*, not runtime code, so walking
+      into it would make rules report on annotations;
+    - ``try/except*`` handlers are traversed explicitly, so a walker
+      written against ``ast.Try`` still sees code inside exception-group
+      handlers instead of skipping the statement wholesale.
+    """
+    if is_type_alias(node):
+        return
+    if isinstance(node, TRY_NODES):
+        for stmt in (
+            *getattr(node, "body", ()),
+            *getattr(node, "handlers", ()),
+            *getattr(node, "orelse", ()),
+            *getattr(node, "finalbody", ()),
+        ):
+            yield stmt
+        return
+    yield from ast.iter_child_nodes(node)
+
+
+def iter_scoped_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, enclosing_class, def_node)`` for every function.
+
+    Qualified names join enclosing class and function names with dots
+    (``Kernel.run``, ``outer.inner``), matching the ids the call-graph
+    extraction assigns, so rules can look a def node's effect summary up
+    directly.  Traversal uses :func:`iter_child_nodes_compat`, so defs
+    inside ``except*`` handlers are found and PEP 695 aliases skipped.
+    """
+
+    def visit(
+        node: ast.stmt, class_stack: tuple[str, ...], func_stack: tuple[str, ...]
+    ) -> Iterator[tuple[str, str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                yield from visit(stmt, (*class_stack, node.name), func_stack)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = ".".join((*class_stack, *func_stack, node.name))
+            owner = class_stack[-1] if class_stack else ""
+            yield qual, owner, node
+            for stmt in node.body:
+                yield from visit(stmt, class_stack, (*func_stack, node.name))
+            return
+        for child in iter_child_nodes_compat(node):
+            if isinstance(child, ast.stmt):
+                yield from visit(child, class_stack, func_stack)
+
+    for stmt in tree.body:
+        yield from visit(stmt, (), ())
+
 
 def import_aliases(tree: ast.Module) -> dict[str, str]:
     """Map every imported local name to its canonical dotted path."""

@@ -1,0 +1,212 @@
+"""Incremental analysis cache for warm ``repro-exp lint`` runs.
+
+The interprocedural pre-pass makes lint runs project-shaped: every file
+is parsed, facts are extracted, and effects are propagated before any
+rule fires.  This cache makes warm runs re-analyse only what changed,
+with two layers keyed by content digests (never by mtime):
+
+- **facts layer** — per-module
+  :class:`~repro.analysis.lint.callgraph.ModuleFacts`, keyed by the
+  file's source digest.  An unchanged file contributes its cached facts
+  without being re-parsed; the project graph is then recombined from
+  all facts (combination is cheap, extraction is not).
+- **report layer** — per-file diagnostics and waivers, keyed by the
+  file digest *plus* the combined facts digest of the whole project
+  *plus* the rule-config key.  An edit that changes no cross-file facts
+  re-runs rules only on the edited file; an edit that shifts project
+  facts (a new class, a changed call edge) invalidates every report,
+  as soundness demands.
+
+Both layers are invalidated wholesale when the lint package's own
+source digest changes — a rule edit must never serve stale findings.
+Writes are atomic (``tempfile`` + ``os.replace``) so interrupted runs
+leave the previous cache intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.lint.callgraph import ModuleFacts
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.waivers import Waiver
+
+#: Bump to discard caches whose layout this module no longer reads.
+CACHE_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    """Content digest of one source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def lint_package_digest() -> str:
+    """Digest of the lint package's own sources (rules included).
+
+    Any change to the analyzer invalidates everything it ever cached.
+    """
+    root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for file in sorted(root.rglob("*.py")):
+        digest.update(file.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(file.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def facts_digest(modules: list[ModuleFacts]) -> str:
+    """Digest of the combined project facts (the report layer's key).
+
+    Computed from the extracted facts rather than the raw sources, so
+    comment-only or docstring-only edits to *other* files do not
+    invalidate a file's cached report.
+    """
+    payload = json.dumps(
+        [m.to_json() for m in sorted(modules, key=lambda m: m.path)],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _waiver_to_json(waiver: Waiver) -> dict[str, Any]:
+    return {
+        "path": waiver.path,
+        "line": waiver.line,
+        "rules": list(waiver.rules),
+        "reason": waiver.reason,
+        "own_line": waiver.own_line,
+    }
+
+
+def _waiver_from_json(raw: dict[str, Any]) -> Waiver:
+    return Waiver(
+        path=raw["path"],
+        line=raw["line"],
+        rules=tuple(raw["rules"]),
+        reason=raw["reason"],
+        own_line=raw["own_line"],
+    )
+
+
+def _diag_from_json(raw: dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        rule=raw["rule"],
+        severity=Severity(raw["severity"]),
+        path=raw["path"],
+        line=raw["line"],
+        col=raw["col"],
+        message=raw["message"],
+        end_line=raw["end_line"],
+        end_col=raw["end_col"],
+        waived=raw["waived"],
+        waiver_reason=raw["waiver_reason"],
+    )
+
+
+class AnalysisCache:
+    """On-disk two-layer cache, loaded once per lint run.
+
+    Usage: construct with a directory, query ``facts_for`` /
+    ``report_for`` during the run, record fresh results with
+    ``store_facts`` / ``store_report``, then :meth:`save`.  ``save``
+    keeps only the entries touched this run, so the cache tracks the
+    current file set instead of accreting dead digests.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.path = Path(directory) / "lint-cache.json"
+        self._engine_key = f"{CACHE_VERSION}:{lint_package_digest()}"
+        self._facts: dict[str, dict[str, Any]] = {}
+        self._reports: dict[str, dict[str, Any]] = {}
+        self._live_facts: set[str] = set()
+        self._live_reports: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if data.get("engine") != self._engine_key:
+            return  # analyzer changed: discard everything
+        facts = data.get("facts")
+        reports = data.get("reports")
+        if isinstance(facts, dict):
+            self._facts = facts
+        if isinstance(reports, dict):
+            self._reports = reports
+
+    # -- facts layer -----------------------------------------------------
+    def facts_for(self, file_digest: str) -> ModuleFacts | None:
+        """Cached facts for a source digest, if present."""
+        raw = self._facts.get(file_digest)
+        if raw is None:
+            return None
+        self._live_facts.add(file_digest)
+        try:
+            return ModuleFacts.from_json(raw)
+        except (KeyError, TypeError):  # pragma: no cover - corrupt entry
+            return None
+
+    def store_facts(self, file_digest: str, facts: ModuleFacts) -> None:
+        """Record freshly extracted facts."""
+        self._facts[file_digest] = facts.to_json()
+        self._live_facts.add(file_digest)
+
+    # -- report layer ----------------------------------------------------
+    def report_for(
+        self, key: str
+    ) -> tuple[list[Diagnostic], list[Waiver]] | None:
+        """Cached per-file diagnostics and waivers, if present."""
+        raw = self._reports.get(key)
+        if raw is None:
+            return None
+        self._live_reports.add(key)
+        try:
+            diags = [_diag_from_json(d) for d in raw["diagnostics"]]
+            waivers = [_waiver_from_json(w) for w in raw["waivers"]]
+        except (KeyError, TypeError, ValueError):  # pragma: no cover
+            return None
+        return diags, waivers
+
+    def store_report(
+        self, key: str, diagnostics: list[Diagnostic], waivers: list[Waiver]
+    ) -> None:
+        """Record one file's post-waiver diagnostics for reuse."""
+        self._reports[key] = {
+            "diagnostics": [d.to_json() for d in diagnostics],
+            "waivers": [_waiver_to_json(w) for w in waivers],
+        }
+        self._live_reports.add(key)
+
+    # -- persistence -----------------------------------------------------
+    def save(self) -> None:
+        """Atomically persist the entries touched by this run."""
+        payload = {
+            "engine": self._engine_key,
+            "facts": {k: v for k, v in self._facts.items() if k in self._live_facts},
+            "reports": {
+                k: v for k, v in self._reports.items() if k in self._live_reports
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except BaseException:  # pragma: no cover - crash safety
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

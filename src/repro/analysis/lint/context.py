@@ -1,6 +1,12 @@
-"""Cross-file facts the rules need (a cheap whole-project pre-pass).
+"""Cross-file facts the rules need (the whole-project pre-pass).
 
-Three symbol tables are collected before any rule runs:
+The pre-pass extracts per-module :class:`~repro.analysis.lint.callgraph.ModuleFacts`
+(purely syntactic — it never imports the scanned code, so linting stays
+safe on broken or hostile sources) and combines them into a
+:class:`~repro.analysis.lint.callgraph.ProjectGraph`: the project call
+graph, transitive effect summaries, resolved pool-worker set, scheduler
+conformance surfaces and the knob-registry key set.  The classic symbol
+tables ride on top:
 
 - ``slots_classes`` — names of classes whose body assigns ``__slots__``
   (rule SC003 flags monkey-patching these);
@@ -12,8 +18,10 @@ Three symbol tables are collected before any rule runs:
   ``for pid in server.members`` even when the class lives in another
   file.
 
-The pre-pass is purely syntactic: it never imports the scanned code, so
-linting stays safe on broken or hostile sources.
+Because facts are JSON-serialisable and keyed by source digest, the
+incremental cache (:mod:`repro.analysis.lint.cache`) can skip extraction
+for unchanged modules and rebuild the combined context from stored
+facts.
 """
 
 from __future__ import annotations
@@ -21,16 +29,22 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
-from repro.analysis.lint.astutil import annotation_is_set
+from repro.analysis.lint.callgraph import (
+    ModuleFacts,
+    ProjectGraph,
+    combine_facts,
+    extract_module_facts,
+    failed_module_facts,
+)
 
 #: The instruction classes of :mod:`repro.sim.instructions`; seeds the
 #: instruction table so fixtures need not re-declare them.
 INSTRUCTION_SEEDS = frozenset({"Compute", "Syscall", "Fire", "Label", "Instruction"})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ProjectContext:
-    """Symbol tables shared by every rule invocation of one lint run."""
+    """Symbol tables and graph shared by every rule of one lint run."""
 
     slots_classes: frozenset[str] = frozenset()
     instruction_classes: frozenset[str] = INSTRUCTION_SEEDS
@@ -38,84 +52,55 @@ class ProjectContext:
     set_attrs: frozenset[str] = frozenset()
     #: Paths that failed to parse during the pre-pass (reported once).
     unparsed: tuple[str, ...] = ()
+    #: The resolved interprocedural view; ``None`` only for the bare
+    #: default context (rule unit tests), in which case the OB/CC/KN/FF
+    #: packs report nothing.
+    graph: ProjectGraph | None = field(default=None, repr=False)
 
 
-@dataclass
-class _Collector:
-    """Mutable accumulator the pre-pass folds module trees into."""
+def _instruction_closure(modules: list[ModuleFacts]) -> frozenset[str]:
+    closure = set(INSTRUCTION_SEEDS)
+    before = -1
+    while before != len(closure):
+        before = len(closure)
+        for mod in modules:
+            for cls in mod.classes:
+                if set(cls.bases) & closure:
+                    closure.add(cls.name)
+    return frozenset(closure)
 
-    slots_classes: set[str] = field(default_factory=set)
-    instruction_classes: set[str] = field(default_factory=lambda: set(INSTRUCTION_SEEDS))
-    set_attrs: set[str] = field(default_factory=set)
-    unparsed: list[str] = field(default_factory=list)
 
-    def _add_set_attrs(self, tree: ast.Module) -> None:
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.AnnAssign):
-                continue
-            if not annotation_is_set(node.annotation):
-                continue
-            # instance attribute (`self.x: set[int] = ...`) or a class-body
-            # declaration (`members: set[int]`): both name a set-typed slot.
-            if isinstance(node.target, ast.Attribute):
-                self.set_attrs.add(node.target.attr)
-
-    def add_tree(self, tree: ast.Module) -> None:
-        """Fold one module's classes and set-typed attributes in."""
-        self._add_set_attrs(tree)
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            for stmt in node.body:
-                if (
-                    isinstance(stmt, ast.AnnAssign)
-                    and isinstance(stmt.target, ast.Name)
-                    and annotation_is_set(stmt.annotation)
-                ):
-                    self.set_attrs.add(stmt.target.id)
-            base_names = {
-                base.id if isinstance(base, ast.Name) else base.attr
-                for base in node.bases
-                if isinstance(base, (ast.Name, ast.Attribute))
-            }
-            if base_names & self.instruction_classes:
-                self.instruction_classes.add(node.name)
-            for stmt in node.body:
-                targets: list[ast.expr] = []
-                if isinstance(stmt, ast.Assign):
-                    targets = stmt.targets
-                elif isinstance(stmt, ast.AnnAssign):
-                    targets = [stmt.target]
-                if any(isinstance(t, ast.Name) and t.id == "__slots__" for t in targets):
-                    self.slots_classes.add(node.name)
-
-    def freeze(self) -> ProjectContext:
-        """Snapshot the accumulator into an immutable context."""
-        return ProjectContext(
-            slots_classes=frozenset(self.slots_classes),
-            instruction_classes=frozenset(self.instruction_classes),
-            set_attrs=frozenset(self.set_attrs),
-            unparsed=tuple(self.unparsed),
-        )
+def build_context_from_facts(modules: list[ModuleFacts]) -> ProjectContext:
+    """Combine extracted (or cache-restored) facts into a context."""
+    slots: set[str] = set()
+    set_attrs: set[str] = set()
+    unparsed: list[str] = []
+    for mod in modules:
+        if mod.parse_failed:
+            unparsed.append(mod.path)
+        set_attrs.update(mod.set_attrs)
+        slots.update(cls.name for cls in mod.classes if cls.has_slots)
+    return ProjectContext(
+        slots_classes=frozenset(slots),
+        instruction_classes=_instruction_closure(modules),
+        set_attrs=frozenset(set_attrs),
+        unparsed=tuple(sorted(unparsed)),
+        graph=combine_facts(modules),
+    )
 
 
 def build_context(sources: dict[str, str]) -> ProjectContext:
     """Fold ``{path: source}`` into a :class:`ProjectContext`.
 
-    Instruction-class collection iterates to a fixed point so a chain of
-    subclasses spread over several files still resolves (two passes
-    suffice per level of the chain; realistic depth is tiny).
+    Extraction is per-module; combination (including the instruction
+    fixed point and effect propagation) happens once over all facts.
     """
-    collector = _Collector()
-    trees: list[ast.Module] = []
+    modules: list[ModuleFacts] = []
     for path, source in sources.items():
         try:
-            trees.append(ast.parse(source, filename=path))
+            tree = ast.parse(source, filename=path)
         except (SyntaxError, ValueError):
-            collector.unparsed.append(path)
-    before = -1
-    while before != len(collector.instruction_classes):
-        before = len(collector.instruction_classes)
-        for tree in trees:
-            collector.add_tree(tree)
-    return collector.freeze()
+            modules.append(failed_module_facts(path))
+            continue
+        modules.append(extract_module_facts(path, tree))
+    return build_context_from_facts(modules)

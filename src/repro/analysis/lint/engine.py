@@ -12,13 +12,20 @@ shrink, never silently rot.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Sequence
 from typing import Any
 
-from repro.analysis.lint.context import ProjectContext, build_context
+from repro.analysis.lint.cache import AnalysisCache, facts_digest, source_digest
+from repro.analysis.lint.callgraph import (
+    ModuleFacts,
+    extract_module_facts,
+    failed_module_facts,
+)
+from repro.analysis.lint.context import ProjectContext, build_context_from_facts
 from repro.analysis.lint.diagnostics import Diagnostic, Severity
 from repro.analysis.lint.rules import RULES, ParsedModule, Rule
 from repro.analysis.lint.waivers import Waiver, parse_waivers
@@ -50,6 +57,13 @@ DEFAULT_SCOPE: dict[str, tuple[str, ...]] = {
     # digest construction only: elsewhere dict views are insertion-ordered
     # and deterministic, but a digest must be canonical across histories
     "DT006": ("repro/sim/cycles", "repro/fleet/summary"),
+    # the telemetry read-only theorem applies where `_obs` hook sites
+    # live: the sim kernel, the schedulers, the runtime/controller/
+    # supervisor/daemon stack, the fault harness and the trace recorder.
+    # repro/obs/ itself is exempt: the hub mutating its own sinks is the
+    # point, and effect extraction already discounts it.
+    "OB001": ("repro/sim/", "repro/sched/", "repro/core/", "repro/faults/", "repro/tracer/"),
+    "OB002": ("repro/sim/", "repro/sched/", "repro/core/", "repro/faults/", "repro/tracer/"),
 }
 
 #: Waiver-audit pseudo-rules (engine-level; they have no ``check``).
@@ -76,6 +90,10 @@ class LintReport:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     waivers: list[Waiver] = field(default_factory=list)
     files: int = 0
+    #: Files whose rules actually executed this run.
+    analysed: int = 0
+    #: Files served verbatim from the incremental cache's report layer.
+    cached: int = 0
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -99,11 +117,18 @@ class LintReport:
         return strict and bool(self.warnings)
 
     def to_json(self) -> dict[str, Any]:
-        """Machine-readable report (schema v1, see docs/static-analysis.md)."""
+        """Machine-readable report (schema v2, see docs/static-analysis.md).
+
+        v2 adds the incremental-analysis counters ``analysed`` and
+        ``cached`` to both the top level and the summary block; the v1
+        fields are unchanged.
+        """
         return {
-            "version": 1,
+            "version": 2,
             "tool": "repro.analysis.lint",
             "files": self.files,
+            "analysed": self.analysed,
+            "cached": self.cached,
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "waivers": [
                 {
@@ -119,6 +144,8 @@ class LintReport:
                 "warnings": len(self.warnings),
                 "waived": len(self.waived),
                 "files": self.files,
+                "analysed": self.analysed,
+                "cached": self.cached,
             },
         }
 
@@ -127,7 +154,8 @@ class LintReport:
         lines = [d.render() for d in self.diagnostics if not d.waived]
         lines.append(
             f"{self.files} file(s): {len(self.errors)} error(s), "
-            f"{len(self.warnings)} warning(s), {len(self.waived)} waived"
+            f"{len(self.warnings)} warning(s), {len(self.waived)} waived "
+            f"({self.analysed} analysed, {self.cached} from cache)"
         )
         return "\n".join(lines)
 
@@ -162,76 +190,170 @@ def _apply_waivers(
     return out
 
 
+def _config_key(config: LintConfig) -> str:
+    """Digest of the rule selection and engine flags (report-layer key)."""
+    parts = [rule.id for rule in config.rules]
+    parts += [f"scoped={config.scoped}", f"audit={config.audit_waivers}"]
+    payload = ",".join(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _parse_error_diag(path: str, exc: Exception) -> Diagnostic:
+    lineno = getattr(exc, "lineno", 1) or 1
+    offset = (getattr(exc, "offset", 1) or 1) - 1
+    return Diagnostic(
+        rule="E999",
+        severity=Severity.ERROR,
+        path=path,
+        line=lineno,
+        col=offset,
+        message=f"source failed to parse: {exc}",
+    )
+
+
+def _lint_one_file(
+    path: str,
+    source: str,
+    tree: ast.Module | None,
+    config: LintConfig,
+    ctx: ProjectContext,
+) -> tuple[list[Diagnostic], list[Waiver]]:
+    """Run rules + waiver settlement on one parsed file."""
+    file_diags: list[Diagnostic] = []
+    if tree is None:
+        # facts extraction already recorded the failure; re-parse just to
+        # recover the error's message and position for the diagnostic
+        try:
+            ast.parse(source, filename=path)
+        except (SyntaxError, ValueError) as exc:
+            file_diags.append(_parse_error_diag(path, exc))
+        return file_diags, []
+    module = ParsedModule(path=path, source=source, tree=tree)
+    for rule in config.rules:
+        if not _rule_applies(rule.id, path, config):
+            continue
+        file_diags.extend(rule.check(module, ctx))
+    file_diags.sort(key=lambda d: (d.line, d.col, d.rule))
+    waivers = parse_waivers(source, path)
+    used: set[Waiver] = set()
+    file_diags = _apply_waivers(file_diags, waivers, used)
+    if config.audit_waivers:
+        selected_ids = {rule.id for rule in config.rules}
+        for waiver in waivers:
+            if waiver.reason is None:
+                file_diags.append(
+                    Diagnostic(
+                        rule=WV001[0],
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=waiver.line,
+                        col=0,
+                        message=(
+                            "waiver without a reason; write "
+                            "`# repro: allow[RULE]  -- why`"
+                        ),
+                    )
+                )
+            # a waiver for a rule outside the selected set cannot be
+            # judged useless — its rule never ran (--select subsets)
+            judgeable = any(waiver.covers(rid) for rid in selected_ids)
+            if waiver not in used and judgeable:
+                file_diags.append(
+                    Diagnostic(
+                        rule=WV002[0],
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=waiver.line,
+                        col=0,
+                        message=(
+                            f"waiver for {', '.join(waiver.rules)} "
+                            f"suppresses nothing; delete it"
+                        ),
+                    )
+                )
+    return file_diags, list(waivers)
+
+
 def lint_sources(
     sources: dict[str, str],
     *,
     config: LintConfig | None = None,
     ctx: ProjectContext | None = None,
+    cache: AnalysisCache | None = None,
+    restrict: set[str] | None = None,
 ) -> LintReport:
-    """Lint in-memory ``{path: source}`` files (the engine's heart)."""
+    """Lint in-memory ``{path: source}`` files (the engine's heart).
+
+    Two phases.  **Facts**: every file is parsed (or served from the
+    cache's facts layer) so the interprocedural context sees the whole
+    project, ``restrict`` or not.  **Rules**: rules run per file —
+    skipped for files outside ``restrict`` (``--changed-only``), and
+    served from the cache's report layer when the file, the project
+    facts and the rule config all match a previous run.
+    """
     config = config or LintConfig()
-    if ctx is None:
-        ctx = build_context(sources)
-    report = LintReport(files=len(sources))
+    report = LintReport()
+
+    # Phase 1: per-module facts (cache-aware) + cross-file context.
+    digests: dict[str, str] = {}
+    trees: dict[str, ast.Module | None] = {}
+    facts: list[ModuleFacts] = []
     for path, source in sources.items():
-        try:
-            tree = ast.parse(source, filename=path)
-        except (SyntaxError, ValueError) as exc:
-            lineno = getattr(exc, "lineno", 1) or 1
-            offset = (getattr(exc, "offset", 1) or 1) - 1
-            report.diagnostics.append(
-                Diagnostic(
-                    rule="E999",
-                    severity=Severity.ERROR,
-                    path=path,
-                    line=lineno,
-                    col=offset,
-                    message=f"source failed to parse: {exc}",
-                )
-            )
+        digest = source_digest(source)
+        digests[path] = digest
+        cached_facts = cache.facts_for(digest) if cache is not None else None
+        if cached_facts is not None and cached_facts.path == path:
+            facts.append(cached_facts)
             continue
-        module = ParsedModule(path=path, source=source, tree=tree)
-        file_diags: list[Diagnostic] = []
-        for rule in config.rules:
-            if not _rule_applies(rule.id, path, config):
+        try:
+            tree: ast.Module | None = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError):
+            tree = None
+        trees[path] = tree
+        module_facts = (
+            failed_module_facts(path) if tree is None else extract_module_facts(path, tree)
+        )
+        facts.append(module_facts)
+        if cache is not None:
+            cache.store_facts(digest, module_facts)
+    if ctx is None:
+        ctx = build_context_from_facts(facts)
+
+    # Phase 2: rules per file, report-layer cache consulted first.
+    checked = [p for p in sources if restrict is None or p in restrict]
+    report.files = len(checked)
+    project_key = facts_digest(facts) if cache is not None else ""
+    config_key = _config_key(config) if cache is not None else ""
+    for path in checked:
+        source = sources[path]
+        report_key = ""
+        if cache is not None:
+            raw_key = f"{digests[path]}:{project_key}:{config_key}"
+            report_key = hashlib.sha256(raw_key.encode("utf-8")).hexdigest()
+            hit = cache.report_for(report_key)
+            if hit is not None:
+                file_diags, waivers = hit
+                report.diagnostics.extend(file_diags)
+                report.waivers.extend(waivers)
+                report.cached += 1
                 continue
-            file_diags.extend(rule.check(module, ctx))
-        file_diags.sort(key=lambda d: (d.line, d.col, d.rule))
-        waivers = parse_waivers(source, path)
-        report.waivers.extend(waivers)
-        used: set[Waiver] = set()
-        file_diags = _apply_waivers(file_diags, waivers, used)
+        if path in trees:
+            tree = trees[path]
+        else:
+            # facts came from the cache, so the file was never parsed
+            # this run; parse it now for the rule phase
+            try:
+                tree = ast.parse(source, filename=path)
+            except (SyntaxError, ValueError):
+                tree = None
+        file_diags, waivers = _lint_one_file(path, source, tree, config, ctx)
         report.diagnostics.extend(file_diags)
-        if config.audit_waivers:
-            for waiver in waivers:
-                if waiver.reason is None:
-                    report.diagnostics.append(
-                        Diagnostic(
-                            rule=WV001[0],
-                            severity=Severity.ERROR,
-                            path=path,
-                            line=waiver.line,
-                            col=0,
-                            message=(
-                                "waiver without a reason; write "
-                                "`# repro: allow[RULE]  -- why`"
-                            ),
-                        )
-                    )
-                if waiver not in used:
-                    report.diagnostics.append(
-                        Diagnostic(
-                            rule=WV002[0],
-                            severity=Severity.ERROR,
-                            path=path,
-                            line=waiver.line,
-                            col=0,
-                            message=(
-                                f"waiver for {', '.join(waiver.rules)} "
-                                f"suppresses nothing; delete it"
-                            ),
-                        )
-                    )
+        report.waivers.extend(waivers)
+        report.analysed += 1
+        if cache is not None:
+            cache.store_report(report_key, file_diags, waivers)
+    if cache is not None:
+        cache.save()
     report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return report
 
@@ -280,8 +402,15 @@ def lint_paths(
     paths: Iterable[str | os.PathLike[str]],
     *,
     config: LintConfig | None = None,
+    cache: AnalysisCache | None = None,
+    restrict: set[str] | None = None,
 ) -> LintReport:
-    """Lint files and directories on disk."""
+    """Lint files and directories on disk.
+
+    ``restrict`` entries are matched against the same cwd-relative posix
+    keys the report uses; every discovered file still feeds the
+    cross-file context, restricted or not.
+    """
     files = discover_files(paths)
     cwd = Path.cwd()
     sources: dict[str, str] = {}
@@ -292,4 +421,4 @@ def lint_paths(
         except ValueError:
             key = file.as_posix()
         sources[key] = file.read_text(encoding="utf-8")
-    return lint_sources(sources, config=config)
+    return lint_sources(sources, config=config, cache=cache, restrict=restrict)

@@ -10,6 +10,7 @@ The registry (:data:`RULES`) is the single source of truth: the CLI's
 from __future__ import annotations
 
 import ast
+import fnmatch
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Iterator
 
@@ -57,10 +58,26 @@ class Rule:
 
 
 def _build_registry() -> dict[str, Rule]:
-    from repro.analysis.lint.rules import determinism, multiproc, simcontracts
+    from repro.analysis.lint.rules import (
+        concurrency,
+        determinism,
+        fastforward,
+        knobpack,
+        multiproc,
+        observability,
+        simcontracts,
+    )
 
     registry: dict[str, Rule] = {}
-    for rule in (*determinism.RULES, *simcontracts.RULES, *multiproc.RULES):
+    for rule in (
+        *determinism.RULES,
+        *simcontracts.RULES,
+        *multiproc.RULES,
+        *observability.RULES,
+        *concurrency.RULES,
+        *knobpack.RULES,
+        *fastforward.RULES,
+    ):
         if rule.id in registry:  # pragma: no cover - defensive
             raise ValueError(f"duplicate rule id {rule.id}")
         registry[rule.id] = rule
@@ -72,10 +89,17 @@ RULES: dict[str, Rule] = _build_registry()
 
 
 def select_rules(patterns: Iterable[str] | None) -> list[Rule]:
-    """Resolve ``--select`` patterns (ids or pack prefixes) to rules.
+    """Resolve ``--select`` patterns to rules.
+
+    A pattern is a rule id (``DT001``), a pack prefix (``SC``), or a
+    shell-style glob over rule ids (``CC*``, ``DT00[1-3]``):
 
     >>> [r.id for r in select_rules(["SC"])]
     ['SC001', 'SC002', 'SC003']
+    >>> [r.id for r in select_rules(["CC*"])]
+    ['CC001', 'CC002', 'CC003']
+    >>> [r.id for r in select_rules(["DT00[1-3]"])]
+    ['DT001', 'DT002', 'DT003']
     >>> select_rules(None) == list(RULES.values())
     True
     """
@@ -84,7 +108,10 @@ def select_rules(patterns: Iterable[str] | None) -> list[Rule]:
     chosen: list[Rule] = []
     unknown: list[str] = []
     for pattern in patterns:
-        matches = [r for r in RULES.values() if r.id == pattern or r.pack == pattern]
+        if any(ch in pattern for ch in "*?["):
+            matches = [r for r in RULES.values() if fnmatch.fnmatchcase(r.id, pattern)]
+        else:
+            matches = [r for r in RULES.values() if r.id == pattern or r.pack == pattern]
         if not matches:
             unknown.append(pattern)
         chosen.extend(m for m in matches if m not in chosen)

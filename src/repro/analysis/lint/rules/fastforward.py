@@ -1,0 +1,140 @@
+"""FF pack: scheduler fast-forward conformance (ROADMAP item 4 seed).
+
+Steady-state fast-forward (PR 6) detects schedule cycles through the
+``cycle_state`` / ``shift_times`` / ``cycle_periods`` / ``cycle_counters``
+surface on :class:`repro.sched.base.Scheduler`.  The base class ships
+safe defaults, but *silently* relying on them is how a new scheduler
+ends up fast-forwarding incorrectly: the default ``cycle_state`` returns
+``None`` (never eligible), the default ``shift_times`` shifts nothing.
+A scheduler class must therefore say what it means:
+
+- implement the full surface (like CBS), or
+- declare which methods intentionally rely on the base defaults via
+  ``cycle_defaults_ok = ("shift_times", ...)``, or
+- declare itself out of the mechanism via ``cycle_ineligible = True``.
+
+**FF001** flags a concrete scheduler whose surface is partial with no
+declaration; **FF002** flags declarations that have gone stale (naming
+a method the class now overrides, naming a non-surface method, or an
+``cycle_ineligible`` marker on a class implementing everything).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.callgraph import CYCLE_SURFACE, SchedulerSurface
+from repro.analysis.lint.context import ProjectContext
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import ParsedModule, Rule
+
+
+def _surface_classes(
+    module: ParsedModule, ctx: ProjectContext
+) -> Iterator[tuple[ast.ClassDef, SchedulerSurface]]:
+    """``(class def node, SchedulerSurface)`` for schedulers in this module."""
+    graph = ctx.graph
+    if graph is None:
+        return
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        surface = graph.scheduler_surfaces.get(node.name)
+        if surface is None:
+            continue
+        if surface.path != module.path:
+            continue  # a different class of the same name owns the surface
+        yield node, surface
+
+
+def _check_ff001(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag partial fast-forward surfaces with no explicit declaration."""
+    for node, surface in _surface_classes(module, ctx):
+        if surface.abstract or surface.ineligible:
+            continue
+        covered = surface.defined | surface.declared_defaults
+        missing = [m for m in CYCLE_SURFACE if m not in covered]
+        if missing:
+            yield rule.diagnostic(
+                module,
+                node,
+                f"scheduler `{node.name}` leaves {', '.join(missing)} to the "
+                "base defaults without declaring it; implement the surface, "
+                "add `cycle_defaults_ok = (...)`, or mark the class "
+                "`cycle_ineligible = True`",
+            )
+
+
+def _check_ff002(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag stale or contradictory fast-forward declarations."""
+    graph = ctx.graph
+    if graph is None:
+        return
+    for node, surface in _surface_classes(module, ctx):
+        facts_entry = graph.classes.get(node.name)
+        own_declared: tuple[str, ...] = ()
+        if facts_entry is not None and facts_entry[0].cycle_defaults_ok is not None:
+            own_declared = tuple(facts_entry[0].cycle_defaults_ok)
+        bogus = [m for m in own_declared if m not in CYCLE_SURFACE]
+        if bogus:
+            yield rule.diagnostic(
+                module,
+                node,
+                f"`cycle_defaults_ok` on `{node.name}` names "
+                f"{', '.join(bogus)}, which is not part of the fast-forward "
+                f"surface ({', '.join(CYCLE_SURFACE)})",
+            )
+        stale = [m for m in own_declared if m in surface.own_defined]
+        if stale:
+            yield rule.diagnostic(
+                module,
+                node,
+                f"`cycle_defaults_ok` on `{node.name}` still lists "
+                f"{', '.join(stale)}, which the class now implements; drop "
+                "the stale entries",
+            )
+        if surface.ineligible and set(CYCLE_SURFACE) <= surface.defined:
+            yield rule.diagnostic(
+                module,
+                node,
+                f"`{node.name}` is marked `cycle_ineligible` yet implements "
+                "the full fast-forward surface; remove the marker or the "
+                "implementation",
+            )
+
+
+FF001 = Rule(
+    id="FF001",
+    pack="FF",
+    title="undeclared partial fast-forward surface",
+    severity=Severity.ERROR,
+    rationale=(
+        "A scheduler silently inheriting base-class cycle defaults is "
+        "indistinguishable from one that forgot them; fast-forward then "
+        "quietly never engages (or engages wrongly). The surface must be "
+        "implemented, declared default-reliant, or declared ineligible."
+    ),
+    check=lambda module, ctx: _check_ff001(FF001, module, ctx),
+)
+
+FF002 = Rule(
+    id="FF002",
+    pack="FF",
+    title="stale fast-forward declaration",
+    severity=Severity.WARNING,
+    rationale=(
+        "Declarations are only useful while they are true: entries for "
+        "methods the class now implements, names outside the surface, or "
+        "an ineligibility marker on a fully-implemented scheduler all "
+        "misdescribe the class to the conformance kit."
+    ),
+    check=lambda module, ctx: _check_ff002(FF002, module, ctx),
+)
+
+#: The FF pack, in id order.
+RULES: tuple[Rule, ...] = (FF001, FF002)

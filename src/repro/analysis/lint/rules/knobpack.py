@@ -1,0 +1,155 @@
+"""KN pack: every tunable parameter resolves through the knob registry.
+
+:data:`repro.core.knobs.CONTROLLER_KNOBS` is the single source of truth
+for controller/tuner parameter names, ranges and defaults — the fleet
+spec validators, the tuner's search space and the docs all read it.
+These rules keep it that way:
+
+- **KN001** — a knob key string (registry subscript, ``.get`` call,
+  ``validate_knob`` call, or an entry of a ``*KNOBS*``-named string
+  tuple) that is not a registered knob name.  Catches typos and keys
+  that silently bypass validation.
+- **KN002** — a ``Knob(...)`` constructed outside the registry module:
+  a second place defining parameter ranges is exactly the drift the
+  registry exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.astutil import import_aliases, resolve_dotted
+from repro.analysis.lint.context import ProjectContext
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import ParsedModule, Rule
+
+_REGISTRY_DOTTED = "repro.core.knobs.CONTROLLER_KNOBS"
+_KNOB_DOTTED = "repro.core.knobs.Knob"
+_VALIDATE_DOTTED = "repro.core.knobs.validate_knob"
+
+
+def _is_registry_expr(node: ast.expr, aliases: dict[str, str]) -> bool:
+    if isinstance(node, ast.Name) and node.id == "CONTROLLER_KNOBS":
+        return True
+    return resolve_dotted(node, aliases) == _REGISTRY_DOTTED
+
+
+def _key_nodes(tree: ast.Module, aliases: dict[str, str]) -> Iterator[ast.Constant]:
+    """Every string-constant node used as a knob key in this module."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript) and _is_registry_expr(node.value, aliases):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                yield key
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in {"get", "pop"}
+                and _is_registry_expr(fn.value, aliases)
+                and node.args
+            ):
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    yield first
+            elif (
+                (isinstance(fn, ast.Name) and fn.id == "validate_knob")
+                or resolve_dotted(fn, aliases) == _VALIDATE_DOTTED
+            ) and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    yield first
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None or not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                continue
+            named = any(
+                isinstance(t, ast.Name) and "KNOB" in t.id for t in targets
+            )
+            if not named:
+                continue
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    yield elt
+
+
+def _check_kn001(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag knob key strings absent from the registry."""
+    graph = ctx.graph
+    if graph is None or not graph.knob_keys:
+        return  # registry not in view; nothing to resolve against
+    aliases = import_aliases(module.tree)
+    for key in _key_nodes(module.tree, aliases):
+        name = key.value
+        if name not in graph.knob_keys:
+            known = ", ".join(sorted(graph.knob_keys))
+            yield rule.diagnostic(
+                module,
+                key,
+                f"unknown knob key {name!r}; registered knobs: {known}",
+            )
+
+
+def _check_kn002(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag ``Knob(...)`` constructions outside the registry module."""
+    graph = ctx.graph
+    if graph is None:
+        return
+    facts = graph.modules.get(module.path)
+    if facts is not None and facts.knob_keys:
+        return  # this *is* the registry module
+    aliases = import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        dotted = resolve_dotted(fn, aliases)
+        if dotted == _KNOB_DOTTED or (
+            isinstance(fn, ast.Name)
+            and fn.id == "Knob"
+            and aliases.get("Knob", "").endswith(".Knob")
+        ):
+            yield rule.diagnostic(
+                module,
+                node,
+                "Knob constructed outside repro.core.knobs; parameter ranges "
+                "must live in CONTROLLER_KNOBS so the tuner, validators and "
+                "docs stay in agreement",
+            )
+
+
+KN001 = Rule(
+    id="KN001",
+    pack="KN",
+    title="unknown knob key",
+    severity=Severity.ERROR,
+    rationale=(
+        "A key string that does not resolve in CONTROLLER_KNOBS either "
+        "typos an existing knob (silently reading a default) or invents a "
+        "parameter that bypasses range validation and the tuner's space."
+    ),
+    check=lambda module, ctx: _check_kn001(KN001, module, ctx),
+)
+
+KN002 = Rule(
+    id="KN002",
+    pack="KN",
+    title="parameter range defined outside the registry",
+    severity=Severity.ERROR,
+    rationale=(
+        "Duplicated Knob definitions drift: a range widened in one place "
+        "but not the other makes the tuner explore values the runtime "
+        "rejects (or vice versa). The registry is the only place ranges "
+        "may be spelled."
+    ),
+    check=lambda module, ctx: _check_kn002(KN002, module, ctx),
+)
+
+#: The KN pack, in id order.
+RULES: tuple[Rule, ...] = (KN001, KN002)

@@ -1,0 +1,208 @@
+"""OB pack: telemetry hook sites must be guarded and read-only.
+
+The runtime's invariant (PR 3) is that telemetry is *passive*: with the
+hub detached every ``self._obs`` hook site is skipped, and with it
+attached the simulation trajectory must be byte-identical.  The golden
+digests check this dynamically for the scenarios that happen to run;
+these rules check it statically for every hook site.
+
+- **OB001** — code *inside* an ``_obs`` guard must be write-free: no
+  direct attribute writes (outside the ``_obs*`` namespace the hub
+  owns) and no calls whose transitive effect summary writes sim state.
+  The diagnostic carries the witness call chain.
+- **OB002** — a call on ``self._obs`` (or a local alias of it) outside
+  any ``is not None`` guard: crashes when telemetry is detached.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.astutil import iter_child_nodes_compat, iter_scoped_functions
+from repro.analysis.lint.callgraph import classify_call
+from repro.analysis.lint.context import ProjectContext
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import ParsedModule, Rule
+
+
+def _obs_aliases(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Local names bound to ``self._obs`` (``obs = self._obs`` idiom)."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target, value = node.targets[0], node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Attribute)
+            and value.attr == "_obs"
+        ):
+            names.add(target.id)
+    return names
+
+
+def _is_obs_expr(node: ast.expr, aliases: set[str]) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr == "_obs"
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+def _is_obs_guard(test: ast.expr, aliases: set[str]) -> bool:
+    """``<obs> is not None``, bare ``<obs>`` truthiness, or either
+    conjunct of an ``and``."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        if isinstance(test.ops[0], ast.IsNot):
+            left, right = test.left, test.comparators[0]
+            if isinstance(right, ast.Constant) and right.value is None:
+                return _is_obs_expr(left, aliases)
+    if _is_obs_expr(test, aliases):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_obs_guard(value, aliases) for value in test.values)
+    return False
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+def _check_ob001(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag writes (direct or reachable) inside ``_obs`` guards."""
+    graph = ctx.graph
+    if graph is None:
+        return
+    for qual, owner, fn in iter_scoped_functions(module.tree):
+        aliases = _obs_aliases(fn)
+
+        def check_guarded(
+            node: ast.AST, qual: str = qual, owner: str = owner
+        ) -> Iterator[Diagnostic]:
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Assign, ast.AugAssign, ast.Delete)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, (ast.Assign, ast.Delete))
+                        else [sub.target]
+                    )
+                    for target in targets:
+                        attr = target
+                        if isinstance(attr, ast.Subscript):
+                            attr = attr.value
+                        if isinstance(attr, ast.Attribute) and not attr.attr.startswith(
+                            "_obs"
+                        ):
+                            yield rule.diagnostic(
+                                module,
+                                sub,
+                                f"write to `.{attr.attr}` inside an `_obs` guard; "
+                                "guarded telemetry blocks must be read-only",
+                            )
+                elif isinstance(sub, ast.Call):
+                    ref = classify_call(sub, class_name=owner)
+                    if ref is None:
+                        continue
+                    receiver = sub.func.value if isinstance(sub.func, ast.Attribute) else None
+                    if receiver is not None and _is_obs_expr(receiver, aliases):
+                        continue  # the telemetry call itself
+                    for target_id in graph.resolve_ref(ref, module.path, qual):
+                        chain = graph.effects[target_id].sim_write_chain
+                        if chain is not None:
+                            yield rule.diagnostic(
+                                module,
+                                sub,
+                                f"call inside an `_obs` guard reaches a sim-state "
+                                f"write: {_chain_text(chain)}",
+                            )
+                            break
+
+        def scan(
+            stmts: list[ast.stmt], guarded: bool, aliases: set[str] = aliases
+        ) -> Iterator[Diagnostic]:
+            for stmt in stmts:
+                if isinstance(stmt, ast.If) and _is_obs_guard(stmt.test, aliases):
+                    yield from scan(stmt.body, True)
+                    yield from scan(stmt.orelse, guarded)
+                    continue
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs are scanned as their own functions
+                if guarded:
+                    yield from check_guarded(stmt)
+                    continue
+                for child in iter_child_nodes_compat(stmt):
+                    if isinstance(child, ast.stmt):
+                        yield from scan([child], guarded)
+
+        yield from scan(fn.body, False)
+
+
+def _check_ob002(
+    rule: Rule, module: ParsedModule, ctx: ProjectContext
+) -> Iterator[Diagnostic]:
+    """Flag ``self._obs.hook(...)`` calls outside an ``is not None`` guard."""
+    for _qual, _owner, fn in iter_scoped_functions(module.tree):
+        aliases = _obs_aliases(fn)
+
+        def scan(
+            stmts: list[ast.stmt], guarded: bool, aliases: set[str] = aliases
+        ) -> Iterator[Diagnostic]:
+            for stmt in stmts:
+                if isinstance(stmt, ast.If) and _is_obs_guard(stmt.test, aliases):
+                    yield from scan(stmt.orelse, guarded)
+                    continue
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs are scanned as their own functions
+                if guarded:
+                    continue  # everything below a guard is safe for OB002
+                for child in iter_child_nodes_compat(stmt):
+                    if isinstance(child, ast.stmt):
+                        yield from scan([child], guarded)
+                    elif isinstance(child, ast.expr):
+                        for sub in ast.walk(child):
+                            if (
+                                isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Attribute)
+                                and _is_obs_expr(sub.func.value, aliases)
+                            ):
+                                yield rule.diagnostic(
+                                    module,
+                                    sub,
+                                    "telemetry call without an `is not None` guard; "
+                                    "crashes when the hub is detached",
+                                )
+
+        yield from scan(fn.body, False)
+
+
+OB001 = Rule(
+    id="OB001",
+    pack="OB",
+    title="guarded telemetry block reaches a sim-state write",
+    severity=Severity.ERROR,
+    rationale=(
+        "Code under an `_obs` guard runs only when telemetry is attached; any "
+        "write it reaches (directly or through calls, per the transitive "
+        "effect summaries) makes the trajectory diverge between telemetry "
+        "on and off, breaking the byte-identity invariant the golden digests "
+        "pin."
+    ),
+    check=lambda module, ctx: _check_ob001(OB001, module, ctx),
+)
+
+OB002 = Rule(
+    id="OB002",
+    pack="OB",
+    title="unguarded telemetry hook call",
+    severity=Severity.ERROR,
+    rationale=(
+        "`self._obs` is None whenever no hub is attached; hook calls outside "
+        "an `is not None` guard crash exactly in the default, telemetry-off "
+        "configuration that production sims run."
+    ),
+    check=lambda module, ctx: _check_ob002(OB002, module, ctx),
+)
+
+#: The OB pack, in id order.
+RULES: tuple[Rule, ...] = (OB001, OB002)

@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 output for CI code-scanning integration.
+
+One run object, one driver (``repro.analysis.lint``), one rule entry
+per *registered* rule (so code-scanning UIs can show titles and help
+text even for rules that found nothing this run), one result per
+diagnostic.  Waived diagnostics are emitted with a ``suppressions``
+entry of kind ``inSource`` carrying the waiver reason, matching how
+GitHub code scanning models inline suppressions.
+
+The emitted document validates against the OASIS SARIF 2.1.0 schema;
+``tests/analysis/lint/test_sarif.py`` pins the structural invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine-level pseudo-rules that can appear in reports but are not in
+#: the registry (parse failures and the waiver audit).
+_PSEUDO_RULES: dict[str, str] = {
+    "E999": "source failed to parse",
+    "WV001": "waiver without a reason",
+    "WV002": "waiver that suppresses nothing",
+}
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = []
+    for rule in RULES.values():
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": rule.id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": _level(rule.severity)},
+                "properties": {"pack": rule.pack},
+            }
+        )
+    for rule_id, title in _PSEUDO_RULES.items():
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": title},
+                "defaultConfiguration": {"level": "error"},
+                "properties": {"pack": "engine"},
+            }
+        )
+    return descriptors
+
+
+def _result_of(diag: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
+    region: dict[str, Any] = {
+        "startLine": diag.line,
+        # SARIF columns are 1-based; Diagnostic columns follow ast (0-based)
+        "startColumn": diag.col + 1,
+    }
+    if diag.end_line is not None:
+        region["endLine"] = diag.end_line
+    if diag.end_col is not None:
+        region["endColumn"] = diag.end_col + 1
+    result: dict[str, Any] = {
+        "ruleId": diag.rule,
+        "level": _level(diag.severity),
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+    }
+    if diag.rule in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule]
+    if diag.waived:
+        suppression: dict[str, Any] = {"kind": "inSource"}
+        if diag.waiver_reason:
+            suppression["justification"] = diag.waiver_reason
+        result["suppressions"] = [suppression]
+    return result
+
+
+def to_sarif(
+    diagnostics: list[Diagnostic], *, tool_version: str = "1.0.0"
+) -> dict[str, Any]:
+    """Render diagnostics as a SARIF 2.1.0 log dictionary."""
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis.lint",
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result_of(d, rule_index) for d in diagnostics],
+            }
+        ],
+    }

@@ -471,6 +471,54 @@ def bench_tune() -> MicroResult:
     )
 
 
+def bench_lint() -> MicroResult:
+    """Linter throughput plus the incremental-cache warm speedup.
+
+    Lints the installed ``repro`` package twice against a private cache
+    directory: cold (every file parsed, facts extracted, rules run) and
+    warm (facts and reports both served from the cache).  The headline
+    value is cold files per second; ``extra.cache_speedup`` is the
+    cold/warm wall-clock ratio the bench regression gate floors, and the
+    warm run is asserted to re-analyse **zero** files with an identical
+    diagnostic set.
+    """
+    import tempfile
+
+    import repro
+    from repro.analysis.lint.cache import AnalysisCache
+    from repro.analysis.lint.engine import lint_paths
+
+    roots = list(repro.__path__)
+    with tempfile.TemporaryDirectory() as root:
+        t0 = time.perf_counter()
+        cold = lint_paths(roots, cache=AnalysisCache(root))
+        cold_elapsed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = lint_paths(roots, cache=AnalysisCache(root))
+        warm_elapsed = time.perf_counter() - t0
+    if warm.analysed != 0:
+        raise AssertionError(f"warm lint rerun analysed {warm.analysed} files, expected 0")
+    cold_diags = [d.to_json() for d in cold.diagnostics]
+    if cold_diags != [d.to_json() for d in warm.diagnostics]:
+        raise AssertionError("warm lint rerun diverged from the cold diagnostics")
+    return MicroResult(
+        name="lint",
+        value=cold.files / cold_elapsed,
+        unit="files/s",
+        elapsed_s=cold_elapsed + warm_elapsed,
+        work=cold.files,
+        params={"files": cold.files},
+        extra={
+            "cache_speedup": cold_elapsed / warm_elapsed,
+            "analysed_cold": cold.analysed,
+            "analysed_warm": warm.analysed,
+            "cached_warm": warm.cached,
+            "diagnostics": len(cold.diagnostics),
+            "waived": len(cold.waived),
+        },
+    )
+
+
 #: name -> zero-argument benchmark callable (defaults are the canonical
 #: sizes the trajectory is tracked at)
 MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
@@ -482,6 +530,7 @@ MICRO_REGISTRY: dict[str, Callable[[], MicroResult]] = {
     "fastforward": bench_fastforward,
     "fleet": bench_fleet,
     "tune": bench_tune,
+    "lint": bench_lint,
 }
 
 

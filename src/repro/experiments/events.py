@@ -225,6 +225,7 @@ def run(
     return result
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def _rep_unit(args: tuple) -> dict:
     """Picklable work unit for process-pool ``map_fn`` sharding."""
     return _one_rep(*args)

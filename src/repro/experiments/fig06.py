@@ -28,6 +28,7 @@ from repro.sim.time import SEC
 TIMING_COLUMNS = ("transform_ms", "transform_ms_std")
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def _record_trace(seed: int, duration_ns: int, clean: bool) -> np.ndarray:
     """One independent mp3 event trace (a parallelisable work unit)."""
     scenario = build_mp3_scenario(

@@ -35,6 +35,7 @@ def _shared_trace(seed: int, n_frames: int, duration: int) -> np.ndarray:
     return trace
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def _spectrum_unit(
     seed: int,
     n_frames: int,

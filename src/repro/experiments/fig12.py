@@ -31,6 +31,7 @@ from repro.experiments.common import TABLE2_RESERVATIONS, build_mp3_scenario, de
 from repro.sim.time import SEC
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def _one_rep(
     n_load: int, seed: int, duration_s: float, horizon: int, duration: int
 ) -> tuple[float | None, float | None, float]:

@@ -27,6 +27,7 @@ from repro.workloads.mplayer import VideoPlayerConfig
 from repro.workloads.periodic import load_set
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def run_one(load: float, n_frames: int = 1000, seed: int = 3000) -> tuple[float, float]:
     """One adaptive playback under ``load``; returns (mean, std) IFT ms."""
     rt = SelfTuningRuntime()

@@ -49,7 +49,7 @@ class FaultInjector:
         #: per-event-kind injection counters (e.g. ``{"drop": 17}``)
         self.counts: dict[str, int] = {}
         self._armed = False
-        self._window_span: OpenSpan | None = None
+        self._obs_window_span: OpenSpan | None = None
 
     # ------------------------------------------------------------------
     # bookkeeping helpers for subclasses
@@ -67,14 +67,14 @@ class FaultInjector:
         self.injected += 1
         self.counts[event] = self.counts.get(event, 0) + 1
         obs = self._obs
-        if obs is not None and self._window_span is None:
-            self._window_span = obs.fault_window_begin(self.kind, event, now, **args)
+        if obs is not None and self._obs_window_span is None:
+            self._obs_window_span = obs.fault_window_begin(self.kind, event, now, **args)
 
     def _window_end(self, now: int) -> None:
         """Close the currently open fault-window span (no-op when none)."""
         obs = self._obs
-        span = self._window_span
-        self._window_span = None
+        span = self._obs_window_span
+        self._obs_window_span = None
         if obs is not None and span is not None:
             obs.end(span, now)
 

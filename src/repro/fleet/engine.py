@@ -45,6 +45,7 @@ def _warm_worker() -> None:
     import repro.fleet.build  # noqa: F401  (pulls sim, sched, workloads, numpy)
 
 
+# repro: allow[CC001]  -- reaches the idempotent cycle-adapter registry; deterministic per process
 def _run_chunk(specs: list[ScenarioSpec], fast_forward: bool) -> list[SimSummary]:
     """Worker-side body: run one chunk of sims, return compact summaries."""
     return [run_sim(spec, fast_forward=fast_forward) for spec in specs]

@@ -18,7 +18,7 @@ kernel handle via :meth:`Scheduler.bind`.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ClassVar
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
@@ -27,6 +27,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class Scheduler(abc.ABC):
     """Abstract scheduling policy."""
+
+    #: Fast-forward conformance declaration (checked statically by the FF
+    #: lint pack): the ``cycle_*`` methods this class *intentionally*
+    #: leaves to the base defaults.  A concrete scheduler must implement
+    #: the full ``cycle_state``/``shift_times``/``cycle_periods``/
+    #: ``cycle_counters`` surface, list the remainder here, or set
+    #: :attr:`cycle_ineligible` — silent reliance on the defaults is
+    #: indistinguishable from having forgotten them.
+    cycle_defaults_ok: ClassVar[tuple[str, ...]] = ()
+
+    #: Declares the policy out of steady-state fast-forward entirely
+    #: (``cycle_state`` stays ``None``-returning and the mechanism
+    #: auto-disables).
+    cycle_ineligible: ClassVar[bool] = False
 
     def __init__(self) -> None:
         self.kernel: Kernel | None = None

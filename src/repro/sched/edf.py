@@ -26,6 +26,10 @@ _BEST_EFFORT = 2**62
 class EdfScheduler(Scheduler):
     """Preemptive EDF over processes with per-wakeup absolute deadlines."""
 
+    # deadlines are shifted by shift_times; EDF itself contributes no
+    # extra periods and keeps no monotone counters.
+    cycle_defaults_ok = ("cycle_periods", "cycle_counters")
+
     def __init__(self) -> None:
         super().__init__()
         self._rel_deadline: dict[int, int] = {}

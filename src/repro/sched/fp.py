@@ -34,6 +34,10 @@ def rate_monotonic_priorities(periods: Sequence[int]) -> list[int]:
 class FixedPriorityScheduler(Scheduler):
     """Strictly preemptive fixed priorities; FIFO within a priority level."""
 
+    # FP keeps no absolute times and no monotone counters: the no-op
+    # shift and empty periods/counters defaults are the implementation.
+    cycle_defaults_ok = ("shift_times", "cycle_periods", "cycle_counters")
+
     def __init__(self) -> None:
         super().__init__()
         self._prio: dict[int, int] = {}

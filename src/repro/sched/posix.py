@@ -18,6 +18,10 @@ from repro.sim.time import MS
 class RoundRobinScheduler(Scheduler):
     """Single-queue round robin with a fixed time slice."""
 
+    # RR state is queue order plus slice remainder — nothing absolute to
+    # shift and nothing monotone to extrapolate.
+    cycle_defaults_ok = ("shift_times", "cycle_periods", "cycle_counters")
+
     def __init__(self, *, timeslice: int = 4 * MS) -> None:
         super().__init__()
         if timeslice <= 0:

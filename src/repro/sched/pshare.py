@@ -27,6 +27,10 @@ STRIDE1 = 1 << 20
 class StrideScheduler(Scheduler):
     """Classic stride scheduling (Waldspurger & Weihl, OSDI 1994)."""
 
+    # pass values are relative (cycle_state re-bases them); no absolute
+    # times, no policy periods, no monotone counters.
+    cycle_defaults_ok = ("shift_times", "cycle_periods", "cycle_counters")
+
     def __init__(self, *, quantum: int = 1 * MS) -> None:
         super().__init__()
         if quantum <= 0:

@@ -1,0 +1,44 @@
+REGISTRY = {}
+
+
+def helper_c(x):
+    REGISTRY[x] = x
+
+
+def helper_b(x):
+    return helper_c(x)
+
+
+def helper_a(x):
+    return helper_b(x)
+
+
+def worker(spec):
+    return helper_a(spec)
+
+
+def clean_worker(spec):
+    return spec * 2
+
+
+def spin_a(x):
+    if x:
+        return spin_b(x - 1)
+    return x
+
+
+def spin_b(x):
+    return spin_a(x)
+
+
+def cyclic_worker(spec):
+    return spin_a(spec)
+
+
+def launch(executor, specs):
+    futs = [executor.submit(worker, s) for s in specs]
+    futs.append(executor.submit(clean_worker, specs[0]))
+    futs.append(executor.submit(cyclic_worker, specs[0]))
+    return futs
+## path: repro/fleet/fx.py
+## expect: CC001 @ 16:0

@@ -1,0 +1,17 @@
+import random
+
+RNG = random.Random(1234)
+
+
+def draw():
+    return RNG.random()
+
+
+def worker(spec):
+    return draw() + spec
+
+
+def launch(executor, specs):
+    return [executor.submit(worker, s) for s in specs]
+## path: repro/experiments/fx.py
+## expect: CC002 @ 10:0

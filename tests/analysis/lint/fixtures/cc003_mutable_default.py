@@ -1,0 +1,9 @@
+def worker(spec, acc=[]):
+    acc.append(spec)
+    return acc
+
+
+def launch(executor, specs):
+    return [executor.submit(worker, s) for s in specs]
+## path: repro/experiments/fx.py
+## expect: CC003 @ 1:21

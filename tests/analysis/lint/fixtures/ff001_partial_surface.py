@@ -1,0 +1,20 @@
+class Scheduler:
+    pass
+
+
+class PartialScheduler(Scheduler):
+    def cycle_state(self, now):
+        return ()
+
+
+class DeclaredScheduler(Scheduler):
+    cycle_defaults_ok = ("shift_times", "cycle_periods", "cycle_counters")
+
+    def cycle_state(self, now):
+        return ()
+
+
+class OptedOutScheduler(Scheduler):
+    cycle_ineligible = True
+## path: repro/sched/fx.py
+## expect: FF001 @ 5:0

@@ -1,0 +1,41 @@
+class Scheduler:
+    pass
+
+
+class StaleScheduler(Scheduler):
+    cycle_defaults_ok = (
+        "cycle_state",
+        "shift_times",
+        "cycle_periods",
+        "cycle_counters",
+    )
+
+    def cycle_state(self, now):
+        return ()
+
+
+class BogusScheduler(Scheduler):
+    cycle_defaults_ok = ("warp_times", "shift_times", "cycle_periods", "cycle_counters")
+
+    def cycle_state(self, now):
+        return ()
+
+
+class ContradictoryScheduler(Scheduler):
+    cycle_ineligible = True
+
+    def cycle_state(self, now):
+        return ()
+
+    def shift_times(self, delta):
+        pass
+
+    def cycle_periods(self):
+        return ()
+
+    def cycle_counters(self):
+        return {}
+## path: repro/sched/fx.py
+## expect: FF002 @ 5:0
+## expect: FF002 @ 17:0
+## expect: FF002 @ 24:0

@@ -1,0 +1,22 @@
+CONTROLLER_KNOBS = {
+    "spread": object(),
+    "window": object(),
+}
+
+SPACE_KNOBS = ("spread", "windw")
+
+
+def read(cfg):
+    good = CONTROLLER_KNOBS["spread"]
+    bad = CONTROLLER_KNOBS["wndow"]
+    also = CONTROLLER_KNOBS.get("typo", None)
+    return good, bad, also
+
+
+def check(validate_knob):
+    validate_knob("sprd", 1)
+## path: repro/core/fx.py
+## expect: KN001 @ 6:25
+## expect: KN001 @ 11:27
+## expect: KN001 @ 12:32
+## expect: KN001 @ 17:18

@@ -1,0 +1,7 @@
+from repro.core.knobs import Knob
+
+
+def rogue():
+    return Knob(name="spread", kind="float", lo=0.5, hi=3.0)
+## path: repro/tune/fx.py
+## expect: KN002 @ 5:11

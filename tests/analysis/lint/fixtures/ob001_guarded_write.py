@@ -1,0 +1,26 @@
+class Kernel:
+    def __init__(self):
+        self._obs = None
+        self._count = 0
+
+    def tick(self, now):
+        if self._obs is not None:
+            self._obs.instant("tick", now)
+            snapshot = self._count + now
+            self._count = snapshot
+        obs = self._obs
+        if obs is not None:
+            obs.instant("alias", now)
+            self.bump(now)
+
+    def bump(self, now):
+        self._advance(now)
+
+    def _advance(self, now):
+        self._store(now)
+
+    def _store(self, now):
+        self._count = now
+## path: repro/sim/fx.py
+## expect: OB001 @ 10:12
+## expect: OB001 @ 14:12

@@ -1,0 +1,15 @@
+class Kernel:
+    def __init__(self):
+        self._obs = None
+
+    def tick(self, now):
+        self._obs.instant("tick", now)
+        if self._obs is not None:
+            self._obs.instant("ok", now)
+
+    def close(self, now):
+        obs = self._obs
+        obs.end(None, now)
+## path: repro/sim/fx.py
+## expect: OB002 @ 6:8
+## expect: OB002 @ 12:8

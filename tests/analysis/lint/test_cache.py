@@ -1,0 +1,124 @@
+"""Incremental cache: warm hits, invalidation, atomicity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lint.cache import (
+    AnalysisCache,
+    facts_digest,
+    lint_package_digest,
+    source_digest,
+)
+from repro.analysis.lint.engine import lint_sources
+
+DIRTY = "import time\n\n\ndef probe():\n    return time.time()\n"
+CLEAN = "def f():\n    return 1\n"
+
+
+@pytest.fixture
+def sources():
+    return {
+        "repro/sim/probe.py": DIRTY,
+        "repro/sim/other.py": CLEAN,
+    }
+
+
+def test_warm_run_analyses_nothing(tmp_path, sources):
+    cold = lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    assert cold.analysed == 2 and cold.cached == 0
+    warm = lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    assert warm.analysed == 0 and warm.cached == 2
+    assert [d.to_json() for d in warm.diagnostics] == [
+        d.to_json() for d in cold.diagnostics
+    ]
+
+
+def test_editing_one_file_reanalyses_only_if_facts_stable(tmp_path, sources):
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    # a trailing-comment edit changes the file digest but not its facts
+    # (linenos are facts, so the comment must not shift any), so only
+    # the edited file re-runs; the other file's report stays cached
+    edited = dict(sources)
+    edited["repro/sim/other.py"] = CLEAN + "# a comment\n"
+    warm = lint_sources(edited, cache=AnalysisCache(tmp_path))
+    assert warm.cached >= 1  # probe.py untouched -> cached
+    assert warm.analysed >= 1  # other.py digest changed -> re-run
+
+
+def test_fact_shifting_edit_invalidates_reports(tmp_path, sources):
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    edited = dict(sources)
+    edited["repro/sim/other.py"] = "def g():\n    return 2\n"  # new function: facts change
+    warm = lint_sources(edited, cache=AnalysisCache(tmp_path))
+    # combined facts digest changed, so every report key is stale
+    assert warm.cached == 0
+    assert warm.analysed == 2
+
+
+def test_engine_change_discards_cache(tmp_path, sources, monkeypatch):
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    monkeypatch.setattr(
+        "repro.analysis.lint.cache.lint_package_digest", lambda: "different"
+    )
+    warm = lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    assert warm.cached == 0
+    assert warm.analysed == 2
+
+
+def test_config_change_misses_report_layer(tmp_path, sources):
+    from repro.analysis.lint.engine import LintConfig
+    from repro.analysis.lint.rules import RULES, select_rules
+
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    narrow = LintConfig(rules=tuple(select_rules(["SC"])))
+    warm = lint_sources(dict(sources), config=narrow, cache=AnalysisCache(tmp_path))
+    assert warm.cached == 0  # different rule set => different report key
+
+
+def test_restrict_limits_rule_runs_not_facts(tmp_path, sources):
+    report = lint_sources(
+        dict(sources),
+        cache=AnalysisCache(tmp_path),
+        restrict={"repro/sim/other.py"},
+    )
+    assert report.files == 1
+    assert report.analysed == 1
+    assert not any(d.path == "repro/sim/probe.py" for d in report.diagnostics)
+
+
+def test_cache_file_is_valid_json(tmp_path, sources):
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    data = json.loads((tmp_path / "lint-cache.json").read_text(encoding="utf-8"))
+    assert data["engine"].endswith(lint_package_digest())
+    assert len(data["facts"]) == 2
+    assert len(data["reports"]) == 2
+
+
+def test_save_prunes_dead_entries(tmp_path, sources):
+    lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    # second run over a single file: the other file's entries are pruned
+    lint_sources(
+        {"repro/sim/other.py": CLEAN}, cache=AnalysisCache(tmp_path)
+    )
+    data = json.loads((tmp_path / "lint-cache.json").read_text(encoding="utf-8"))
+    assert len(data["facts"]) == 1
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path, sources):
+    (tmp_path / "lint-cache.json").write_text("{not json", encoding="utf-8")
+    report = lint_sources(dict(sources), cache=AnalysisCache(tmp_path))
+    assert report.analysed == 2
+
+
+def test_digest_helpers_are_content_addressed():
+    assert source_digest("a") != source_digest("b")
+    assert source_digest("a") == source_digest("a")
+    from repro.analysis.lint.callgraph import failed_module_facts
+
+    a = [failed_module_facts("x.py")]
+    b = [failed_module_facts("y.py")]
+    assert facts_digest(a) != facts_digest(b)
+    assert facts_digest(a) == facts_digest([failed_module_facts("x.py")])

@@ -1,0 +1,229 @@
+"""Call-graph engine tests: edges, effects, cycles, scheduler surface."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.callgraph import (
+    CYCLE_SURFACE,
+    EffectSummary,
+    ModuleFacts,
+    ProjectGraph,
+    extract_module_facts,
+)
+
+
+def graph_of(sources: dict[str, str]) -> ProjectGraph:
+    modules = [
+        extract_module_facts(path, ast.parse(src, filename=path))
+        for path, src in sources.items()
+    ]
+    return ProjectGraph(modules)
+
+
+def test_three_hop_transitive_sim_write():
+    g = graph_of(
+        {
+            "repro/sim/a.py": (
+                "class Kernel:\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+                "    def step(self):\n"
+                "        self.advance()\n"
+                "    def advance(self):\n"
+                "        self.now += 1\n"
+            )
+        }
+    )
+    run = g.effects["repro/sim/a.py::Kernel.run"]
+    assert run.writes_sim_state
+    assert run.sim_write_chain is not None
+    # three function hops plus the attribute sink marker
+    assert run.sim_write_chain == (
+        "repro/sim/a.py::Kernel.run",
+        "repro/sim/a.py::Kernel.step",
+        "repro/sim/a.py::Kernel.advance",
+        "attr:now",
+    )
+
+
+def test_cross_module_edge_via_import():
+    g = graph_of(
+        {
+            "repro/sim/kern.py": (
+                "from repro.sim.helpers import poke\n"
+                "def drive(state):\n"
+                "    poke(state)\n"
+            ),
+            "repro/sim/helpers.py": (
+                "def poke(state):\n"
+                "    state.now = 0\n"
+            ),
+        }
+    )
+    drive = g.effects["repro/sim/kern.py::drive"]
+    assert drive.writes_sim_state
+    assert "repro/sim/helpers.py::poke" in drive.sim_write_chain
+
+
+def test_cycle_tolerant_propagation_terminates():
+    g = graph_of(
+        {
+            "repro/sim/cyc.py": (
+                "def ping(n):\n"
+                "    return pong(n - 1)\n"
+                "def pong(n):\n"
+                "    GLOBALS['n'] = n\n"
+                "    return ping(n)\n"
+                "GLOBALS = {}\n"
+            )
+        }
+    )
+    ping = g.effects["repro/sim/cyc.py::ping"]
+    pong = g.effects["repro/sim/cyc.py::pong"]
+    assert pong.writes_global_state
+    assert ping.writes_global_state  # reached through the cycle
+    # witness chains are finite even though the call graph is cyclic
+    assert len(ping.global_write_chain) <= 4
+
+
+def test_pure_function_classified_pure():
+    g = graph_of(
+        {
+            "repro/sim/pure.py": (
+                "def halve(x):\n"
+                "    return x / 2\n"
+                "def quarter(x):\n"
+                "    return halve(halve(x))\n"
+            )
+        }
+    )
+    assert g.effects["repro/sim/pure.py::halve"].pure
+    assert g.effects["repro/sim/pure.py::halve"].classify() == ("pure",)
+    # quarter reads module state (the `halve` binding) but writes nothing
+    quarter = g.effects["repro/sim/pure.py::quarter"]
+    assert not quarter.writes_sim_state
+    assert quarter.classify() == ("reads-sim-state",)
+
+
+def test_io_effect_propagates():
+    g = graph_of(
+        {
+            "repro/obs/sink.py": (
+                "def flush(rows):\n"
+                "    with open('out.csv', 'w') as fh:\n"
+                "        fh.write(str(rows))\n"
+                "def report(rows):\n"
+                "    flush(rows)\n"
+            )
+        }
+    )
+    assert g.effects["repro/obs/sink.py::report"].performs_io
+
+
+def test_init_self_writes_are_exempt():
+    g = graph_of(
+        {
+            "repro/sim/obj.py": (
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self.items = []\n"
+                "    def put(self, x):\n"
+                "        self.items.append(x)\n"
+            )
+        }
+    )
+    init = g.effects["repro/sim/obj.py::Box.__init__"]
+    put = g.effects["repro/sim/obj.py::Box.put"]
+    assert not init.writes_sim_state  # constructing a fresh object is pure-ish
+    assert put.writes_sim_state  # mutator method on an attribute is a write
+
+
+def test_method_edges_resolve_through_self_mro():
+    g = graph_of(
+        {
+            "repro/sched/pol.py": (
+                "class Base:\n"
+                "    def bump(self):\n"
+                "        self.count += 1\n"
+                "class Child(Base):\n"
+                "    def tick(self):\n"
+                "        self.bump()\n"
+            )
+        }
+    )
+    # Child.tick calls self.bump(); the owner-class MRO walk must
+    # resolve it to the method inherited from Base
+    tick = g.effects["repro/sched/pol.py::Child.tick"]
+    assert tick.writes_sim_state
+    assert "repro/sched/pol.py::Base.bump" in tick.sim_write_chain
+
+
+def test_worker_discovery_map_fn_kwarg():
+    facts = extract_module_facts(
+        "repro/experiments/fx.py",
+        ast.parse(
+            "def unit(job):\n"
+            "    return job\n"
+            "def sweep(jobs, pool):\n"
+            "    return pool.map(unit, jobs)\n"
+            "def launch(runner, jobs):\n"
+            "    return runner(map_fn=unit, jobs=jobs)\n"
+        ),
+    )
+    assert any(ref.name == "unit" for ref in facts.workers)
+
+
+def test_scheduler_surface_aggregation():
+    g = graph_of(
+        {
+            "repro/sched/base.py": (
+                "class Scheduler:\n"
+                "    cycle_defaults_ok = ()\n"
+                "    cycle_ineligible = False\n"
+                "    def cycle_state(self):\n"
+                "        return ()\n"
+            ),
+            "repro/sched/mine.py": (
+                "from repro.sched.base import Scheduler\n"
+                "class Mine(Scheduler):\n"
+                "    cycle_defaults_ok = ('shift_times', 'cycle_periods', 'cycle_counters')\n"
+                "    def cycle_state(self):\n"
+                "        return (1,)\n"
+            ),
+        }
+    )
+    mine = g.scheduler_surfaces["Mine"]
+    assert "cycle_state" in mine.defined
+    missing = [m for m in CYCLE_SURFACE if m not in (mine.defined | mine.declared_defaults)]
+    assert not missing
+
+
+def test_module_facts_json_round_trip():
+    facts = extract_module_facts(
+        "repro/sim/rt.py",
+        ast.parse(
+            "import random\n"
+            "RNG = random.Random(7)\n"
+            "class C:\n"
+            "    __slots__ = ('x',)\n"
+            "    def m(self):\n"
+            "        self.x = 1\n"
+            "def f():\n"
+            "    C().m()\n"
+        ),
+    )
+    clone = ModuleFacts.from_json(facts.to_json())
+    assert clone.to_json() == facts.to_json()
+    assert clone.module_rngs == facts.module_rngs
+
+
+def test_effect_summary_classification_order():
+    io = EffectSummary(io_chain=("a",))
+    write = EffectSummary(sim_write_chain=("a",))
+    reads = EffectSummary(reads_state=True)
+    pure = EffectSummary()
+    assert io.classify() == ("performs-IO",)
+    assert write.classify() == ("writes-sim-state",)
+    assert reads.classify() == ("reads-sim-state",)
+    assert pure.classify() == ("pure",)

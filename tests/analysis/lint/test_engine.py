@@ -44,7 +44,7 @@ def test_select_rules_by_id_and_pack():
 def test_report_json_schema():
     report = lint_sources({"repro/sim/x.py": DIRTY})
     doc = report.to_json()
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["tool"] == "repro.analysis.lint"
     assert doc["files"] == 1
     assert doc["summary"] == {
@@ -52,6 +52,8 @@ def test_report_json_schema():
         "warnings": 0,
         "waived": 0,
         "files": 1,
+        "analysed": 1,
+        "cached": 0,
     }
     (diag,) = doc["diagnostics"]
     assert diag["rule"] == "DT001"

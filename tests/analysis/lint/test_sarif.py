@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 output: structural invariants code scanning relies on."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.engine import lint_sources
+from repro.analysis.lint.rules import RULES
+from repro.analysis.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
+
+DIRTY = {
+    "repro/sim/probe.py": (
+        "import time\n"
+        "t0 = time.time()\n"
+        "t1 = time.time()  # repro: allow[DT001]  -- harness timing, not sim state\n"
+    )
+}
+
+
+def sarif_of(sources):
+    report = lint_sources(dict(sources))
+    return to_sarif(report.diagnostics), report
+
+
+def test_log_envelope():
+    log, _ = sarif_of(DIRTY)
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    assert len(log["runs"]) == 1
+    assert json.dumps(log)  # serialisable
+
+
+def test_driver_lists_every_registered_rule():
+    log, _ = sarif_of(DIRTY)
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro.analysis.lint"
+    ids = {r["id"] for r in driver["rules"]}
+    assert set(RULES) <= ids
+    assert {"E999", "WV001", "WV002"} <= ids
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_results_reference_rules_by_index():
+    log, report = sarif_of(DIRTY)
+    run = log["runs"][0]
+    index = {r["id"]: i for i, r in enumerate(run["tool"]["driver"]["rules"])}
+    assert len(run["results"]) == len(report.diagnostics)
+    for result in run["results"]:
+        assert result["ruleIndex"] == index[result["ruleId"]]
+
+
+def test_columns_are_one_based():
+    log, report = sarif_of(DIRTY)
+    (diag, *_rest) = report.diagnostics
+    result = log["runs"][0]["results"][0]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == diag.line
+    assert region["startColumn"] == diag.col + 1
+    assert region["startColumn"] >= 1
+
+
+def test_waived_diagnostic_carries_suppression():
+    log, report = sarif_of(DIRTY)
+    waived = [d for d in report.diagnostics if d.waived]
+    assert waived, "fixture must contain a waived diagnostic"
+    suppressed = [r for r in log["runs"][0]["results"] if "suppressions" in r]
+    assert len(suppressed) == len(waived)
+    (entry,) = suppressed[0]["suppressions"]
+    assert entry["kind"] == "inSource"
+    assert "harness timing" in entry["justification"]
+
+
+def test_active_diagnostics_have_no_suppressions():
+    log, report = sarif_of(DIRTY)
+    active = [d for d in report.diagnostics if not d.waived]
+    plain = [r for r in log["runs"][0]["results"] if "suppressions" not in r]
+    assert len(plain) == len(active)
+
+
+def test_uri_base_id_round_trip():
+    log, _ = sarif_of(DIRTY)
+    run = log["runs"][0]
+    assert "SRCROOT" in run["originalUriBaseIds"]
+    for result in run["results"]:
+        loc = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert loc["uriBaseId"] == "SRCROOT"
+        assert not loc["uri"].startswith("/")
